@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Native hardware validation with google-benchmark.
+ *
+ * Times hand-compiled C++ versions of the kernels whose orderings the
+ * model ranks: matmul in its best (JKI) and worst (IKJ) orders, and
+ * Cholesky in KIJ vs KJI form. On real hardware the memory-order
+ * variants must win, mirroring the paper's Figure 2 and Figure 7
+ * measurements on Sparc2 / i860 / RS6000.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <vector>
+
+namespace {
+
+constexpr int kN = 256;
+
+void
+BM_MatmulJKI(benchmark::State &state)
+{
+    int n = static_cast<int>(state.range(0));
+    std::vector<double> a(n * n, 1.5), b(n * n, 2.5), c(n * n, 0.0);
+    for (auto _ : state) {
+        for (int j = 0; j < n; ++j)
+            for (int k = 0; k < n; ++k)
+                for (int i = 0; i < n; ++i)
+                    c[i + j * n] += a[i + k * n] * b[k + j * n];
+        benchmark::DoNotOptimize(c.data());
+        benchmark::ClobberMemory();
+    }
+}
+
+void
+BM_MatmulIKJ(benchmark::State &state)
+{
+    int n = static_cast<int>(state.range(0));
+    std::vector<double> a(n * n, 1.5), b(n * n, 2.5), c(n * n, 0.0);
+    for (auto _ : state) {
+        for (int i = 0; i < n; ++i)
+            for (int k = 0; k < n; ++k)
+                for (int j = 0; j < n; ++j)
+                    c[i + j * n] += a[i + k * n] * b[k + j * n];
+        benchmark::DoNotOptimize(c.data());
+        benchmark::ClobberMemory();
+    }
+}
+
+void
+initSpd(std::vector<double> &a, int n)
+{
+    for (int x = 0; x < n; ++x)
+        for (int y = 0; y < n; ++y)
+            a[x + y * n] = (x == y) ? n + 1.0 : 0.5;
+}
+
+void
+BM_CholeskyKIJ(benchmark::State &state)
+{
+    int n = static_cast<int>(state.range(0));
+    std::vector<double> a(n * n);
+    for (auto _ : state) {
+        state.PauseTiming();
+        initSpd(a, n);
+        state.ResumeTiming();
+        for (int k = 0; k < n; ++k) {
+            a[k + k * n] = std::sqrt(a[k + k * n]);
+            for (int i = k + 1; i < n; ++i) {
+                a[i + k * n] /= a[k + k * n];
+                for (int j = k + 1; j <= i; ++j)
+                    a[i + j * n] -= a[i + k * n] * a[j + k * n];
+            }
+        }
+        benchmark::DoNotOptimize(a.data());
+    }
+}
+
+void
+BM_CholeskyKJI(benchmark::State &state)
+{
+    int n = static_cast<int>(state.range(0));
+    std::vector<double> a(n * n);
+    for (auto _ : state) {
+        state.PauseTiming();
+        initSpd(a, n);
+        state.ResumeTiming();
+        for (int k = 0; k < n; ++k) {
+            a[k + k * n] = std::sqrt(a[k + k * n]);
+            for (int i = k + 1; i < n; ++i)
+                a[i + k * n] /= a[k + k * n];
+            for (int j = k + 1; j < n; ++j)
+                for (int i = j; i < n; ++i)
+                    a[i + j * n] -= a[i + k * n] * a[j + k * n];
+        }
+        benchmark::DoNotOptimize(a.data());
+    }
+}
+
+BENCHMARK(BM_MatmulJKI)->Arg(kN)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_MatmulIKJ)->Arg(kN)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_CholeskyKIJ)->Arg(kN)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_CholeskyKJI)->Arg(kN)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Section 1.1 pipeline ablation: loop reordering (step 1) first, then
+ * register-level optimization (step 3: unroll-and-jam + scalar
+ * replacement).
+ *
+ * The paper claims its reordering "improves the effectiveness of
+ * optimizations performed in the latter two steps" [Car92]. Measured
+ * here: scalar replacement on the original order versus after memory
+ * ordering versus after memory ordering + unroll-and-jam. Expected
+ * shape: each stage removes more memory traffic, and the cache-aware
+ * reordering dominates the cycle count.
+ */
+
+#include "common.hh"
+#include "dependence/graph.hh"
+#include "interp/interp.hh"
+#include "ir/walk.hh"
+#include "suite/kernels.hh"
+#include "transform/compound.hh"
+#include "transform/scalar_replace.hh"
+#include "transform/unroll_jam.hh"
+
+namespace memoria {
+namespace {
+
+void
+report(TextTable &t, const std::string &name, Program &p,
+       const CacheConfig &cfg)
+{
+    RunResult r = runWithCache(p, cfg);
+    t.addRow({name, std::to_string(r.exec.memRefs),
+              std::to_string(r.cache.misses),
+              TextTable::num(r.cycles, 0)});
+}
+
+int
+benchMain()
+{
+    const int64_t n = 64;
+    CacheConfig cfg = CacheConfig::i860();
+
+    banner("Step-1 / step-3 pipeline on matmul (IKJ input, N = 64)");
+    TextTable t({"pipeline", "memory refs", "misses", "cycles"});
+
+    {
+        Program p = makeMatmul("IKJ", n);
+        report(t, "original (IKJ)", p, cfg);
+    }
+    {
+        Program p = makeMatmul("IKJ", n);
+        scalarReplace(p);
+        report(t, "scalar replacement only", p, cfg);
+    }
+    {
+        Program p = makeMatmul("IKJ", n);
+        compoundTransform(p, paperModel());
+        report(t, "memory order (JKI)", p, cfg);
+    }
+    {
+        Program p = makeMatmul("IKJ", n);
+        compoundTransform(p, paperModel());
+        scalarReplace(p);
+        report(t, "memory order + scalar repl", p, cfg);
+    }
+    {
+        Program p = makeMatmul("IKJ", n);
+        compoundTransform(p, paperModel());
+        DependenceGraph g(p, collectStmts(p));
+        unrollAndJam(p, p.body[0].get(), 4, g.edges());
+        scalarReplace(p);
+        report(t, "memory order + U&J(4) + SR", p, cfg);
+    }
+    std::cout << t.str();
+    std::cout << "\nexpected shape: reordering first is worth far more "
+                 "than register promotion alone, and promotion removes "
+                 "more traffic after reordering (the invariant "
+                 "reference B(K,J) only exists once I is innermost) — "
+                 "the Section 1.1 ordering of the framework.\n";
+    return 0;
+}
+
+} // namespace
+} // namespace memoria
+
+int
+main()
+{
+    return memoria::benchMain();
+}

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Table 1: performance of Erlebacher (hand-coded vs memory-order
+ * distributed vs fused).
+ *
+ * The paper reports seconds on three machines; we report simulated
+ * cycles and warm hit rates on both cache configurations. Expected
+ * shape: Fused beats both Hand and Distributed (the paper saw up to
+ * 17%); Distributed is never better than Hand.
+ */
+
+#include "common.hh"
+#include "interp/interp.hh"
+#include "suite/kernels.hh"
+#include "transform/fuse.hh"
+
+namespace memoria {
+namespace {
+
+int
+benchMain()
+{
+    const int64_t n = 24;
+    Program hand = makeErlebacherHand(n);
+    Program dist = makeErlebacherDistributed(n);
+
+    Program fusedP = makeErlebacherDistributed(n);
+    FuseStats fs = fuseSiblings(fusedP, fusedP.body, {}, paperModel(),
+                                true);
+
+    std::cout << "fusion: " << fs.fused << " of " << fs.candidates
+              << " candidate nests fused; semantics preserved: "
+              << (runChecksum(fusedP) == runChecksum(dist) ? "yes"
+                                                           : "NO")
+              << "\n";
+
+    banner("Table 1: Erlebacher (simulated, N = 24)");
+    TextTable t({"version", "cache", "cycles", "hit% (warm)",
+                 "vs hand"});
+    for (const CacheConfig &cfg :
+         {CacheConfig::rs6000(), CacheConfig::i860()}) {
+        RunResult rh = runWithCache(hand, cfg);
+        for (auto entry : {std::make_pair("Hand Coded", &hand),
+                           std::make_pair("Distributed", &dist),
+                           std::make_pair("Fused", &fusedP)}) {
+            RunResult r = runWithCache(*entry.second, cfg);
+            t.addRow({entry.first, cfg.name,
+                      TextTable::num(r.cycles, 0),
+                      TextTable::num(r.cache.hitRateWarm(), 2),
+                      TextTable::num(rh.cycles / r.cycles, 3)});
+        }
+        t.addRule();
+    }
+    std::cout << t.str();
+    std::cout << "\npaper shape: Fused fastest on every machine (up to "
+                 "1.17x vs hand), Distributed slightly behind Hand. On "
+                 "the tiny 8KB cache the fused footprint (five arrays "
+                 "per iteration) can overflow and lose — exactly the "
+                 "conflict/capacity caveat Section 5.5 reports for "
+                 "Track, Dnasa7 and Wave.\n";
+    return 0;
+}
+
+} // namespace
+} // namespace memoria
+
+int
+main()
+{
+    return memoria::benchMain();
+}

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Table 3: performance results (original vs transformed).
+ *
+ * The paper reports RS/6000 seconds for the programs whose behaviour
+ * changed; we report simulated cycles on the RS/6000-like cache for the
+ * corpus programs with a measurable change, plus the paper-studied
+ * kernels. Expected shape: the scalarized-vector-style programs speed
+ * up noticeably (the paper saw arc2d 2.15x, gmtry 8.68x, vpenta 1.29x,
+ * simple 1.13x); most others barely move because their hit rates were
+ * already high.
+ */
+
+#include "common.hh"
+#include "suite/corpus.hh"
+#include "suite/kernels.hh"
+
+namespace memoria {
+namespace {
+
+void
+row(TextTable &t, const std::string &name, const OptimizedProgram &opt,
+    const CacheConfig &cfg)
+{
+    Performance perf = simulatePerformance(opt, cfg);
+    t.addRow({name, TextTable::num(perf.origCycles, 0),
+              TextTable::num(perf.finalCycles, 0),
+              TextTable::num(perf.speedup(), 2)});
+}
+
+int
+benchMain()
+{
+    CacheConfig cfg = CacheConfig::rs6000();
+
+    banner("Table 3 (kernels): paper-studied programs, simulated");
+    TextTable k({"program", "orig cycles", "transformed", "speedup"});
+    row(k, "matmul (IKJ input)",
+        optimizeProgram(makeMatmul("IKJ", 96), paperModel()), cfg);
+    row(k, "cholesky (KIJ input)",
+        optimizeProgram(makeCholeskyKIJ(128), paperModel()), cfg);
+    row(k, "adi/scalarized",
+        optimizeProgram(makeAdiScalarized(128), paperModel()), cfg);
+    row(k, "gmtry (row sweep)",
+        optimizeProgram(makeGmtry(128), paperModel()), cfg);
+    row(k, "simple (vectorizable)",
+        optimizeProgram(makeSimpleHydro(128), paperModel()), cfg);
+    row(k, "vpenta (scalarized)",
+        optimizeProgram(makeVpenta(128), paperModel()), cfg);
+    row(k, "erlebacher (distributed)",
+        optimizeProgram(makeErlebacherDistributed(24), paperModel()),
+        cfg);
+    row(k, "jacobi (bad order)",
+        optimizeProgram(makeJacobiBadOrder(128), paperModel()), cfg);
+    std::cout << k.str();
+
+    banner("Table 3 (corpus): programs with any change, simulated");
+    TextTable t({"program", "orig cycles", "transformed", "speedup"});
+    for (const auto &spec : corpusSpecs()) {
+        if (spec.nests == 0)
+            continue;
+        Program p = buildCorpusProgram(spec, 32);
+        OptimizedProgram opt = optimizeProgram(p, paperModel());
+        if (!opt.anyChanged)
+            continue;
+        row(t, spec.name, opt, cfg);
+    }
+    std::cout << t.str();
+    std::cout << "\npaper shape: significant speedups concentrate in "
+                 "scalarized-vector programs; no program degrades by "
+                 "more than ~2%.\n";
+    return 0;
+}
+
+} // namespace
+} // namespace memoria
+
+int
+main()
+{
+    return memoria::benchMain();
+}

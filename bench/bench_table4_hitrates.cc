@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Table 4: simulated cache hit rates (cold misses excluded).
+ *
+ * For every corpus program: hit rates of the optimized procedures and
+ * the whole program, original vs final, on cache1 (RS/6000: 64KB 4-way
+ * 128B) and cache2 (i860: 8KB 2-way 32B). Expected shape: whole-program
+ * rates are high to begin with (small data sets); improvements are
+ * larger inside the optimized procedures and on the smaller cache.
+ */
+
+#include "common.hh"
+#include "suite/corpus.hh"
+
+namespace memoria {
+namespace {
+
+int
+benchMain()
+{
+    banner("Table 4: simulated hit rates, cold misses excluded");
+    TextTable t({"program", "c1 opt orig", "c1 opt final",
+                 "c2 opt orig", "c2 opt final", "c1 whole orig",
+                 "c1 whole final", "c2 whole orig", "c2 whole final"});
+
+    CacheConfig c1 = CacheConfig::rs6000();
+    CacheConfig c2 = CacheConfig::i860();
+
+    std::string group;
+    for (const auto &spec : corpusSpecs()) {
+        if (spec.nests == 0)
+            continue;
+        if (spec.group != group) {
+            group = spec.group;
+            t.addRule();
+        }
+        Program p = buildCorpusProgram(spec, 32);
+        OptimizedProgram opt = optimizeProgram(p, paperModel());
+        HitRates r1 = simulateHitRates(opt, c1);
+        HitRates r2 = simulateHitRates(opt, c2);
+        t.addRow({spec.name, TextTable::num(r1.optOrig, 1),
+                  TextTable::num(r1.optFinal, 1),
+                  TextTable::num(r2.optOrig, 1),
+                  TextTable::num(r2.optFinal, 1),
+                  TextTable::num(r1.wholeOrig, 2),
+                  TextTable::num(r1.wholeFinal, 2),
+                  TextTable::num(r2.wholeOrig, 2),
+                  TextTable::num(r2.wholeFinal, 2)});
+    }
+    std::cout << t.str();
+    std::cout << "\npaper shape: whole-program rates mostly high and "
+                 "barely moved on the 64KB cache; the 8KB cache and "
+                 "the optimized procedures show the real gains (e.g. "
+                 "arc2d 68.3 -> 91.9 on cache2).\n";
+    return 0;
+}
+
+} // namespace
+} // namespace memoria
+
+int
+main()
+{
+    return memoria::benchMain();
+}

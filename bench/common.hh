@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Shared helpers for the benchmark harnesses.
+ *
+ * Every binary in bench/ regenerates one table or figure from the
+ * paper's evaluation section and prints it in a comparable layout.
+ */
+
+#ifndef MEMORIA_BENCH_COMMON_HH
+#define MEMORIA_BENCH_COMMON_HH
+
+#include <iostream>
+#include <string>
+
+#include "driver/memoria.hh"
+#include "model/params.hh"
+#include "support/table.hh"
+
+namespace memoria {
+
+/** The paper's machine-independent model setting: cls counts elements
+ *  on a 32-byte line (4 doubles), as in the Figure 2/3/7 examples. */
+inline ModelParams
+paperModel()
+{
+    ModelParams p;
+    p.lineBytes = 32;
+    return p;
+}
+
+/** Print a titled section. */
+inline void
+banner(const std::string &title)
+{
+    std::cout << "\n== " << title << " ==\n\n";
+}
+
+} // namespace memoria
+
+#endif // MEMORIA_BENCH_COMMON_HH

@@ -1,0 +1,108 @@
+#include "cachesim/cache.hh"
+
+#include "support/logging.hh"
+
+namespace memoria {
+
+CacheConfig
+CacheConfig::rs6000()
+{
+    CacheConfig c;
+    c.name = "cache1 (RS/6000 64KB 4-way 128B)";
+    c.sizeBytes = 64 * 1024;
+    c.associativity = 4;
+    c.lineBytes = 128;
+    return c;
+}
+
+CacheConfig
+CacheConfig::i860()
+{
+    CacheConfig c;
+    c.name = "cache2 (i860 8KB 2-way 32B)";
+    c.sizeBytes = 8 * 1024;
+    c.associativity = 2;
+    c.lineBytes = 32;
+    return c;
+}
+
+double
+CacheStats::hitRate() const
+{
+    return accesses == 0 ? 100.0 : 100.0 * hits / accesses;
+}
+
+double
+CacheStats::hitRateWarm() const
+{
+    uint64_t warm = accesses - coldMisses;
+    return warm == 0 ? 100.0 : 100.0 * hits / warm;
+}
+
+Cache::Cache(CacheConfig config) : config_(std::move(config))
+{
+    MEMORIA_ASSERT(config_.lineBytes > 0 &&
+                       (config_.lineBytes & (config_.lineBytes - 1)) == 0,
+                   "line size must be a power of two");
+    MEMORIA_ASSERT(config_.numSets() > 0 &&
+                       (config_.numSets() & (config_.numSets() - 1)) == 0,
+                   "set count must be a power of two");
+    while ((1 << lineShift_) < config_.lineBytes)
+        ++lineShift_;
+    ways_.assign(config_.numSets() * config_.associativity, Way{});
+}
+
+void
+Cache::access(uint64_t addr, int size, bool isWrite)
+{
+    (void)size;
+    (void)isWrite;
+    probe(addr);
+}
+
+bool
+Cache::probe(uint64_t addr)
+{
+    uint64_t line = addr >> lineShift_;
+    uint64_t set = line & (config_.numSets() - 1);
+    uint64_t tag = line >> 1;  // keep full line id as tag (simpler)
+    (void)tag;
+
+    Way *base = &ways_[set * config_.associativity];
+    ++clock_;
+    ++stats_.accesses;
+
+    Way *victim = base;
+    for (int w = 0; w < config_.associativity; ++w) {
+        Way &way = base[w];
+        if (way.valid && way.tag == line) {
+            way.lastUse = clock_;
+            ++stats_.hits;
+            return true;
+        }
+        if (!way.valid) {
+            victim = &way;
+        } else if (victim->valid && way.lastUse < victim->lastUse) {
+            victim = &way;
+        }
+    }
+
+    ++stats_.misses;
+    if (touchedLines_.insert(line).second)
+        ++stats_.coldMisses;
+    victim->valid = true;
+    victim->tag = line;
+    victim->lastUse = clock_;
+    return false;
+}
+
+void
+Cache::reset()
+{
+    stats_ = CacheStats{};
+    touchedLines_.clear();
+    ways_.assign(ways_.size(), Way{});
+    clock_ = 0;
+}
+
+} // namespace memoria

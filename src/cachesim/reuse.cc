@@ -1,0 +1,105 @@
+#include "cachesim/reuse.hh"
+
+#include "support/logging.hh"
+
+namespace memoria {
+
+ReuseDistanceAnalyzer::ReuseDistanceAnalyzer(int lineBytes)
+{
+    MEMORIA_ASSERT(lineBytes > 0 &&
+                       (lineBytes & (lineBytes - 1)) == 0,
+                   "line size must be a power of two");
+    while ((1 << lineShift_) < lineBytes)
+        ++lineShift_;
+}
+
+void
+ReuseDistanceAnalyzer::fenwickAdd(size_t pos, int64_t delta)
+{
+    for (size_t i = pos + 1; i <= fenwick_.size(); i += i & (~i + 1))
+        fenwick_[i - 1] += static_cast<uint64_t>(delta);
+}
+
+uint64_t
+ReuseDistanceAnalyzer::fenwickSum(size_t pos) const
+{
+    uint64_t sum = 0;
+    for (size_t i = pos + 1; i > 0; i -= i & (~i + 1))
+        sum += fenwick_[i - 1];
+    return sum;
+}
+
+void
+ReuseDistanceAnalyzer::access(uint64_t addr, int size, bool isWrite)
+{
+    (void)size;
+    (void)isWrite;
+    uint64_t line = addr >> lineShift_;
+    uint64_t now = clock_++;
+
+    // Grow the Fenwick tree (timestamps are append-only).
+    if (live_.size() <= now) {
+        size_t target = std::max<size_t>(64, live_.size() * 2);
+        if (target <= now)
+            target = now + 1;
+        // Rebuild the Fenwick tree at the new size.
+        std::vector<uint8_t> oldLive = std::move(live_);
+        live_.assign(target, 0);
+        std::copy(oldLive.begin(), oldLive.end(), live_.begin());
+        fenwick_.assign(target, 0);
+        for (size_t t = 0; t < oldLive.size(); ++t)
+            if (live_[t])
+                fenwickAdd(t, 1);
+    }
+
+    auto it = lastUse_.find(line);
+    if (it == lastUse_.end()) {
+        ++cold_;
+    } else {
+        uint64_t prev = it->second;
+        // Distinct lines touched strictly after prev: live stamps in
+        // (prev, now).
+        uint64_t upto = now > 0 ? fenwickSum(now - 1) : 0;
+        uint64_t beforeEq = fenwickSum(prev);
+        uint64_t dist = upto - beforeEq;
+        ++total_;
+        ++exact_[dist];
+        int bucket = 0;
+        while ((1ULL << (bucket + 1)) <= (dist | 1))
+            ++bucket;
+        if (histo_.size() <= static_cast<size_t>(bucket))
+            histo_.resize(bucket + 1, 0);
+        ++histo_[bucket];
+        // The line's previous stamp is no longer its latest use.
+        live_[prev] = 0;
+        fenwickAdd(prev, -1);
+    }
+    lastUse_[line] = now;
+    live_[now] = 1;
+    fenwickAdd(now, 1);
+}
+
+double
+ReuseDistanceAnalyzer::missRatio(uint64_t capacityLines) const
+{
+    if (total_ == 0)
+        return 0.0;
+    uint64_t misses = 0;
+    for (auto it = exact_.lower_bound(capacityLines);
+         it != exact_.end(); ++it)
+        misses += it->second;
+    return static_cast<double>(misses) / static_cast<double>(total_);
+}
+
+double
+ReuseDistanceAnalyzer::meanDistance() const
+{
+    if (total_ == 0)
+        return 0.0;
+    double acc = 0.0;
+    for (const auto &[d, c] : exact_)
+        acc += static_cast<double>(d) * static_cast<double>(c);
+    return acc / static_cast<double>(total_);
+}
+
+} // namespace memoria

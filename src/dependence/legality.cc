@@ -1,0 +1,78 @@
+#include "dependence/legality.hh"
+
+namespace memoria {
+
+bool
+permutationLegal(const std::vector<DepEdge> &edges,
+                 const std::vector<int> &perm)
+{
+    size_t depth = perm.size();
+    for (const auto &e : edges) {
+        if (!e.constrains())
+            continue;
+        DepVector v = e.vec;
+        if (v.levels.size() < depth)
+            continue;  // not governed by this nest's full chain
+        DepVector permuted;
+        permuted.levels.reserve(v.levels.size());
+        for (size_t i = 0; i < depth; ++i)
+            permuted.levels.push_back(v.levels[perm[i]]);
+        for (size_t i = depth; i < v.levels.size(); ++i)
+            permuted.levels.push_back(v.levels[i]);
+        if (permuted.maybeNegative())
+            return false;
+    }
+    return true;
+}
+
+bool
+prefixFeasible(const std::vector<DepEdge> &edges,
+               const std::vector<int> &prefix)
+{
+    for (const auto &e : edges) {
+        if (!e.constrains())
+            continue;
+        bool resolved = false;
+        for (int p : prefix) {
+            if (p >= static_cast<int>(e.vec.levels.size()))
+                continue;
+            const DepLevel &l = e.vec.levels[p];
+            if (l.isLT()) {
+                resolved = true;
+                break;  // guaranteed positive already
+            }
+            if (l.canGT())
+                return false;  // could go negative at this position
+            // Level is '=' (or '<='): keep scanning.
+        }
+        (void)resolved;
+    }
+    return true;
+}
+
+bool
+reversalLegal(const std::vector<DepEdge> &edges, int level)
+{
+    for (const auto &e : edges) {
+        if (!e.constrains())
+            continue;
+        if (level >= static_cast<int>(e.vec.levels.size()))
+            continue;
+        if (e.vec.withLevelReversed(level).maybeNegative())
+            return false;
+    }
+    return true;
+}
+
+bool
+definitelyCarriedBefore(const DepEdge &edge, int level)
+{
+    for (int k = 0; k < level &&
+                    k < static_cast<int>(edge.vec.levels.size()); ++k) {
+        if (!edge.vec.levels[k].canEQ())
+            return true;
+    }
+    return false;
+}
+
+} // namespace memoria

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Dependence-based legality tests for the loop transformations.
+ *
+ * Legality follows the classic rules the paper builds on: a permutation
+ * is legal when every permuted dependence vector stays lexicographically
+ * non-negative; reversal is legal when dependences remain carried on
+ * outer loops; distribution must keep recurrences (dependence cycles)
+ * within one partition; fusion must not reverse any inter-nest
+ * dependence [War84].
+ */
+
+#ifndef MEMORIA_DEPENDENCE_LEGALITY_HH
+#define MEMORIA_DEPENDENCE_LEGALITY_HH
+
+#include <vector>
+
+#include "dependence/graph.hh"
+
+namespace memoria {
+
+/**
+ * True when permuting the outermost `depth` levels of a perfect nest by
+ * `perm` (out[i] = original level perm[i]) keeps every constraining
+ * dependence lexicographically non-negative.
+ */
+bool permutationLegal(const std::vector<DepEdge> &edges,
+                      const std::vector<int> &perm);
+
+/**
+ * True when the partial outer-to-inner placement `prefix` (original
+ * level indices) can still be completed into a legal permutation: no
+ * dependence can become negative within the placed prefix.
+ */
+bool prefixFeasible(const std::vector<DepEdge> &edges,
+                    const std::vector<int> &prefix);
+
+/**
+ * True when reversing the iteration direction of level `level` keeps
+ * every constraining dependence lexicographically non-negative.
+ */
+bool reversalLegal(const std::vector<DepEdge> &edges, int level);
+
+/**
+ * True when the edge is definitely carried at a level shallower than
+ * `level` (0-based) — such edges are dropped when building the
+ * recurrence graph for distribution of the loop at `level`.
+ */
+bool definitelyCarriedBefore(const DepEdge &edge, int level);
+
+} // namespace memoria
+
+#endif // MEMORIA_DEPENDENCE_LEGALITY_HH

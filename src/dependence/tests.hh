@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Data dependence testing between array references.
+ *
+ * Implements the practical battery the paper's infrastructure (ParaScope
+ * [GKT91]) relies on: ZIV, strong SIV with exact distances, and a
+ * direction-vector Banerjee/GCD test for everything else. Opaque
+ * subscripts (index arrays, linearized symbolic subscripts) degrade to
+ * all-'*' vectors — the imprecision Section 5.3 reports for Cgm/Mg3d.
+ *
+ * Direction convention: a vector is expressed source -> sink, where
+ * DirLT at level l means the source iteration of loop l precedes the
+ * sink iteration. Directions are in *iteration* order (negative-step
+ * loops flip the index-value relation).
+ */
+
+#ifndef MEMORIA_DEPENDENCE_TESTS_HH
+#define MEMORIA_DEPENDENCE_TESTS_HH
+
+#include <vector>
+
+#include "dependence/vector.hh"
+#include "ir/program.hh"
+#include "ir/walk.hh"
+
+namespace memoria {
+
+/**
+ * All feasible dependence vectors from reference A to reference B over
+ * their common enclosing loops.
+ *
+ * loopsA / loopsB are each reference's enclosing loops, outermost first;
+ * the longest common prefix (by node identity) defines the vector
+ * length. The result enumerates single-direction vectors (exact
+ * distances where a strong-SIV subscript pinned them); it includes
+ * lexicographically negative vectors, which callers reinterpret as
+ * B -> A dependences.
+ *
+ * When `sameOccurrence` is true (a reference paired with itself) the
+ * all-equals vector is excluded, since it denotes the identical access.
+ */
+std::vector<DepVector>
+dependenceVectors(const Program &prog, const ArrayRef &refA,
+                  const std::vector<Node *> &loopsA, const ArrayRef &refB,
+                  const std::vector<Node *> &loopsB,
+                  bool sameOccurrence = false);
+
+} // namespace memoria
+
+#endif // MEMORIA_DEPENDENCE_TESTS_HH

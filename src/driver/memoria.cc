@@ -1,0 +1,239 @@
+#include "driver/memoria.hh"
+
+#include <map>
+#include <set>
+
+#include "model/loopcost.hh"
+#include "support/logging.hh"
+#include "transform/permute.hh"
+
+namespace memoria {
+
+namespace {
+
+/** Statement-id set of one subtree. */
+std::set<int>
+stmtIds(const Node &n)
+{
+    std::set<int> out;
+    if (n.isStmt()) {
+        out.insert(n.stmt.id);
+        return out;
+    }
+    for (const auto &kid : n.body) {
+        std::set<int> sub = stmtIds(*kid);
+        out.insert(sub.begin(), sub.end());
+    }
+    return out;
+}
+
+/** Build the ideal program: force memory order everywhere, legality
+ *  ignored (Section 5.2's "ideal" column). */
+void
+forceIdeal(Program &prog, const ModelParams &params)
+{
+    std::function<void(Node *, std::vector<Node *>)> walk =
+        [&](Node *node, std::vector<Node *> outer) {
+            if (!node->isLoop())
+                return;
+            if (loopDepth(*node) >= 2) {
+                NestAnalysis na(prog, node, params, outer);
+                permuteIgnoringLegality(na, node);
+            }
+            std::vector<Node *> chain = perfectChain(node);
+            std::vector<Node *> inner = outer;
+            for (Node *c : chain)
+                inner.push_back(c);
+            for (auto &kid : chain.back()->body)
+                if (kid->isLoop())
+                    walk(kid.get(), inner);
+        };
+    for (auto &n : prog.body)
+        walk(n.get(), {});
+}
+
+/** Evaluate orig/new cost ratio at a concrete size; never below 1 when
+ *  the transformation never hurts (guards tiny numeric noise). */
+double
+costRatio(const Poly &orig, const Poly &now, double evalN)
+{
+    double o = orig.eval(evalN);
+    double t = now.eval(evalN);
+    if (t <= 0.0 || o <= 0.0)
+        return 1.0;
+    return o / t;
+}
+
+} // namespace
+
+AccessStats
+programAccessStats(Program &prog, const ModelParams &params)
+{
+    AccessStats total;
+    for (auto &n : prog.body) {
+        if (!n->isLoop() || loopDepth(*n) < 2)
+            continue;
+        NestAnalysis na(prog, n.get(), params);
+        total += gatherAccessStats(na);
+    }
+    return total;
+}
+
+Poly
+programNestCost(Program &prog, const ModelParams &params)
+{
+    Poly total;
+    for (auto &n : prog.body) {
+        if (!n->isLoop() || loopDepth(*n) < 2)
+            continue;
+        NestAnalysis na(prog, n.get(), params);
+        total += nestCost(na);
+    }
+    return total;
+}
+
+OptimizedProgram
+optimizeProgram(const Program &input, const ModelParams &params,
+                bool applyFusion, double evalN)
+{
+    OptimizedProgram out;
+    out.original = input.clone();
+    out.transformed = input.clone();
+    out.ideal = input.clone();
+
+    out.compound =
+        compoundTransform(out.transformed, params, applyFusion);
+    forceIdeal(out.ideal, params);
+
+    // ----- Table 2 statistics ------------------------------------
+    ProgramReport &rep = out.report;
+    rep.name = input.name;
+    rep.loops = out.compound.totalLoops;
+    rep.nests = out.compound.totalNests;
+    double sumRf = 0, sumRi = 0, sumRfW = 0, sumRiW = 0, sumW = 0;
+    for (const auto &nr : out.compound.nests) {
+        if (nr.origMemoryOrder)
+            ++rep.nestsOrig;
+        else if (nr.finalMemoryOrder)
+            ++rep.nestsPerm;
+        else
+            ++rep.nestsFail;
+
+        if (nr.origInnerMemoryOrder)
+            ++rep.innerOrig;
+        else if (nr.finalInnerMemoryOrder)
+            ++rep.innerPerm;
+        else
+            ++rep.innerFail;
+
+        if (!nr.finalMemoryOrder) {
+            if (nr.fail == PermuteFail::Bounds)
+                ++rep.failBounds;
+            else
+                ++rep.failDeps;
+        }
+
+        double rf = costRatio(nr.origCost, nr.finalCost, evalN);
+        double ri = costRatio(nr.origCost, nr.idealCost, evalN);
+        double w = nr.depth;
+        sumRf += rf;
+        sumRi += ri;
+        sumRfW += rf * w;
+        sumRiW += ri * w;
+        sumW += w;
+    }
+    if (!out.compound.nests.empty()) {
+        double n = static_cast<double>(out.compound.nests.size());
+        rep.ratioFinal = sumRf / n;
+        rep.ratioIdeal = sumRi / n;
+        rep.ratioFinalWt = sumW > 0 ? sumRfW / sumW : 1.0;
+        rep.ratioIdealWt = sumW > 0 ? sumRiW / sumW : 1.0;
+    }
+    rep.fusion = out.compound.fusion;
+    rep.distributions = out.compound.distributions;
+    rep.resultingNests = out.compound.resultingNests;
+
+    // ----- changed-nest mapping (optimized procedures) ------------
+    std::vector<std::set<int>> origSets, finalSets;
+    for (const auto &n : out.original.body)
+        origSets.push_back(stmtIds(*n));
+    for (const auto &n : out.transformed.body)
+        finalSets.push_back(stmtIds(*n));
+
+    std::vector<bool> origChanged(out.original.body.size(), false);
+    std::set<size_t> finalRelated;
+    for (size_t o = 0; o < origSets.size(); ++o) {
+        std::vector<size_t> related;
+        for (size_t f = 0; f < finalSets.size(); ++f) {
+            for (int id : origSets[o]) {
+                if (finalSets[f].count(id)) {
+                    related.push_back(f);
+                    break;
+                }
+            }
+        }
+        bool changed =
+            related.size() != 1 ||
+            finalSets[related[0]] != origSets[o] ||
+            !structurallyEqual(*out.original.body[o],
+                               *out.transformed.body[related[0]]);
+        if (changed && !origSets[o].empty()) {
+            origChanged[o] = true;
+            finalRelated.insert(related.begin(), related.end());
+        }
+    }
+
+    out.origOpt.name = input.name + "_orig_opt";
+    out.finalOpt.name = input.name + "_final_opt";
+    out.origOpt.vars = out.original.vars;
+    out.origOpt.arrays = out.original.arrays;
+    out.finalOpt.vars = out.transformed.vars;
+    out.finalOpt.arrays = out.transformed.arrays;
+    for (size_t o = 0; o < origChanged.size(); ++o)
+        if (origChanged[o])
+            out.origOpt.body.push_back(cloneNode(*out.original.body[o]));
+    for (size_t f : finalRelated)
+        out.finalOpt.body.push_back(
+            cloneNode(*out.transformed.body[f]));
+    out.anyChanged = !out.origOpt.body.empty();
+
+    // ----- Table 5 access statistics -------------------------------
+    out.accessOrig = programAccessStats(out.original, params);
+    out.accessFinal = programAccessStats(out.transformed, params);
+    out.accessIdeal = programAccessStats(out.ideal, params);
+
+    return out;
+}
+
+HitRates
+simulateHitRates(const OptimizedProgram &opt, const CacheConfig &config)
+{
+    HitRates rates;
+    rates.wholeOrig =
+        runWithCache(opt.original, config).cache.hitRateWarm();
+    rates.wholeFinal =
+        runWithCache(opt.transformed, config).cache.hitRateWarm();
+    if (opt.anyChanged) {
+        rates.optOrig =
+            runWithCache(opt.origOpt, config).cache.hitRateWarm();
+        rates.optFinal =
+            runWithCache(opt.finalOpt, config).cache.hitRateWarm();
+    } else {
+        rates.optOrig = rates.optFinal = rates.wholeOrig;
+    }
+    return rates;
+}
+
+Performance
+simulatePerformance(const OptimizedProgram &opt,
+                    const CacheConfig &config,
+                    const MachineModel &machine)
+{
+    Performance perf;
+    perf.origCycles = runWithCache(opt.original, config, machine).cycles;
+    perf.finalCycles =
+        runWithCache(opt.transformed, config, machine).cycles;
+    return perf;
+}
+
+} // namespace memoria

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * The end-to-end Memoria driver.
+ *
+ * Mirrors the paper's experimental pipeline: take a program, run the
+ * Compound transformation, and collect everything Section 5 reports —
+ * per-program memory-order statistics (Table 2), simulated cache hit
+ * rates for the optimized nests and the whole program on the two cache
+ * configurations (Table 4), simulated performance (Tables 1/3), and the
+ * data-access properties of the original / final / ideal versions
+ * (Table 5).
+ */
+
+#ifndef MEMORIA_DRIVER_MEMORIA_HH
+#define MEMORIA_DRIVER_MEMORIA_HH
+
+#include <string>
+#include <vector>
+
+#include "interp/interp.hh"
+#include "model/access.hh"
+#include "transform/compound.hh"
+
+namespace memoria {
+
+/** Table 2 row plus the supporting detail. */
+struct ProgramReport
+{
+    std::string name;
+
+    int loops = 0;
+    int nests = 0;
+
+    // Memory order for whole nests (percent numerators).
+    int nestsOrig = 0;  ///< originally in memory order
+    int nestsPerm = 0;  ///< transformed into memory order
+    int nestsFail = 0;  ///< still not in memory order
+
+    // Memory order for the inner loop only.
+    int innerOrig = 0;
+    int innerPerm = 0;
+    int innerFail = 0;
+
+    // Failure breakdown (Section 5.2).
+    int failDeps = 0;
+    int failBounds = 0;
+
+    FuseStats fusion;
+    int distributions = 0;
+    int resultingNests = 0;
+
+    /** Average original/final and original/ideal LoopCost ratios,
+     *  evaluated at the given symbolic size. */
+    double ratioFinal = 1.0;
+    double ratioIdeal = 1.0;
+    /** Nesting-depth-weighted variants (Table 5). */
+    double ratioFinalWt = 1.0;
+    double ratioIdealWt = 1.0;
+};
+
+/** Result of optimizing one program. */
+struct OptimizedProgram
+{
+    Program original;
+    Program transformed;
+    Program ideal;  ///< memory order forced, legality ignored
+
+    CompoundResult compound;
+    ProgramReport report;
+
+    /** Sub-programs containing only the nests the optimizer changed
+     *  ("optimized procedures" in Table 4). */
+    Program origOpt;
+    Program finalOpt;
+    bool anyChanged = false;
+
+    AccessStats accessOrig;
+    AccessStats accessFinal;
+    AccessStats accessIdeal;
+};
+
+/** Run the full pipeline on one program. */
+OptimizedProgram optimizeProgram(const Program &input,
+                                 const ModelParams &params,
+                                 bool applyFusion = true,
+                                 double evalN = 64.0);
+
+/** Simulated hit rates, cold misses excluded (Table 4). */
+struct HitRates
+{
+    double optOrig = 100.0;
+    double optFinal = 100.0;
+    double wholeOrig = 100.0;
+    double wholeFinal = 100.0;
+};
+
+/** Simulate one optimized program against a cache configuration. */
+HitRates simulateHitRates(const OptimizedProgram &opt,
+                          const CacheConfig &config);
+
+/** Simulated performance (Tables 1 and 3). */
+struct Performance
+{
+    double origCycles = 0.0;
+    double finalCycles = 0.0;
+
+    double
+    speedup() const
+    {
+        return finalCycles > 0.0 ? origCycles / finalCycles : 1.0;
+    }
+};
+
+Performance simulatePerformance(const OptimizedProgram &opt,
+                                const CacheConfig &config,
+                                const MachineModel &machine = {});
+
+/** Access statistics of a whole program (every depth>=2 nest). */
+AccessStats programAccessStats(Program &prog, const ModelParams &params);
+
+/** Aggregate LoopCost (nestCost summed over depth>=2 nests). */
+Poly programNestCost(Program &prog, const ModelParams &params);
+
+} // namespace memoria
+
+#endif // MEMORIA_DRIVER_MEMORIA_HH

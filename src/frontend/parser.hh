@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Text front end for the loop-nest language.
+ *
+ * Parses the Fortran-flavoured surface syntax the pretty printer
+ * emits, closing the loop: programs can be written in plain text files,
+ * optimized with the CLI, and printed back. The grammar is the subset
+ * of Fortran 77 the paper's algorithms operate on:
+ *
+ *   PROGRAM name
+ *     PARAMETER N = 64
+ *     REAL*8 A(N,N), X(N)
+ *     DO I = 1, N [, step]
+ *       A(I,1) = (X(I) + 2.5) * A(I-1,1)
+ *     ENDDO
+ *   END
+ *
+ * Expressions support + - * /, unary minus, SQRT/MIN/MAX/MOD, array
+ * references and numeric literals. Subscripts written in [brackets]
+ * parse as opaque (unanalyzable) subscripts. Purely affine arithmetic
+ * over index variables folds into affine Index leaves, so parsing a
+ * printed program reaches a print fixpoint.
+ */
+
+#ifndef MEMORIA_FRONTEND_PARSER_HH
+#define MEMORIA_FRONTEND_PARSER_HH
+
+#include <optional>
+#include <string>
+
+#include "ir/program.hh"
+
+namespace memoria {
+
+/** A parse failure, with a human-readable location. */
+struct ParseError
+{
+    int line = 0;
+    std::string message;
+};
+
+/**
+ * Parse one program. Returns the program, or nullopt with `error`
+ * filled in (when provided).
+ */
+std::optional<Program> parseProgram(const std::string &source,
+                                    ParseError *error = nullptr);
+
+} // namespace memoria
+
+#endif // MEMORIA_FRONTEND_PARSER_HH

@@ -1,0 +1,282 @@
+#include "interp/interp.hh"
+
+#include <cmath>
+#include <cstring>
+
+#include "support/logging.hh"
+
+namespace memoria {
+
+namespace {
+
+/** Deterministic small integer-valued initial data. Using integers in a
+ *  narrow range keeps floating-point arithmetic exact, so reordered
+ *  evaluation in transformed programs cannot mask (or fake) semantic
+ *  differences. */
+double
+initialValue(ArrayId a, uint64_t index)
+{
+    uint64_t h = (static_cast<uint64_t>(a) + 1) * 0x9e3779b97f4a7c15ULL;
+    h ^= (index + 1) * 0xbf58476d1ce4e5b9ULL;
+    h ^= h >> 29;
+    return static_cast<double>(1 + (h % 7));
+}
+
+constexpr uint64_t kBaseAddress = 0x100000;
+
+} // namespace
+
+Interpreter::Interpreter(const Program &prog) : prog_(prog)
+{
+    env_.assign(prog_.vars.size(), 0);
+    for (size_t v = 0; v < prog_.vars.size(); ++v)
+        if (prog_.vars[v].kind == VarKind::Param)
+            env_[v] = prog_.vars[v].paramValue;
+    allocate();
+}
+
+void
+Interpreter::setParam(const std::string &name, int64_t value)
+{
+    MEMORIA_ASSERT(!ran_, "setParam after run");
+    for (size_t v = 0; v < prog_.vars.size(); ++v) {
+        if (prog_.vars[v].kind == VarKind::Param &&
+            prog_.vars[v].name == name) {
+            env_[v] = value;
+            allocate();
+            return;
+        }
+    }
+    fatal("unknown parameter '" + name + "'");
+}
+
+void
+Interpreter::allocate()
+{
+    data_.clear();
+    bases_.clear();
+    extents_.clear();
+    uint64_t next = kBaseAddress;
+    for (size_t a = 0; a < prog_.arrays.size(); ++a) {
+        const ArrayDecl &decl = prog_.arrays[a];
+        std::vector<int64_t> ext;
+        uint64_t elems = 1;
+        for (const auto &e : decl.extents) {
+            int64_t x = evalAffine(e);
+            MEMORIA_ASSERT(x > 0, "non-positive extent for array "
+                                      << decl.name);
+            ext.push_back(x);
+            elems *= static_cast<uint64_t>(x);
+        }
+        extents_.push_back(std::move(ext));
+        bases_.push_back(next);
+        next += elems * decl.elemSize;
+
+        std::vector<double> buf(elems);
+        for (uint64_t i = 0; i < elems; ++i)
+            buf[i] = initialValue(static_cast<ArrayId>(a), i);
+        data_.push_back(std::move(buf));
+    }
+}
+
+int64_t
+Interpreter::evalAffine(const AffineExpr &e) const
+{
+    return e.eval([this](VarId v) { return env_[v]; });
+}
+
+int64_t
+Interpreter::paramValue(VarId v) const
+{
+    MEMORIA_ASSERT(prog_.varInfo(v).kind == VarKind::Param,
+                   "paramValue of a loop variable");
+    return env_[v];
+}
+
+uint64_t
+Interpreter::elementIndex(const ArrayRef &ref, MemoryListener *listener)
+{
+    const auto &ext = extents_[ref.array];
+    MEMORIA_ASSERT(ref.subs.size() == ext.size(),
+                   "rank mismatch on array "
+                       << prog_.arrayDecl(ref.array).name);
+    uint64_t index = 0;
+    uint64_t stride = 1;
+    for (size_t k = 0; k < ref.subs.size(); ++k) {
+        int64_t s;
+        if (ref.subs[k].isAffine())
+            s = evalAffine(ref.subs[k].affine);
+        else
+            s = std::llround(evalValue(ref.subs[k].opaque, listener));
+        MEMORIA_ASSERT(s >= 1 && s <= ext[k],
+                       "subscript " << s << " out of bounds 1.."
+                                    << ext[k] << " on array "
+                                    << prog_.arrayDecl(ref.array).name);
+        index += static_cast<uint64_t>(s - 1) * stride;
+        stride *= static_cast<uint64_t>(ext[k]);
+    }
+    return index;
+}
+
+double
+Interpreter::evalValue(const ValuePtr &v, MemoryListener *listener)
+{
+    MEMORIA_ASSERT(v != nullptr, "null value");
+    switch (v->op) {
+      case ValOp::Const:
+        return v->constant;
+      case ValOp::Index:
+        return static_cast<double>(evalAffine(v->index));
+      case ValOp::Load: {
+        uint64_t idx = elementIndex(v->load, listener);
+        const ArrayDecl &decl = prog_.arrayDecl(v->load.array);
+        if (!decl.isRegister) {
+            ++stats_.memRefs;
+            if (listener)
+                listener->access(bases_[v->load.array] +
+                                     idx * decl.elemSize,
+                                 decl.elemSize, false);
+        }
+        return data_[v->load.array][idx];
+      }
+      case ValOp::Add:
+        return evalValue(v->kids[0], listener) +
+               evalValue(v->kids[1], listener);
+      case ValOp::Sub:
+        return evalValue(v->kids[0], listener) -
+               evalValue(v->kids[1], listener);
+      case ValOp::Mul:
+        return evalValue(v->kids[0], listener) *
+               evalValue(v->kids[1], listener);
+      case ValOp::Div:
+        return evalValue(v->kids[0], listener) /
+               evalValue(v->kids[1], listener);
+      case ValOp::Neg:
+        return -evalValue(v->kids[0], listener);
+      case ValOp::Sqrt:
+        return std::sqrt(evalValue(v->kids[0], listener));
+      case ValOp::Min:
+        return std::min(evalValue(v->kids[0], listener),
+                        evalValue(v->kids[1], listener));
+      case ValOp::Max:
+        return std::max(evalValue(v->kids[0], listener),
+                        evalValue(v->kids[1], listener));
+      case ValOp::IMod: {
+        int64_t a = std::llround(evalValue(v->kids[0], listener));
+        int64_t b = std::llround(evalValue(v->kids[1], listener));
+        MEMORIA_ASSERT(b != 0, "MOD by zero");
+        int64_t m = a % b;
+        if (m < 0)
+            m += std::abs(b);
+        return static_cast<double>(m);
+      }
+    }
+    panic("unhandled value op");
+}
+
+void
+Interpreter::execStmt(const Statement &s, MemoryListener *listener)
+{
+    double value = evalValue(s.rhs, listener);
+    uint64_t idx = elementIndex(s.write, listener);
+    const ArrayDecl &decl = prog_.arrayDecl(s.write.array);
+    if (!decl.isRegister) {
+        ++stats_.memRefs;
+        if (listener)
+            listener->access(bases_[s.write.array] + idx * decl.elemSize,
+                             decl.elemSize, true);
+    }
+    data_[s.write.array][idx] = value;
+    ++stats_.stmtsExecuted;
+}
+
+void
+Interpreter::execNode(const Node &n, MemoryListener *listener)
+{
+    if (n.isStmt()) {
+        execStmt(n.stmt, listener);
+        return;
+    }
+    int64_t lb = evalAffine(n.lb);
+    int64_t ub = evalAffine(n.ub);
+    if (n.step > 0) {
+        for (int64_t v = lb; v <= ub; v += n.step) {
+            env_[n.var] = v;
+            for (const auto &kid : n.body)
+                execNode(*kid, listener);
+        }
+    } else {
+        for (int64_t v = lb; v >= ub; v += n.step) {
+            env_[n.var] = v;
+            for (const auto &kid : n.body)
+                execNode(*kid, listener);
+        }
+    }
+}
+
+void
+Interpreter::run(MemoryListener *listener)
+{
+    ran_ = true;
+    for (const auto &n : prog_.body)
+        execNode(*n, listener);
+}
+
+const std::vector<double> &
+Interpreter::arrayData(ArrayId a) const
+{
+    return data_.at(a);
+}
+
+uint64_t
+Interpreter::checksum() const
+{
+    return checksumFirstArrays(data_.size());
+}
+
+uint64_t
+Interpreter::checksumFirstArrays(size_t count) const
+{
+    uint64_t h = 0xcbf29ce484222325ULL;
+    for (size_t a = 0; a < count && a < data_.size(); ++a) {
+        const auto &arr = data_[a];
+        for (double d : arr) {
+            uint64_t bits;
+            static_assert(sizeof(bits) == sizeof(d));
+            std::memcpy(&bits, &d, sizeof(bits));
+            for (int b = 0; b < 8; ++b) {
+                h ^= (bits >> (8 * b)) & 0xff;
+                h *= 0x100000001b3ULL;
+            }
+        }
+    }
+    return h;
+}
+
+RunResult
+runWithCache(const Program &prog, const CacheConfig &config,
+             const MachineModel &machine)
+{
+    Interpreter interp(prog);
+    Cache cache(config);
+    interp.run(&cache);
+
+    RunResult r;
+    r.exec = interp.stats();
+    r.cache = cache.stats();
+    r.cycles = machine.cyclesPerStmt * r.exec.stmtsExecuted +
+               machine.cyclesPerRef * r.exec.memRefs +
+               machine.missPenalty * r.cache.misses;
+    r.checksum = interp.checksum();
+    return r;
+}
+
+uint64_t
+runChecksum(const Program &prog)
+{
+    Interpreter interp(prog);
+    interp.run(nullptr);
+    return interp.checksum();
+}
+
+} // namespace memoria

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Interpreter for the loop-nest IR.
+ *
+ * Executes a Program over real column-major arrays, streaming every
+ * scalar memory access to an optional MemoryListener (typically a cache
+ * simulator). The interpreter serves three purposes:
+ *
+ *  1. semantic validation — the test suite requires transformed
+ *     programs to produce bit-identical array contents;
+ *  2. cache-hit-rate measurement for the paper's Table 4;
+ *  3. a simple cycle model (statement cost + miss penalty) standing in
+ *     for the paper's wall-clock numbers in Tables 1 and 3.
+ */
+
+#ifndef MEMORIA_INTERP_INTERP_HH
+#define MEMORIA_INTERP_INTERP_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cachesim/cache.hh"
+#include "ir/program.hh"
+
+namespace memoria {
+
+/** Execution counters. */
+struct ExecStats
+{
+    uint64_t stmtsExecuted = 0;
+    uint64_t memRefs = 0;
+};
+
+/** Crude latency model for simulated "performance" numbers. */
+struct MachineModel
+{
+    double cyclesPerStmt = 1.0;
+    double cyclesPerRef = 1.0;
+    double missPenalty = 16.0;
+};
+
+/** Executes one program binding. */
+class Interpreter
+{
+  public:
+    explicit Interpreter(const Program &prog);
+
+    /** Override a parameter value before running (by name). */
+    void setParam(const std::string &name, int64_t value);
+
+    /** Execute the whole program, reporting accesses to `listener`. */
+    void run(MemoryListener *listener = nullptr);
+
+    /** Raw data of one array (valid after construction). */
+    const std::vector<double> &arrayData(ArrayId a) const;
+
+    /** FNV-1a checksum over the bit patterns of every array. */
+    uint64_t checksum() const;
+
+    /** Checksum restricted to the first `count` arrays — lets callers
+     *  compare programs that differ only by appended register
+     *  temporaries (scalar replacement, unroll-and-jam). */
+    uint64_t checksumFirstArrays(size_t count) const;
+
+    const ExecStats &stats() const { return stats_; }
+
+    /** Bound value of a parameter. */
+    int64_t paramValue(VarId v) const;
+
+    /** Virtual base address of an array. */
+    uint64_t arrayBase(ArrayId a) const { return bases_.at(a); }
+
+  private:
+    void allocate();
+    void execNode(const Node &n, MemoryListener *listener);
+    void execStmt(const Statement &s, MemoryListener *listener);
+    double evalValue(const ValuePtr &v, MemoryListener *listener);
+    int64_t evalAffine(const AffineExpr &e) const;
+    uint64_t elementIndex(const ArrayRef &ref, MemoryListener *listener);
+
+    const Program &prog_;
+    std::vector<int64_t> env_;            ///< VarId -> current value
+    std::vector<std::vector<double>> data_;
+    std::vector<uint64_t> bases_;
+    std::vector<std::vector<int64_t>> extents_;
+    ExecStats stats_;
+    bool ran_ = false;
+};
+
+/** Result of one simulated execution against a cache. */
+struct RunResult
+{
+    ExecStats exec;
+    CacheStats cache;
+    double cycles = 0.0;
+    uint64_t checksum = 0;
+};
+
+/** Run a program against one cache configuration. */
+RunResult runWithCache(const Program &prog, const CacheConfig &config,
+                       const MachineModel &machine = MachineModel{});
+
+/** Run without a cache, for semantics checks only. */
+uint64_t runChecksum(const Program &prog);
+
+} // namespace memoria
+
+#endif // MEMORIA_INTERP_INTERP_HH

@@ -1,0 +1,148 @@
+#include "ir/printer.hh"
+
+#include <sstream>
+
+#include "support/logging.hh"
+
+namespace memoria {
+
+namespace {
+
+std::function<std::string(VarId)>
+namer(const Program &prog)
+{
+    return [&prog](VarId v) { return prog.varName(v); };
+}
+
+void
+printNodeImpl(const Program &prog, const Node &n, int indent,
+              std::ostringstream &os)
+{
+    std::string pad(2 * indent, ' ');
+    if (n.isStmt()) {
+        os << pad << printRef(prog, n.stmt.write) << " = "
+           << printValue(prog, n.stmt.rhs) << "\n";
+        return;
+    }
+    os << pad << "DO " << prog.varName(n.var) << " = "
+       << n.lb.str(namer(prog)) << ", " << n.ub.str(namer(prog));
+    if (n.step != 1)
+        os << ", " << n.step;
+    os << "\n";
+    for (const auto &kid : n.body)
+        printNodeImpl(prog, *kid, indent + 1, os);
+    os << pad << "ENDDO\n";
+}
+
+} // namespace
+
+std::string
+printRef(const Program &prog, const ArrayRef &ref)
+{
+    std::ostringstream os;
+    os << prog.arrayDecl(ref.array).name << "(";
+    for (size_t i = 0; i < ref.subs.size(); ++i) {
+        if (i)
+            os << ",";
+        const auto &s = ref.subs[i];
+        if (s.isAffine())
+            os << s.affine.str(namer(prog));
+        else
+            os << "[" << printValue(prog, s.opaque) << "]";
+    }
+    os << ")";
+    return os.str();
+}
+
+std::string
+printValue(const Program &prog, const ValuePtr &v)
+{
+    if (!v)
+        return "<null>";
+    std::ostringstream os;
+    switch (v->op) {
+      case ValOp::Const:
+        os << v->constant;
+        break;
+      case ValOp::Load:
+        os << printRef(prog, v->load);
+        break;
+      case ValOp::Index:
+        os << v->index.str(namer(prog));
+        break;
+      case ValOp::Add:
+        os << "(" << printValue(prog, v->kids[0]) << " + "
+           << printValue(prog, v->kids[1]) << ")";
+        break;
+      case ValOp::Sub:
+        os << "(" << printValue(prog, v->kids[0]) << " - "
+           << printValue(prog, v->kids[1]) << ")";
+        break;
+      case ValOp::Mul:
+        os << printValue(prog, v->kids[0]) << "*"
+           << printValue(prog, v->kids[1]);
+        break;
+      case ValOp::Div:
+        os << printValue(prog, v->kids[0]) << "/"
+           << printValue(prog, v->kids[1]);
+        break;
+      case ValOp::Neg:
+        os << "-" << printValue(prog, v->kids[0]);
+        break;
+      case ValOp::Sqrt:
+        os << "SQRT(" << printValue(prog, v->kids[0]) << ")";
+        break;
+      case ValOp::Min:
+        os << "MIN(" << printValue(prog, v->kids[0]) << ","
+           << printValue(prog, v->kids[1]) << ")";
+        break;
+      case ValOp::Max:
+        os << "MAX(" << printValue(prog, v->kids[0]) << ","
+           << printValue(prog, v->kids[1]) << ")";
+        break;
+      case ValOp::IMod:
+        os << "MOD(" << printValue(prog, v->kids[0]) << ","
+           << printValue(prog, v->kids[1]) << ")";
+        break;
+    }
+    return os.str();
+}
+
+std::string
+printNode(const Program &prog, const Node &n, int indent)
+{
+    std::ostringstream os;
+    printNodeImpl(prog, n, indent, os);
+    return os.str();
+}
+
+std::string
+printProgram(const Program &prog)
+{
+    std::ostringstream os;
+    os << "PROGRAM " << prog.name << "\n";
+    for (const auto &v : prog.vars) {
+        if (v.kind == VarKind::Param)
+            os << "  PARAMETER " << v.name << " = " << v.paramValue
+               << "\n";
+    }
+    for (const auto &a : prog.arrays) {
+        if (a.isRegister) {
+            os << "  REGISTER " << a.name << "\n";
+            continue;
+        }
+        os << "  REAL*" << a.elemSize << " " << a.name << "(";
+        for (size_t i = 0; i < a.extents.size(); ++i) {
+            if (i)
+                os << ",";
+            os << a.extents[i].str(namer(prog));
+        }
+        os << ")\n";
+    }
+    for (const auto &n : prog.body)
+        printNodeImpl(prog, *n, 1, os);
+    os << "END\n";
+    return os.str();
+}
+
+} // namespace memoria

@@ -1,0 +1,117 @@
+#include "ir/program.hh"
+
+#include "support/logging.hh"
+
+namespace memoria {
+
+Subscript
+Subscript::makeOpaque(ValuePtr v)
+{
+    Subscript s;
+    s.opaque = std::move(v);
+    return s;
+}
+
+bool
+ArrayRef::isAffine() const
+{
+    for (const auto &s : subs)
+        if (!s.isAffine())
+            return false;
+    return true;
+}
+
+ValuePtr
+Value::makeConst(double c)
+{
+    auto v = std::make_shared<Value>();
+    v->op = ValOp::Const;
+    v->constant = c;
+    return v;
+}
+
+ValuePtr
+Value::makeLoad(ArrayRef ref)
+{
+    auto v = std::make_shared<Value>();
+    v->op = ValOp::Load;
+    v->load = std::move(ref);
+    return v;
+}
+
+ValuePtr
+Value::makeIndex(AffineExpr e)
+{
+    auto v = std::make_shared<Value>();
+    v->op = ValOp::Index;
+    v->index = std::move(e);
+    return v;
+}
+
+ValuePtr
+Value::make(ValOp op, std::vector<ValuePtr> kids)
+{
+    auto v = std::make_shared<Value>();
+    v->op = op;
+    v->kids = std::move(kids);
+    return v;
+}
+
+NodePtr
+Node::makeLoop(VarId var, AffineExpr lb, AffineExpr ub, int64_t step,
+               std::vector<NodePtr> body)
+{
+    MEMORIA_ASSERT(step != 0, "loop step must be non-zero");
+    auto n = std::make_unique<Node>();
+    n->kind = Kind::Loop;
+    n->var = var;
+    n->lb = std::move(lb);
+    n->ub = std::move(ub);
+    n->step = step;
+    n->body = std::move(body);
+    return n;
+}
+
+NodePtr
+Node::makeStmt(Statement stmt)
+{
+    auto n = std::make_unique<Node>();
+    n->kind = Kind::Stmt;
+    n->stmt = std::move(stmt);
+    return n;
+}
+
+namespace {
+
+NodePtr
+cloneNodeImpl(const Node &n)
+{
+    auto out = std::make_unique<Node>();
+    out->kind = n.kind;
+    out->var = n.var;
+    out->lb = n.lb;
+    out->ub = n.ub;
+    out->step = n.step;
+    out->stmt = n.stmt;
+    out->body.reserve(n.body.size());
+    for (const auto &kid : n.body)
+        out->body.push_back(cloneNodeImpl(*kid));
+    return out;
+}
+
+} // namespace
+
+Program
+Program::clone() const
+{
+    Program out;
+    out.name = name;
+    out.vars = vars;
+    out.arrays = arrays;
+    out.body.reserve(body.size());
+    for (const auto &n : body)
+        out.body.push_back(cloneNodeImpl(*n));
+    return out;
+}
+
+} // namespace memoria

@@ -1,0 +1,108 @@
+#include "model/access.hh"
+
+#include <set>
+
+namespace memoria {
+
+AccessStats &
+AccessStats::operator+=(const AccessStats &o)
+{
+    invGroups += o.invGroups;
+    unitGroups += o.unitGroups;
+    noneGroups += o.noneGroups;
+    spatialGroups += o.spatialGroups;
+    invRefs += o.invRefs;
+    unitRefs += o.unitRefs;
+    noneRefs += o.noneRefs;
+    return *this;
+}
+
+namespace {
+
+double
+pct(int part, int whole)
+{
+    return whole == 0 ? 0.0 : 100.0 * part / whole;
+}
+
+double
+ratio(int refs, int groups)
+{
+    return groups == 0 ? 0.0 : static_cast<double>(refs) / groups;
+}
+
+} // namespace
+
+double AccessStats::pctInv() const { return pct(invGroups, totalGroups()); }
+double AccessStats::pctUnit() const { return pct(unitGroups, totalGroups()); }
+double AccessStats::pctNone() const { return pct(noneGroups, totalGroups()); }
+
+double
+AccessStats::pctGroupSpatial() const
+{
+    return pct(spatialGroups, totalGroups());
+}
+
+double
+AccessStats::refsPerInvGroup() const
+{
+    return ratio(invRefs, invGroups);
+}
+
+double
+AccessStats::refsPerUnitGroup() const
+{
+    return ratio(unitRefs, unitGroups);
+}
+
+double
+AccessStats::refsPerNoneGroup() const
+{
+    return ratio(noneRefs, noneGroups);
+}
+
+double
+AccessStats::refsPerGroup() const
+{
+    return ratio(totalRefs(), totalGroups());
+}
+
+AccessStats
+gatherAccessStats(const NestAnalysis &na)
+{
+    AccessStats stats;
+
+    // The loops that directly enclose statements.
+    std::set<const Node *> innermosts;
+    for (const auto &ref : na.refs())
+        if (!ref.loops.empty())
+            innermosts.insert(ref.loops.back());
+
+    for (const Node *inner : innermosts) {
+        const auto &sg = na.groupsWithin(inner, inner);
+        for (const auto &g : sg.groups) {
+            const NestRef &rep =
+                na.refs()[sg.refIndices[g.representative]];
+            int members = static_cast<int>(g.members.size());
+            switch (na.classify(rep, inner)) {
+              case Reuse::Invariant:
+                stats.invGroups++;
+                stats.invRefs += members;
+                break;
+              case Reuse::Consecutive:
+                stats.unitGroups++;
+                stats.unitRefs += members;
+                break;
+              case Reuse::None:
+                stats.noneGroups++;
+                stats.noneRefs += members;
+                break;
+            }
+            if (g.groupSpatial)
+                stats.spatialGroups++;
+        }
+    }
+    return stats;
+}
+
+} // namespace memoria

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Data-access-property statistics (Table 5 of the paper).
+ *
+ * Classifies every reference group by its self-reuse with respect to the
+ * innermost loop enclosing its representative: loop-invariant,
+ * unit-stride (consecutive) or none, plus group-spatial participation
+ * and the number of references per group.
+ */
+
+#ifndef MEMORIA_MODEL_ACCESS_HH
+#define MEMORIA_MODEL_ACCESS_HH
+
+#include "model/loopcost.hh"
+
+namespace memoria {
+
+/** Aggregated reference-group statistics for one nest or one program. */
+struct AccessStats
+{
+    int invGroups = 0;
+    int unitGroups = 0;
+    int noneGroups = 0;
+
+    /** Groups formed (partly) through group-spatial reuse. */
+    int spatialGroups = 0;
+
+    /** Total member references per class (for Refs/Group averages). */
+    int invRefs = 0;
+    int unitRefs = 0;
+    int noneRefs = 0;
+
+    int
+    totalGroups() const
+    {
+        return invGroups + unitGroups + noneGroups;
+    }
+
+    int
+    totalRefs() const
+    {
+        return invRefs + unitRefs + noneRefs;
+    }
+
+    AccessStats &operator+=(const AccessStats &o);
+
+    double pctInv() const;
+    double pctUnit() const;
+    double pctNone() const;
+    double pctGroupSpatial() const;
+    double refsPerInvGroup() const;
+    double refsPerUnitGroup() const;
+    double refsPerNoneGroup() const;
+    double refsPerGroup() const;
+};
+
+/**
+ * Gather access statistics for one analyzed nest: every reference group
+ * is classified against the innermost loop enclosing its representative.
+ */
+AccessStats gatherAccessStats(const NestAnalysis &na);
+
+} // namespace memoria
+
+#endif // MEMORIA_MODEL_ACCESS_HH

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Parameters of the locality cost model.
+ */
+
+#ifndef MEMORIA_MODEL_PARAMS_HH
+#define MEMORIA_MODEL_PARAMS_HH
+
+namespace memoria {
+
+/**
+ * How symbolic/triangular trip counts are folded into cost polynomials.
+ *
+ * The paper compares "dominating terms" for symbolic bounds, which for a
+ * triangular loop like DO J = K+1, I amounts to using the full extent n
+ * (Figure 7 prints 1/4 n for the consecutive cost of such a loop with
+ * cls = 4). `Average` instead substitutes the mean value of outer
+ * indices, giving expected rather than worst-case trip counts; the
+ * ablation benchmark compares the two.
+ */
+enum class TriangularPolicy
+{
+    Dominant,  ///< maximize the trip count over outer-variable ranges
+    Average,   ///< use the mean value of outer variables
+};
+
+/** Model parameters: only the cache line size matters at this stage
+ *  (Section 1.1, step 1 is machine-independent apart from cls). */
+struct ModelParams
+{
+    /** Cache line size in bytes; cls in array elements is derived
+     *  per-array from its element size. */
+    int lineBytes = 32;
+
+    TriangularPolicy policy = TriangularPolicy::Dominant;
+
+    /** Group-temporal constant bound: |d| <= maxGroupDist (paper: 2). */
+    int64_t maxGroupDist = 2;
+};
+
+} // namespace memoria
+
+#endif // MEMORIA_MODEL_PARAMS_HH

@@ -1,0 +1,176 @@
+#include "model/refgroup.hh"
+
+#include <cstdlib>
+#include <map>
+#include <numeric>
+
+#include "support/logging.hh"
+
+namespace memoria {
+
+namespace {
+
+/** Union-find over reference indices. */
+class UnionFind
+{
+  public:
+    explicit UnionFind(size_t n) : parent_(n)
+    {
+        std::iota(parent_.begin(), parent_.end(), 0);
+    }
+
+    int
+    find(int x)
+    {
+        while (parent_[x] != x) {
+            parent_[x] = parent_[parent_[x]];
+            x = parent_[x];
+        }
+        return x;
+    }
+
+    /** Returns true when the sets were distinct. */
+    bool
+    unite(int a, int b)
+    {
+        a = find(a);
+        b = find(b);
+        if (a == b)
+            return false;
+        parent_[b] = a;
+        return true;
+    }
+
+  private:
+    std::vector<int> parent_;
+};
+
+/** Condition 1: group-temporal reuse via a dependence. */
+bool
+groupTemporal(const DepEdge &e, const std::vector<Node *> &srcLoops,
+              const Node *candidate, int64_t maxDist)
+{
+    if (e.loopIndependent)
+        return true;  // condition 1(a)
+
+    // Condition 1(b): the entry for the candidate loop is a small exact
+    // constant and every other entry is zero.
+    int candidateLevel = -1;
+    for (size_t p = 0; p < e.vec.levels.size() && p < srcLoops.size();
+         ++p) {
+        if (srcLoops[p] == candidate) {
+            candidateLevel = static_cast<int>(p);
+            break;
+        }
+    }
+    if (candidateLevel < 0)
+        return false;
+
+    for (size_t p = 0; p < e.vec.levels.size(); ++p) {
+        const DepLevel &l = e.vec.levels[p];
+        if (!l.hasDist)
+            return false;
+        if (static_cast<int>(p) == candidateLevel) {
+            if (std::abs(l.dist) > maxDist)
+                return false;
+        } else if (l.dist != 0) {
+            return false;
+        }
+    }
+    return true;
+}
+
+/** Condition 2: group-spatial reuse. Returns the first-subscript
+ *  difference through `diff` when the references qualify. */
+bool
+groupSpatial(const Program &prog, const ArrayRef &a, const ArrayRef &b,
+             int lineBytes, int64_t *diff)
+{
+    if (a.array != b.array || a.subs.size() != b.subs.size() ||
+        a.subs.empty())
+        return false;
+    for (const auto &s : a.subs)
+        if (!s.isAffine())
+            return false;
+    for (const auto &s : b.subs)
+        if (!s.isAffine())
+            return false;
+
+    AffineExpr d = a.subs[0].affine - b.subs[0].affine;
+    if (!d.isConstant())
+        return false;
+    const ArrayDecl &decl = prog.arrayDecl(a.array);
+    int64_t cls = std::max(1, lineBytes / decl.elemSize);
+    if (std::abs(d.constant()) > cls)
+        return false;
+    for (size_t k = 1; k < a.subs.size(); ++k)
+        if (!(a.subs[k].affine == b.subs[k].affine))
+            return false;
+    *diff = d.constant();
+    return true;
+}
+
+} // namespace
+
+std::vector<RefGroup>
+computeRefGroups(const Program &prog, const std::vector<NestRef> &refs,
+                 const std::vector<DepEdge> &edges, const Node *candidate,
+                 const ModelParams &params)
+{
+    UnionFind uf(refs.size());
+    std::map<const ArrayRef *, int> indexOf;
+    for (size_t i = 0; i < refs.size(); ++i)
+        indexOf[refs[i].ref] = static_cast<int>(i);
+
+    std::vector<bool> spatialJoin(refs.size(), false);
+
+    // Condition 1: dependence-based group-temporal reuse.
+    for (const auto &e : edges) {
+        auto is = indexOf.find(e.srcRef);
+        auto id = indexOf.find(e.dstRef);
+        if (is == indexOf.end() || id == indexOf.end() ||
+            is->second == id->second)
+            continue;
+        if (groupTemporal(e, refs[is->second].loops, candidate,
+                          params.maxGroupDist))
+            uf.unite(is->second, id->second);
+    }
+
+    // Condition 2: group-spatial reuse (same line via first subscript).
+    for (size_t i = 0; i < refs.size(); ++i) {
+        for (size_t j = i + 1; j < refs.size(); ++j) {
+            int64_t diff = 0;
+            if (groupSpatial(prog, *refs[i].ref, *refs[j].ref,
+                             params.lineBytes, &diff)) {
+                uf.unite(static_cast<int>(i), static_cast<int>(j));
+                if (diff != 0) {
+                    spatialJoin[i] = true;
+                    spatialJoin[j] = true;
+                }
+            }
+        }
+    }
+
+    // Materialize groups, choosing the deepest-nesting representative.
+    std::map<int, RefGroup> byRoot;
+    for (size_t i = 0; i < refs.size(); ++i) {
+        RefGroup &g = byRoot[uf.find(static_cast<int>(i))];
+        g.members.push_back(static_cast<int>(i));
+        if (spatialJoin[i])
+            g.groupSpatial = true;
+    }
+    std::vector<RefGroup> out;
+    out.reserve(byRoot.size());
+    for (auto &[root, g] : byRoot) {
+        g.representative = g.members.front();
+        for (int m : g.members) {
+            if (refs[m].loops.size() >
+                refs[g.representative].loops.size())
+                g.representative = m;
+        }
+        out.push_back(std::move(g));
+    }
+    return out;
+}
+
+} // namespace memoria

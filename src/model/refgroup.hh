@@ -1,0 +1,62 @@
+/**
+ * @file
+ * The RefGroup algorithm (Section 3.3 of the paper).
+ *
+ * Two references belong to the same reference group with respect to a
+ * candidate loop l when they exhibit group-temporal reuse (a
+ * loop-independent dependence, or a dependence carried by l with a small
+ * constant distance and zeros elsewhere) or group-spatial reuse (same
+ * array, first subscripts differing by at most a cache line, all other
+ * subscripts identical).
+ */
+
+#ifndef MEMORIA_MODEL_REFGROUP_HH
+#define MEMORIA_MODEL_REFGROUP_HH
+
+#include <vector>
+
+#include "dependence/graph.hh"
+#include "ir/program.hh"
+#include "model/params.hh"
+
+namespace memoria {
+
+/** One reference occurrence inside an analyzed nest. */
+struct NestRef
+{
+    const Statement *stmt = nullptr;
+    const ArrayRef *ref = nullptr;
+    bool isWrite = false;
+    /** Enclosing loops within the analyzed scope, outermost first. */
+    std::vector<Node *> loops;
+};
+
+/** A reference group with respect to some candidate loop. */
+struct RefGroup
+{
+    /** Indices into the nest's reference list. */
+    std::vector<int> members;
+
+    /** The deepest-nesting member (index into members' target list). */
+    int representative = -1;
+
+    /** True when condition 2 joined members with distinct first
+     *  subscripts (group-spatial reuse). */
+    bool groupSpatial = false;
+};
+
+/**
+ * Partition `refs` into reference groups with respect to `candidate`.
+ *
+ * `edges` must be the dependence edges among the scope's statements
+ * (input dependences included); cls is taken per-array from
+ * params.lineBytes / element size.
+ */
+std::vector<RefGroup>
+computeRefGroups(const Program &prog, const std::vector<NestRef> &refs,
+                 const std::vector<DepEdge> &edges, const Node *candidate,
+                 const ModelParams &params);
+
+} // namespace memoria
+
+#endif // MEMORIA_MODEL_REFGROUP_HH

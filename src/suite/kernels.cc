@@ -1,0 +1,296 @@
+#include "suite/kernels.hh"
+
+#include "ir/builder.hh"
+#include "support/logging.hh"
+
+namespace memoria {
+
+Program
+makeMatmul(const std::string &order, int64_t n)
+{
+    MEMORIA_ASSERT(order.size() == 3, "matmul order must name I, J, K");
+    ProgramBuilder b("matmul_" + order);
+    Var N = b.param("N", n);
+    Arr A = b.array("A", {N, N});
+    Arr B = b.array("B", {N, N});
+    Arr C = b.array("C", {N, N});
+    Var i = b.loopVar("I");
+    Var j = b.loopVar("J");
+    Var k = b.loopVar("K");
+
+    NodePtr cur = b.assign(C(i, j), C(i, j) + A(i, k) * B(k, j));
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+        Var v = *it == 'I' ? i : (*it == 'J' ? j : k);
+        MEMORIA_ASSERT(*it == 'I' || *it == 'J' || *it == 'K',
+                       "bad matmul order letter");
+        cur = b.loop(v, 1, N, std::move(cur));
+    }
+    b.add(std::move(cur));
+    return b.finish();
+}
+
+Program
+makeCholeskyKIJ(int64_t n)
+{
+    ProgramBuilder b("cholesky_KIJ");
+    Var N = b.param("N", n);
+    Arr A = b.array("A", {N, N});
+    Var i = b.loopVar("I");
+    Var j = b.loopVar("J");
+    Var k = b.loopVar("K");
+
+    b.add(b.loop(
+        k, 1, N,
+        b.assign(A(k, k), sqrtv(A(k, k))),
+        b.loop(i, Ix(k) + 1, N,
+               b.assign(A(i, k), Val(A(i, k)) / A(k, k)),
+               b.loop(j, Ix(k) + 1, i,
+                      b.assign(A(i, j),
+                               A(i, j) - A(i, k) * A(j, k))))));
+    return b.finish();
+}
+
+Program
+makeCholeskyKJI(int64_t n)
+{
+    ProgramBuilder b("cholesky_KJI");
+    Var N = b.param("N", n);
+    Arr A = b.array("A", {N, N});
+    Var i = b.loopVar("I");
+    Var j = b.loopVar("J");
+    Var k = b.loopVar("K");
+
+    // Figure 7(b): S3 distributed into its own nest and the triangular
+    // pair interchanged (region K+1 <= J <= I <= N traversed J-outer).
+    b.add(b.loop(
+        k, 1, N,
+        b.assign(A(k, k), sqrtv(A(k, k))),
+        b.loop(i, Ix(k) + 1, N,
+               b.assign(A(i, k), Val(A(i, k)) / A(k, k))),
+        b.loop(j, Ix(k) + 1, N,
+               b.loop(i, Ix(j), N,
+                      b.assign(A(i, j),
+                               A(i, j) - A(i, k) * A(j, k))))));
+    return b.finish();
+}
+
+Program
+makeAdiScalarized(int64_t n)
+{
+    ProgramBuilder b("adi_scalarized");
+    Var N = b.param("N", n);
+    Arr X = b.array("X", {N, N});
+    Arr A = b.array("A", {N, N});
+    Arr B = b.array("B", {N, N});
+    Var i = b.loopVar("I");
+    Var k = b.loopVar("K");
+
+    b.add(b.loop(
+        i, 2, N,
+        b.loop(k, 1, N,
+               b.assign(X(i, k),
+                        X(i, k) -
+                            X(Ix(i) - 1, k) * A(i, k) /
+                                B(Ix(i) - 1, k))),
+        b.loop(k, 1, N,
+               b.assign(B(i, k),
+                        B(i, k) -
+                            A(i, k) * A(i, k) / B(Ix(i) - 1, k)))));
+    return b.finish();
+}
+
+Program
+makeAdiFused(int64_t n)
+{
+    ProgramBuilder b("adi_fused");
+    Var N = b.param("N", n);
+    Arr X = b.array("X", {N, N});
+    Arr A = b.array("A", {N, N});
+    Arr B = b.array("B", {N, N});
+    Var i = b.loopVar("I");
+    Var k = b.loopVar("K");
+
+    b.add(b.loop(
+        k, 1, N,
+        b.loop(i, 2, N,
+               b.assign(X(i, k),
+                        X(i, k) -
+                            X(Ix(i) - 1, k) * A(i, k) /
+                                B(Ix(i) - 1, k)),
+               b.assign(B(i, k),
+                        B(i, k) -
+                            A(i, k) * A(i, k) / B(Ix(i) - 1, k)))));
+    return b.finish();
+}
+
+namespace {
+
+/** Shared construction for the Erlebacher variants. */
+Program
+makeErlebacher(bool hand, int64_t n)
+{
+    ProgramBuilder b(hand ? "erlebacher_hand" : "erlebacher_distributed");
+    Var N = b.param("N", n);
+    Arr F = b.array("F", {N, N, N});
+    Arr DUX = b.array("DUX", {N, N, N});
+    Arr DUY = b.array("DUY", {N, N, N});
+    Arr DUZ = b.array("DUZ", {N, N, N});
+    Arr TOT = b.array("TOT", {N, N, N});
+    Var i = b.loopVar("I");
+    Var j = b.loopVar("J");
+    Var k = b.loopVar("K");
+
+    auto nest3 = [&](NodePtr stmt) {
+        return b.loop(k, 2, Ix(N) - 1,
+                      b.loop(j, 2, Ix(N) - 1,
+                             b.loop(i, 2, Ix(N) - 1, std::move(stmt))));
+    };
+    auto nest3pair = [&](NodePtr s1, NodePtr s2) {
+        std::vector<NodePtr> body;
+        body.push_back(std::move(s1));
+        body.push_back(std::move(s2));
+        return b.loop(k, 2, Ix(N) - 1,
+                      b.loop(j, 2, Ix(N) - 1,
+                             b.loop(i, 2, Ix(N) - 1, std::move(body))));
+    };
+
+    auto dux = b.assign(DUX(i, j, k),
+                        (F(Ix(i) + 1, j, k) - F(Ix(i) - 1, j, k)) * 0.5);
+    auto duy = b.assign(DUY(i, j, k),
+                        (F(i, Ix(j) + 1, k) - F(i, Ix(j) - 1, k)) * 0.5);
+    auto duz = b.assign(DUZ(i, j, k),
+                        (F(i, j, Ix(k) + 1) - F(i, j, Ix(k) - 1)) * 0.5);
+    auto tot = b.assign(TOT(i, j, k),
+                        DUX(i, j, k) + DUY(i, j, k) + DUZ(i, j, k));
+    auto scale = b.assign(TOT(i, j, k), TOT(i, j, k) * 0.25 + F(i, j, k));
+
+    if (hand) {
+        // Hand-coded style: derivatives in separate nests, the final
+        // combination written as one two-statement nest.
+        b.add(nest3(std::move(dux)));
+        b.add(nest3(std::move(duy)));
+        b.add(nest3(std::move(duz)));
+        b.add(nest3pair(std::move(tot), std::move(scale)));
+    } else {
+        // Fully distributed (Fortran 90 scalarizer output style).
+        b.add(nest3(std::move(dux)));
+        b.add(nest3(std::move(duy)));
+        b.add(nest3(std::move(duz)));
+        b.add(nest3(std::move(tot)));
+        b.add(nest3(std::move(scale)));
+    }
+    return b.finish();
+}
+
+} // namespace
+
+Program
+makeErlebacherDistributed(int64_t n)
+{
+    return makeErlebacher(false, n);
+}
+
+Program
+makeErlebacherHand(int64_t n)
+{
+    return makeErlebacher(true, n);
+}
+
+Program
+makeGmtry(int64_t n)
+{
+    ProgramBuilder b("gmtry");
+    Var N = b.param("N", n);
+    Arr A = b.array("A", {N, N});
+    Var i = b.loopVar("I");
+    Var j = b.loopVar("J");
+    Var k = b.loopVar("K");
+
+    // Gaussian elimination written "across rows": for each pivot K the
+    // inner loops sweep row-wise (second subscript), so the innermost
+    // loop has no spatial locality in column-major storage.
+    b.add(b.loop(
+        k, 1, Ix(N) - 1,
+        b.loop(j, Ix(k) + 1, N,
+               b.assign(A(k, j), Val(A(k, j)) / A(k, k))),
+        b.loop(i, Ix(k) + 1, N,
+               b.loop(j, Ix(k) + 1, N,
+                      b.assign(A(i, j),
+                               A(i, j) - A(i, k) * A(k, j))))));
+    return b.finish();
+}
+
+Program
+makeSimpleHydro(int64_t n)
+{
+    ProgramBuilder b("simple_hydro");
+    Var N = b.param("N", n);
+    Arr P = b.array("P", {N, N});
+    Arr Q = b.array("Q", {N, N});
+    Var i = b.loopVar("I");
+    Var j = b.loopVar("J");
+
+    // "Vectorizable" form: the recurrence runs along the *first*
+    // subscript and is carried by the OUTER I loop, so the inner J
+    // loop (a row sweep, stride N) vectorizes. Memory order wants I
+    // innermost — unit stride — even though that places the recurrence
+    // innermost; the interchange is legal and trades low-level
+    // parallelism for locality, the Simple story of Section 5.7.
+    b.add(b.loop(i, 2, N,
+                 b.loop(j, 1, N,
+                        b.assign(P(i, j),
+                                 P(Ix(i) - 1, j) * 0.5 + Q(i, j)))));
+    // A second loop pair in the same style.
+    b.add(b.loop(i, 2, N,
+                 b.loop(j, 1, N,
+                        b.assign(Q(i, j),
+                                 Q(Ix(i) - 1, j) + P(i, j)))));
+    return b.finish();
+}
+
+Program
+makeVpenta(int64_t n)
+{
+    ProgramBuilder b("vpenta");
+    Var N = b.param("N", n);
+    Arr X = b.array("X", {N, N});
+    Arr Y = b.array("Y", {N, N});
+    Arr Z = b.array("Z", {N, N});
+    Var i = b.loopVar("I");
+    Var j = b.loopVar("J");
+
+    // Scalarized vector style: each statement in its own nest, inner
+    // loop striding the second dimension (non-unit stride).
+    b.add(b.loop(i, 1, N,
+                 b.loop(j, 1, N,
+                        b.assign(X(i, j), Y(i, j) + Z(i, j)))));
+    b.add(b.loop(i, 1, N,
+                 b.loop(j, 1, N,
+                        b.assign(Z(i, j), X(i, j) * 2.0 - Y(i, j)))));
+    return b.finish();
+}
+
+Program
+makeJacobiBadOrder(int64_t n)
+{
+    ProgramBuilder b("jacobi_bad_order");
+    Var N = b.param("N", n);
+    Arr U = b.array("U", {N, N});
+    Arr V = b.array("V", {N, N});
+    Var i = b.loopVar("I");
+    Var j = b.loopVar("J");
+
+    b.add(b.loop(
+        i, 2, Ix(N) - 1,
+        b.loop(j, 2, Ix(N) - 1,
+               b.assign(V(i, j),
+                        (U(Ix(i) - 1, j) + U(Ix(i) + 1, j) +
+                         U(i, Ix(j) - 1) + U(i, Ix(j) + 1)) *
+                            0.25))));
+    b.add(b.loop(i, 2, Ix(N) - 1,
+                 b.loop(j, 2, Ix(N) - 1,
+                        b.assign(U(i, j), V(i, j)))));
+    return b.finish();
+}
+
+} // namespace memoria

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * The paper's kernels, built in the loop-nest IR.
+ *
+ * These are the programs the paper studies individually: matrix multiply
+ * (Figure 2), the ADI integration fragment (Figure 3), Cholesky
+ * factorization (Figure 7), an Erlebacher-style collection of
+ * single-statement nests (Table 1), plus kernels standing in for the
+ * benchmark routines discussed in Section 5.7 (Gmtry's row-oriented
+ * Gaussian elimination, Simple's vectorizable hydrodynamics loops,
+ * Vpenta-style scalarized vector code).
+ */
+
+#ifndef MEMORIA_SUITE_KERNELS_HH
+#define MEMORIA_SUITE_KERNELS_HH
+
+#include <string>
+
+#include "ir/program.hh"
+
+namespace memoria {
+
+/**
+ * Matrix multiply C += A*B with the loops nested in the given order,
+ * e.g. "JKI" means J outermost, I innermost (Figure 2).
+ */
+Program makeMatmul(const std::string &order, int64_t n);
+
+/** Cholesky factorization, KIJ form of Figure 7(a). */
+Program makeCholeskyKIJ(int64_t n);
+
+/** Cholesky factorization, the paper's hand-derived KJI output form
+ *  (Figure 7(b)): distribution plus triangular interchange applied. */
+Program makeCholeskyKJI(int64_t n);
+
+/** ADI integration, Fortran-90-scalarized form of Figure 3(b):
+ *  DO I { DO K {S1}; DO K {S2} }. */
+Program makeAdiScalarized(int64_t n);
+
+/** ADI integration after fusion and interchange (Figure 3(c)). */
+Program makeAdiFused(int64_t n);
+
+/**
+ * An Erlebacher-style program: a sequence of single-statement loop
+ * nests over shared 3D arrays, already in memory order (the
+ * "Distributed" version of Table 1). Fusing recovers the temporal
+ * locality between the nests.
+ */
+Program makeErlebacherDistributed(int64_t n);
+
+/** The hand-coded Erlebacher variant: same computation, written with
+ *  some statements manually combined (Table 1's "Hand"). */
+Program makeErlebacherHand(int64_t n);
+
+/** Gmtry-style kernel: Gaussian elimination sweeping across rows, so
+ *  the innermost loop strides the second dimension (Section 5.7). */
+Program makeGmtry(int64_t n);
+
+/** Simple-style kernel: a "vectorizable" loop pair whose recurrence is
+ *  carried by the outer loop (Section 5.7). */
+Program makeSimpleHydro(int64_t n);
+
+/** Vpenta-style kernel: scalarized vector code with non-unit-stride
+ *  inner loops over several arrays. */
+Program makeVpenta(int64_t n);
+
+/** Jacobi 4-point relaxation written with the wrong loop order. */
+Program makeJacobiBadOrder(int64_t n);
+
+} // namespace memoria
+
+#endif // MEMORIA_SUITE_KERNELS_HH

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Error-reporting helpers in the gem5 tradition.
+ *
+ * `fatal` terminates because the *user* asked for something impossible
+ * (bad configuration, malformed program); `panic` terminates because the
+ * library itself is broken (violated internal invariant). `warn` and
+ * `inform` report without terminating.
+ */
+
+#ifndef MEMORIA_SUPPORT_LOGGING_HH
+#define MEMORIA_SUPPORT_LOGGING_HH
+
+#include <sstream>
+#include <string>
+
+namespace memoria {
+
+/** Terminate with a user-level error message (exit code 1). */
+[[noreturn]] void fatal(const std::string &msg);
+
+/** Terminate with an internal-invariant violation message (aborts). */
+[[noreturn]] void panic(const std::string &msg);
+
+/** Print a non-fatal warning to stderr. */
+void warn(const std::string &msg);
+
+/** Print an informational message to stderr. */
+void inform(const std::string &msg);
+
+/**
+ * Check an internal invariant; calls panic with the failing condition
+ * and location when it does not hold.
+ */
+#define MEMORIA_ASSERT(cond, msg)                                         \
+    do {                                                                  \
+        if (!(cond)) {                                                    \
+            std::ostringstream os_;                                       \
+            os_ << "assertion '" #cond "' failed at " << __FILE__ << ":"  \
+                << __LINE__ << ": " << msg;                               \
+            ::memoria::panic(os_.str());                                  \
+        }                                                                 \
+    } while (0)
+
+} // namespace memoria
+
+#endif // MEMORIA_SUPPORT_LOGGING_HH

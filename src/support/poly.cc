@@ -1,0 +1,206 @@
+#include "support/poly.hh"
+
+#include <cmath>
+#include <sstream>
+
+#include "support/logging.hh"
+
+namespace memoria {
+
+namespace {
+
+/** Coefficients closer to zero than this are treated as zero. */
+constexpr double kEps = 1e-12;
+
+} // namespace
+
+Poly::Poly(double c)
+{
+    if (std::abs(c) > kEps)
+        coeffs_.push_back(c);
+}
+
+Poly
+Poly::fromCoeffs(std::vector<double> coeffs)
+{
+    Poly p;
+    p.coeffs_ = std::move(coeffs);
+    p.trim();
+    return p;
+}
+
+Poly
+Poly::term(double c, int power)
+{
+    MEMORIA_ASSERT(power >= 0, "monomial power must be non-negative");
+    Poly p;
+    if (std::abs(c) > kEps) {
+        p.coeffs_.assign(power + 1, 0.0);
+        p.coeffs_[power] = c;
+    }
+    return p;
+}
+
+Poly
+Poly::sym()
+{
+    return term(1.0, 1);
+}
+
+int
+Poly::degree() const
+{
+    return static_cast<int>(coeffs_.size()) - 1;
+}
+
+double
+Poly::coeff(int power) const
+{
+    if (power < 0 || power >= static_cast<int>(coeffs_.size()))
+        return 0.0;
+    return coeffs_[power];
+}
+
+bool
+Poly::isZero() const
+{
+    return coeffs_.empty();
+}
+
+bool
+Poly::isConstant() const
+{
+    return degree() <= 0;
+}
+
+double
+Poly::eval(double n) const
+{
+    double acc = 0.0;
+    for (auto it = coeffs_.rbegin(); it != coeffs_.rend(); ++it)
+        acc = acc * n + *it;
+    return acc;
+}
+
+Poly
+Poly::operator+(const Poly &o) const
+{
+    std::vector<double> out(std::max(coeffs_.size(), o.coeffs_.size()), 0.0);
+    for (size_t i = 0; i < coeffs_.size(); ++i)
+        out[i] += coeffs_[i];
+    for (size_t i = 0; i < o.coeffs_.size(); ++i)
+        out[i] += o.coeffs_[i];
+    return fromCoeffs(std::move(out));
+}
+
+Poly
+Poly::operator-(const Poly &o) const
+{
+    return *this + (-o);
+}
+
+Poly
+Poly::operator*(const Poly &o) const
+{
+    if (isZero() || o.isZero())
+        return Poly();
+    std::vector<double> out(coeffs_.size() + o.coeffs_.size() - 1, 0.0);
+    for (size_t i = 0; i < coeffs_.size(); ++i)
+        for (size_t j = 0; j < o.coeffs_.size(); ++j)
+            out[i + j] += coeffs_[i] * o.coeffs_[j];
+    return fromCoeffs(std::move(out));
+}
+
+Poly
+Poly::operator*(double s) const
+{
+    std::vector<double> out = coeffs_;
+    for (auto &c : out)
+        c *= s;
+    return fromCoeffs(std::move(out));
+}
+
+Poly
+Poly::operator/(double s) const
+{
+    MEMORIA_ASSERT(std::abs(s) > kEps, "division by zero");
+    return *this * (1.0 / s);
+}
+
+Poly &
+Poly::operator+=(const Poly &o)
+{
+    *this = *this + o;
+    return *this;
+}
+
+Poly &
+Poly::operator*=(const Poly &o)
+{
+    *this = *this * o;
+    return *this;
+}
+
+Poly
+Poly::operator-() const
+{
+    return *this * -1.0;
+}
+
+int
+Poly::compare(const Poly &o) const
+{
+    int hi = std::max(degree(), o.degree());
+    for (int k = hi; k >= 0; --k) {
+        double d = coeff(k) - o.coeff(k);
+        if (d > kEps)
+            return 1;
+        if (d < -kEps)
+            return -1;
+    }
+    return 0;
+}
+
+bool
+Poly::operator==(const Poly &o) const
+{
+    return compare(o) == 0;
+}
+
+std::string
+Poly::str() const
+{
+    if (isZero())
+        return "0";
+    std::ostringstream os;
+    bool first = true;
+    for (int k = degree(); k >= 0; --k) {
+        double c = coeffs_[k];
+        if (std::abs(c) <= kEps)
+            continue;
+        if (!first)
+            os << (c < 0 ? " - " : " + ");
+        else if (c < 0)
+            os << "-";
+        double a = std::abs(c);
+        bool unit = std::abs(a - 1.0) <= kEps;
+        if (!unit || k == 0)
+            os << a;
+        if (k >= 1) {
+            os << "n";
+            if (k > 1)
+                os << "^" << k;
+        }
+        first = false;
+    }
+    return os.str();
+}
+
+void
+Poly::trim()
+{
+    while (!coeffs_.empty() && std::abs(coeffs_.back()) <= kEps)
+        coeffs_.pop_back();
+}
+
+} // namespace memoria

@@ -1,0 +1,238 @@
+/**
+ * @file
+ * memoria — command-line driver.
+ *
+ * Runs the pipeline on the built-in kernels and corpus programs:
+ *
+ *   memoria list
+ *   memoria print <program> [N]
+ *   memoria analyze <program> [N]      LoopCost table + memory order
+ *   memoria optimize <program> [N]     Compound + before/after source
+ *   memoria simulate <program> [N]     hit rates + speedup on both caches
+ *   memoria reuse <program> [N]        reuse-distance profile
+ *
+ * <program> is a kernel name (matmul-ijk, matmul-jki, cholesky, adi,
+ * erlebacher, gmtry, simple, vpenta, jacobi), a corpus program name
+ * (adm, arc2d, ..., wave), or a path to a source file written in the
+ * loop-nest language (see src/frontend/parser.hh and examples/stencil.mem).
+ */
+
+#include <cstdlib>
+#include <functional>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include <fstream>
+#include <sstream>
+
+#include "cachesim/reuse.hh"
+#include "frontend/parser.hh"
+#include "support/logging.hh"
+#include "driver/memoria.hh"
+#include "ir/printer.hh"
+#include "model/loopcost.hh"
+#include "suite/corpus.hh"
+#include "suite/kernels.hh"
+#include "support/table.hh"
+
+namespace memoria {
+namespace {
+
+using Maker = std::function<Program(int64_t)>;
+
+const std::map<std::string, Maker> &
+kernels()
+{
+    static const std::map<std::string, Maker> table = {
+        {"matmul-ijk", [](int64_t n) { return makeMatmul("IJK", n); }},
+        {"matmul-ikj", [](int64_t n) { return makeMatmul("IKJ", n); }},
+        {"matmul-jki", [](int64_t n) { return makeMatmul("JKI", n); }},
+        {"cholesky", [](int64_t n) { return makeCholeskyKIJ(n); }},
+        {"adi", [](int64_t n) { return makeAdiScalarized(n); }},
+        {"erlebacher",
+         [](int64_t n) { return makeErlebacherDistributed(n); }},
+        {"gmtry", [](int64_t n) { return makeGmtry(n); }},
+        {"simple", [](int64_t n) { return makeSimpleHydro(n); }},
+        {"vpenta", [](int64_t n) { return makeVpenta(n); }},
+        {"jacobi", [](int64_t n) { return makeJacobiBadOrder(n); }},
+    };
+    return table;
+}
+
+Program
+resolve(const std::string &name, int64_t n)
+{
+    auto it = kernels().find(name);
+    if (it != kernels().end())
+        return it->second(n);
+    for (const auto &spec : corpusSpecs())
+        if (spec.name == name)
+            return buildCorpusProgram(spec, std::max<int64_t>(n, 8));
+
+    // Otherwise treat the name as a source file in the loop-nest
+    // language (see src/frontend/parser.hh).
+    std::ifstream in(name);
+    if (in) {
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        ParseError err;
+        auto p = parseProgram(buf.str(), &err);
+        if (!p) {
+            fatal(name + ":" + std::to_string(err.line) + ": " +
+                  err.message);
+        }
+        return std::move(*p);
+    }
+    fatal("unknown program or file '" + name +
+          "'; try `memoria list`");
+}
+
+int
+cmdList()
+{
+    std::cout << "kernels:\n";
+    for (const auto &[name, mk] : kernels())
+        std::cout << "  " << name << "\n";
+    std::cout << "corpus programs:\n ";
+    for (const auto &spec : corpusSpecs())
+        std::cout << " " << spec.name;
+    std::cout << "\n";
+    return 0;
+}
+
+int
+cmdAnalyze(Program prog)
+{
+    ModelParams params;
+    std::cout << printProgram(prog) << "\n";
+    int nest = 0;
+    for (auto &top : prog.body) {
+        if (!top->isLoop() || loopDepth(*top) < 2)
+            continue;
+        NestAnalysis na(prog, top.get(), params);
+        std::cout << "nest " << nest++ << ": LoopCost per candidate\n";
+        for (Node *l : na.loops()) {
+            std::cout << "  " << prog.varName(l->var) << ": "
+                      << na.loopCost(l).str() << "\n";
+        }
+        std::cout << "  memory order: ";
+        for (Node *l : na.memoryOrder())
+            std::cout << prog.varName(l->var);
+        std::cout << (nestInMemoryOrder(na) ? " (already)" : "")
+                  << "\n";
+    }
+    return 0;
+}
+
+int
+cmdOptimize(Program prog)
+{
+    ModelParams params;
+    OptimizedProgram opt = optimizeProgram(prog, params);
+    std::cout << "--- original ---\n" << printProgram(opt.original)
+              << "\n--- transformed ---\n"
+              << printProgram(opt.transformed);
+    std::cout << "nests: " << opt.report.nests
+              << "  in memory order: " << opt.report.nestsOrig << "+"
+              << opt.report.nestsPerm << "  failed: "
+              << opt.report.nestsFail
+              << "  fused: " << opt.report.fusion.fused
+              << "  distributed: " << opt.report.distributions << "\n";
+    std::cout << "semantics preserved: "
+              << (runChecksum(opt.original) ==
+                          runChecksum(opt.transformed)
+                      ? "yes"
+                      : "NO")
+              << "\n";
+    return 0;
+}
+
+int
+cmdSimulate(Program prog)
+{
+    ModelParams params;
+    OptimizedProgram opt = optimizeProgram(prog, params);
+    TextTable t({"cache", "whole orig hit%", "whole final hit%",
+                 "speedup"});
+    for (const CacheConfig &cfg :
+         {CacheConfig::rs6000(), CacheConfig::i860()}) {
+        HitRates r = simulateHitRates(opt, cfg);
+        Performance perf = simulatePerformance(opt, cfg);
+        t.addRow({cfg.name, TextTable::num(r.wholeOrig, 2),
+                  TextTable::num(r.wholeFinal, 2),
+                  TextTable::num(perf.speedup(), 2)});
+    }
+    std::cout << t.str();
+    return 0;
+}
+
+int
+cmdReuse(Program prog)
+{
+    ModelParams params;
+    OptimizedProgram opt = optimizeProgram(prog, params);
+    auto profile = [](Program &p) {
+        ReuseDistanceAnalyzer rd(32);
+        Interpreter interp(p);
+        interp.run(&rd);
+        return rd;
+    };
+    ReuseDistanceAnalyzer r0 = profile(opt.original);
+    ReuseDistanceAnalyzer r1 = profile(opt.transformed);
+    std::cout << "mean reuse distance: "
+              << TextTable::num(r0.meanDistance(), 1) << " -> "
+              << TextTable::num(r1.meanDistance(), 1) << " lines\n";
+    TextTable t({"capacity (lines)", "orig miss%", "final miss%"});
+    for (uint64_t cap : {16, 64, 256, 1024}) {
+        t.addRow({std::to_string(cap),
+                  TextTable::num(100.0 * r0.missRatio(cap), 1),
+                  TextTable::num(100.0 * r1.missRatio(cap), 1)});
+    }
+    std::cout << t.str();
+    return 0;
+}
+
+int
+run(int argc, char **argv)
+{
+    if (argc < 2) {
+        std::cerr << "usage: memoria "
+                     "<list|print|analyze|optimize|simulate|reuse> "
+                     "[program] [N]\n";
+        return 2;
+    }
+    std::string cmd = argv[1];
+    if (cmd == "list")
+        return cmdList();
+    if (argc < 3) {
+        std::cerr << "missing program name; try `memoria list`\n";
+        return 2;
+    }
+    int64_t n = argc > 3 ? std::atoll(argv[3]) : 48;
+    Program prog = resolve(argv[2], n);
+
+    if (cmd == "print") {
+        std::cout << printProgram(prog);
+        return 0;
+    }
+    if (cmd == "analyze")
+        return cmdAnalyze(std::move(prog));
+    if (cmd == "optimize")
+        return cmdOptimize(std::move(prog));
+    if (cmd == "simulate")
+        return cmdSimulate(std::move(prog));
+    if (cmd == "reuse")
+        return cmdReuse(std::move(prog));
+    std::cerr << "unknown command '" << cmd << "'\n";
+    return 2;
+}
+
+} // namespace
+} // namespace memoria
+
+int
+main(int argc, char **argv)
+{
+    return memoria::run(argc, argv);
+}

@@ -1,0 +1,201 @@
+#include "transform/compound.hh"
+
+#include "model/loopcost.hh"
+#include "support/logging.hh"
+#include "transform/distribute.hh"
+
+namespace memoria {
+
+namespace {
+
+/**
+ * Optimize the nest at ownerBody[index] toward memory order using
+ * permutation, then inner fusion (FuseAll), then distribution, and
+ * finally recursion into the sub-nests below the perfect chain (the
+ * paper's statements each get their best inner loop even when the
+ * outer structure is imperfect). Returns the number of sibling slots
+ * the nest occupies afterwards; fills `rep` when non-null.
+ */
+size_t
+optimizeStructure(const Program &prog, std::vector<NodePtr> &ownerBody,
+                  size_t index, const std::vector<Node *> &enclosing,
+                  const ModelParams &params, CompoundResult &result,
+                  NestReport *rep, bool isTop = true)
+{
+    Node *root = ownerBody[index].get();
+
+    // Step 1: permutation of the perfect chain.
+    PermuteResult pr;
+    {
+        NestAnalysis na(prog, root, params, enclosing);
+        pr = permuteToMemoryOrder(na, root);
+    }
+    if (rep) {
+        rep->usedPermutation |= pr.changed;
+        rep->usedReversal |= pr.usedReversal;
+        if (isTop)
+            rep->fail = pr.fail;
+    }
+
+    // Figure 6's test is whether the nest's most-reuse loop is now
+    // innermost — a trivially "sorted" short chain above an imperfect
+    // structure does not qualify.
+    bool innerPlaced;
+    {
+        NestAnalysis na(prog, root, params, enclosing);
+        innerPlaced =
+            pr.achievedMemoryOrder && innermostInMemoryOrder(na);
+    }
+
+    size_t slots = 1;
+    if (!innerPlaced) {
+        // Step 2: fuse all inner loops to enable permutation
+        // (Section 4.3.2), with rollback when it does not pay off.
+        std::vector<Node *> chain = perfectChain(root);
+        Node *deepest = chain.back();
+        bool innerAllLoops = !deepest->body.empty();
+        for (const auto &kid : deepest->body)
+            innerAllLoops = innerAllLoops && kid->isLoop();
+
+        bool fusionEnabled = false;
+        if (innerAllLoops && deepest->body.size() > 1) {
+            NodePtr snapshot = cloneNode(*root);
+            std::vector<Node *> enc = enclosing;
+            for (size_t i = 0; i + 1 < chain.size(); ++i)
+                enc.push_back(chain[i]);
+            if (fuseAllInner(prog, *deepest, enc, params)) {
+                NestAnalysis na(prog, root, params, enclosing);
+                PermuteResult pr2 = permuteToMemoryOrder(na, root);
+                if (pr2.achievedMemoryOrder || pr2.innerInMemoryOrder) {
+                    fusionEnabled = true;
+                    if (rep) {
+                        rep->usedFusion = true;
+                        rep->usedPermutation |= pr2.changed;
+                        rep->usedReversal |= pr2.usedReversal;
+                        if (isTop)
+                            rep->fail = pr2.fail;
+                    }
+                }
+            }
+            if (!fusionEnabled) {
+                ownerBody[index] = std::move(snapshot);
+                root = ownerBody[index].get();
+            }
+        }
+
+        // Step 3: distribution at the deepest enabling level.
+        if (!fusionEnabled) {
+            DistributeResult dr = distributeForMemoryOrder(
+                prog, ownerBody, index, enclosing, params);
+            if (dr.distributed) {
+                result.distributions += 1;
+                result.resultingNests += dr.resultingNests;
+                if (rep) {
+                    rep->usedDistribution = true;
+                    if (isTop)
+                        rep->fail = PermuteFail::None;
+                }
+                if (dr.splitTopLevel)
+                    slots = static_cast<size_t>(dr.resultingNests);
+            }
+        }
+    }
+
+    // Step 4: recurse into the sub-nests hanging below each slot's
+    // perfect chain, so statements in imperfect structures still get
+    // their best inner loop (e.g. the update nest of Gaussian
+    // elimination inside the pivot loop).
+    for (size_t s = 0; s < slots; ++s) {
+        Node *part = ownerBody[index + s].get();
+        std::vector<Node *> chain = perfectChain(part);
+        Node *deepest = chain.back();
+        std::vector<Node *> enc = enclosing;
+        for (Node *c : chain)
+            enc.push_back(c);
+        size_t k = 0;
+        while (k < deepest->body.size()) {
+            if (deepest->body[k]->isLoop() &&
+                loopDepth(*deepest->body[k]) >= 2) {
+                k += optimizeStructure(prog, deepest->body, k, enc,
+                                       params, result, rep, false);
+            } else {
+                ++k;
+            }
+        }
+    }
+    return slots;
+}
+
+/** Top-level per-nest wrapper: gathers the before/after statistics. */
+size_t
+optimizeNest(const Program &prog, std::vector<NodePtr> &ownerBody,
+             size_t index, const std::vector<Node *> &enclosing,
+             const ModelParams &params, CompoundResult &result)
+{
+    Node *root = ownerBody[index].get();
+    NestReport rep;
+    rep.depth = loopDepth(*root);
+
+    {
+        NestAnalysis na(prog, root, params, enclosing);
+        rep.origCost = nestCost(na);
+        rep.idealCost = idealNestCost(na);
+        rep.origMemoryOrder = nestInMemoryOrder(na);
+        rep.origInnerMemoryOrder = innermostInMemoryOrder(na);
+    }
+
+    size_t slots = optimizeStructure(prog, ownerBody, index, enclosing,
+                                     params, result, &rep);
+
+    // Final per-nest statistics over the slot range.
+    rep.finalMemoryOrder = true;
+    rep.finalInnerMemoryOrder = true;
+    rep.finalCost = Poly();
+    for (size_t s = 0; s < slots; ++s) {
+        Node *part = ownerBody[index + s].get();
+        NestAnalysis na(prog, part, params, enclosing);
+        rep.finalMemoryOrder &= nestInMemoryOrder(na);
+        rep.finalInnerMemoryOrder &= innermostInMemoryOrder(na);
+        rep.finalCost += nestCost(na);
+    }
+    if (rep.finalMemoryOrder)
+        rep.fail = PermuteFail::None;
+
+    result.nests.push_back(std::move(rep));
+    return slots;
+}
+
+} // namespace
+
+CompoundResult
+compoundTransform(Program &prog, const ModelParams &params,
+                  bool applyFusion)
+{
+    CompoundResult result;
+
+    for (auto &top : prog.body)
+        if (top->isLoop())
+            result.totalLoops +=
+                static_cast<int>(collectLoops(top.get()).size());
+
+    size_t index = 0;
+    while (index < prog.body.size()) {
+        Node *n = prog.body[index].get();
+        if (!n->isLoop() || loopDepth(*n) < 2) {
+            ++index;
+            continue;
+        }
+        ++result.totalNests;
+        index += optimizeNest(prog, prog.body, index, {}, params, result);
+    }
+
+    // Final pass: fuse adjacent compatible nests (and, through the
+    // recursion inside fuseSiblings, the pieces distribution created)
+    // when the cost model says temporal locality improves.
+    if (applyFusion)
+        result.fusion = fuseSiblings(prog, prog.body, {}, params, true);
+
+    return result;
+}
+
+} // namespace memoria

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * The Compound transformation algorithm (Section 4.5, Figure 6).
+ *
+ * Compound drives permutation, fusion, distribution and reversal to put
+ * the loop carrying the most reuse innermost for as many statements as
+ * possible: permute into memory order when legal; otherwise fuse all
+ * inner loops to create a permutable perfect nest; otherwise distribute
+ * at the deepest enabling level and permute the pieces; finally fuse
+ * adjacent nests (including the pieces distribution created) to recover
+ * group-temporal locality.
+ */
+
+#ifndef MEMORIA_TRANSFORM_COMPOUND_HH
+#define MEMORIA_TRANSFORM_COMPOUND_HH
+
+#include <vector>
+
+#include "ir/program.hh"
+#include "model/params.hh"
+#include "support/poly.hh"
+#include "transform/fuse.hh"
+#include "transform/permute.hh"
+
+namespace memoria {
+
+/** Per-nest outcome, feeding the Table 2 statistics. */
+struct NestReport
+{
+    int depth = 0;
+
+    bool origMemoryOrder = false;
+    bool origInnerMemoryOrder = false;
+    bool finalMemoryOrder = false;
+    bool finalInnerMemoryOrder = false;
+
+    bool usedPermutation = false;
+    bool usedFusion = false;        ///< FuseAll enabled permutation
+    bool usedDistribution = false;
+    bool usedReversal = false;
+
+    /** Why memory order was missed (when it was). */
+    PermuteFail fail = PermuteFail::None;
+
+    Poly origCost;
+    Poly finalCost;
+    Poly idealCost;
+};
+
+/** Whole-program outcome of Compound. */
+struct CompoundResult
+{
+    std::vector<NestReport> nests;  ///< one per original depth>=2 nest
+
+    FuseStats fusion;       ///< Table 2: C (candidates) and A (fused)
+    int distributions = 0;  ///< Table 2: D
+    int resultingNests = 0; ///< Table 2: R
+
+    /** Total loops / nests scanned (depth >= 2 nests only in nests). */
+    int totalLoops = 0;
+    int totalNests = 0;
+};
+
+/**
+ * Run Compound on a whole program in place.
+ *
+ * `applyFusion` allows ablating the final profit-driven fusion pass
+ * (Section 5.5 measures hit rates with and without fusion).
+ */
+CompoundResult compoundTransform(Program &prog, const ModelParams &params,
+                                 bool applyFusion = true);
+
+} // namespace memoria
+
+#endif // MEMORIA_TRANSFORM_COMPOUND_HH

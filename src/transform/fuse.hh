@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Loop fusion (Section 4.3, Figure 4).
+ *
+ * Fusion merges adjacent compatible loop nests. It serves two purposes:
+ * improving group-temporal locality directly (profitable when the fused
+ * LoopCost is lower than the sum of the separate LoopCosts), and fusing
+ * all inner loops of an imperfect nest to create a perfect nest that
+ * permutation can then reorder (FuseAll, Section 4.3.2).
+ *
+ * Legality follows [War84]: fusion must not reverse any dependence. We
+ * test it constructively — build the fused candidate, recompute
+ * dependences, and reject if any constraining edge runs from the second
+ * body to the first at (or inside) the fused level.
+ */
+
+#ifndef MEMORIA_TRANSFORM_FUSE_HH
+#define MEMORIA_TRANSFORM_FUSE_HH
+
+#include <vector>
+
+#include "ir/program.hh"
+#include "model/params.hh"
+
+namespace memoria {
+
+/** Counters for Table 2's Loop Fusion columns. */
+struct FuseStats
+{
+    /** Nests that were candidates (member of a compatible adjacent
+     *  pair). */
+    int candidates = 0;
+
+    /** Nests that were actually fused with one or more others. */
+    int fused = 0;
+
+    FuseStats &
+    operator+=(const FuseStats &o)
+    {
+        candidates += o.candidates;
+        fused += o.fused;
+        return *this;
+    }
+};
+
+/**
+ * Header compatibility (Section 4.3.1): equal trip counts and steps.
+ * Differing lower bounds are allowed; fusion aligns them by shifting
+ * the second nest's index variable.
+ */
+bool headersCompatible(const Node &a, const Node &b);
+
+/**
+ * Merge loop `b` into loop `a` (headers must be compatible): the second
+ * body's index variable is renamed/shifted onto the first's and the
+ * bodies are concatenated. `b` is consumed.
+ */
+void mergeLoops(Node &a, NodePtr b);
+
+/**
+ * Would fusing adjacent sibling loops a and b reverse a dependence?
+ *
+ * `enclosing` is the chain of loops around the pair, outermost first
+ * (empty at program level); it provides the outer context so that
+ * dependences carried by outer loops are attributed correctly.
+ */
+bool fusionLegal(const Program &prog, Node &a, Node &b,
+                 const std::vector<Node *> &enclosing);
+
+/**
+ * Profitability per the cost model: LoopCost of the fused loop is
+ * strictly lower than the sum of the separate LoopCosts.
+ */
+bool fusionProfitable(const Program &prog, Node &a, Node &b,
+                      const std::vector<Node *> &enclosing,
+                      const ModelParams &params);
+
+/**
+ * Greedy fusion pass over a sibling list (Figure 4): repeatedly fuse
+ * adjacent compatible nests when legal and (if `requireProfit`)
+ * profitable, then recurse into fused bodies so compatible nests fuse
+ * at every level. Mutates `siblings` in place.
+ */
+FuseStats fuseSiblings(const Program &prog, std::vector<NodePtr> &siblings,
+                       const std::vector<Node *> &enclosing,
+                       const ModelParams &params, bool requireProfit,
+                       bool countStats = true);
+
+/**
+ * FuseAll (Section 4.3.2): fuse *all* the adjacent inner loops of
+ * `outer` into a single loop when legal, producing a perfect nest that
+ * permutation can handle. Returns true when the body ends up perfect.
+ */
+bool fuseAllInner(const Program &prog, Node &outer,
+                  const std::vector<Node *> &enclosing,
+                  const ModelParams &params);
+
+} // namespace memoria
+
+#endif // MEMORIA_TRANSFORM_FUSE_HH

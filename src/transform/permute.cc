@@ -1,0 +1,340 @@
+#include "transform/permute.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "dependence/legality.hh"
+#include "support/logging.hh"
+#include "transform/reverse.hh"
+
+namespace memoria {
+
+namespace {
+
+/** A loop header, detached from its tree position. */
+struct Header
+{
+    VarId var = kNoVar;
+    AffineExpr lb;
+    AffineExpr ub;
+    int64_t step = 1;
+};
+
+Header
+headerOf(const Node &n)
+{
+    return {n.var, n.lb, n.ub, n.step};
+}
+
+void
+setHeader(Node &n, const Header &h)
+{
+    n.var = h.var;
+    n.lb = h.lb;
+    n.ub = h.ub;
+    n.step = h.step;
+}
+
+/**
+ * Exchange two adjacent headers (hu outer, hv inner) in place.
+ * Returns false (leaving both untouched) when the bounds are too
+ * complex for a rectangular or triangular exchange.
+ */
+bool
+exchangeHeaders(Header &hu, Header &hv)
+{
+    int64_t cLo = hv.lb.coeff(hu.var);
+    int64_t cHi = hv.ub.coeff(hu.var);
+
+    if (cLo == 0 && cHi == 0) {
+        std::swap(hu, hv);
+        return true;
+    }
+    if (hu.step != 1 || hv.step != 1)
+        return false;
+
+    if (cHi == 1 && cLo == 0) {
+        // Upper-triangular: lbV <= v <= u + k.
+        AffineExpr k = hv.ub.withoutVar(hu.var);
+        AffineExpr slack = hv.lb - (hu.lb + k);
+        if (!slack.isConstant() || slack.constant() < 0)
+            return false;
+        Header newOuter{hv.var, hv.lb, hu.ub + k, 1};
+        Header newInner{hu.var, AffineExpr::makeVar(hv.var) - k, hu.ub,
+                        1};
+        hu = newOuter;
+        hv = newInner;
+        return true;
+    }
+    if (cLo == 1 && cHi == 0) {
+        // Lower-triangular: u + k <= v <= ubV.
+        AffineExpr k = hv.lb.withoutVar(hu.var);
+        AffineExpr slack = (hu.ub + k) - hv.ub;
+        if (!slack.isConstant() || slack.constant() < 0)
+            return false;
+        Header newOuter{hv.var, hu.lb + k, hv.ub, 1};
+        Header newInner{hu.var, hu.lb, AffineExpr::makeVar(hv.var) - k,
+                        1};
+        hu = newOuter;
+        hv = newInner;
+        return true;
+    }
+    return false;
+}
+
+/**
+ * Reorder `headers` so that slot i holds original header perm[i],
+ * performing pairwise exchanges. Returns false when any required
+ * exchange is too complex (headers left in an unspecified but
+ * consistent intermediate state — callers work on copies).
+ */
+bool
+applyHeaderPermutation(std::vector<Header> &headers,
+                       const std::vector<int> &perm)
+{
+    int d = static_cast<int>(headers.size());
+    std::vector<int> ids(d);
+    std::iota(ids.begin(), ids.end(), 0);
+
+    for (int pos = 0; pos < d; ++pos) {
+        int cur = pos;
+        while (ids[cur] != perm[pos])
+            ++cur;
+        // Bubble the wanted header outward to `pos`.
+        for (int k = cur; k > pos; --k) {
+            if (!exchangeHeaders(headers[k - 1], headers[k]))
+                return false;
+            std::swap(ids[k - 1], ids[k]);
+        }
+    }
+    return true;
+}
+
+/** Permutations of 0..d-1, identity first. */
+std::vector<std::vector<int>>
+allPermutations(int d)
+{
+    std::vector<int> p(d);
+    std::iota(p.begin(), p.end(), 0);
+    std::vector<std::vector<int>> out;
+    do {
+        out.push_back(p);
+    } while (std::next_permutation(p.begin(), p.end()));
+    return out;
+}
+
+/** Edges with selected original levels reversed (reversal enabling). */
+std::vector<DepEdge>
+edgesWithReversedLevels(const std::vector<DepEdge> &edges,
+                        const std::vector<int> &levels)
+{
+    std::vector<DepEdge> out = edges;
+    for (auto &e : out)
+        for (int l : levels)
+            if (l < static_cast<int>(e.vec.levels.size()))
+                e.vec = e.vec.withLevelReversed(l);
+    return out;
+}
+
+} // namespace
+
+bool
+canExchangeAdjacent(const Node &outer, const Node &inner)
+{
+    Header hu = headerOf(outer);
+    Header hv = headerOf(inner);
+    return exchangeHeaders(hu, hv);
+}
+
+bool
+exchangeAdjacent(Node &outer, Node &inner)
+{
+    Header hu = headerOf(outer);
+    Header hv = headerOf(inner);
+    if (!exchangeHeaders(hu, hv))
+        return false;
+    setHeader(outer, hu);
+    setHeader(inner, hv);
+    return true;
+}
+
+bool
+applyPermutation(Node *chainRoot, const std::vector<int> &perm)
+{
+    std::vector<Node *> chain = perfectChain(chainRoot);
+    MEMORIA_ASSERT(perm.size() == chain.size(),
+                   "permutation size mismatch");
+    std::vector<Header> h;
+    for (Node *l : chain)
+        h.push_back(headerOf(*l));
+    if (!applyHeaderPermutation(h, perm))
+        return false;
+    for (size_t i = 0; i < chain.size(); ++i)
+        setHeader(*chain[i], h[i]);
+    return true;
+}
+
+bool
+permuteIgnoringLegality(const NestAnalysis &analysis, Node *chainRoot)
+{
+    std::vector<Node *> chain = perfectChain(chainRoot);
+    int d = static_cast<int>(chain.size());
+    if (d < 2)
+        return false;
+
+    std::vector<Node *> mo;
+    for (Node *l : analysis.memoryOrder())
+        if (std::find(chain.begin(), chain.end(), l) != chain.end())
+            mo.push_back(l);
+
+    std::vector<int> target(d);
+    for (int i = 0; i < d; ++i) {
+        auto it = std::find(chain.begin(), chain.end(), mo[i]);
+        target[i] = static_cast<int>(it - chain.begin());
+    }
+    std::vector<int> identity(d);
+    std::iota(identity.begin(), identity.end(), 0);
+    if (target == identity)
+        return false;
+
+    std::vector<Header> h;
+    for (Node *l : chain)
+        h.push_back(headerOf(*l));
+    if (!applyHeaderPermutation(h, target))
+        return false;  // bounds too complex even for the ideal program
+    for (int i = 0; i < d; ++i)
+        setHeader(*chain[i], h[i]);
+    return true;
+}
+
+PermuteResult
+permuteToMemoryOrder(const NestAnalysis &analysis, Node *chainRoot,
+                     bool allowReversal)
+{
+    PermuteResult result;
+
+    std::vector<Node *> chain = perfectChain(chainRoot);
+    int d = static_cast<int>(chain.size());
+    if (d < 1)
+        return result;
+
+    // Memory order restricted to the chain's loops.
+    std::vector<Node *> mo;
+    for (Node *l : analysis.memoryOrder())
+        if (std::find(chain.begin(), chain.end(), l) != chain.end())
+            mo.push_back(l);
+    MEMORIA_ASSERT(static_cast<int>(mo.size()) == d,
+                   "memory order does not cover the chain");
+
+    // Desired permutation: position i takes chain index target[i].
+    std::vector<int> target(d);
+    std::vector<int> moIndexOf(d);  // chain index -> rank in memory order
+    for (int i = 0; i < d; ++i) {
+        auto it = std::find(chain.begin(), chain.end(), mo[i]);
+        target[i] = static_cast<int>(it - chain.begin());
+        moIndexOf[target[i]] = i;
+    }
+
+    std::vector<int> identity(d);
+    std::iota(identity.begin(), identity.end(), 0);
+
+    result.alreadyMemoryOrder = (target == identity);
+    result.innerAlreadyMemoryOrder = (target[d - 1] == d - 1);
+    if (result.alreadyMemoryOrder) {
+        result.innerInMemoryOrder = true;
+        result.achievedMemoryOrder = true;
+        return result;
+    }
+
+    const auto &edges = analysis.graph().edges();
+
+    std::vector<Header> baseHeaders;
+    for (Node *l : chain)
+        baseHeaders.push_back(headerOf(*l));
+
+    auto boundsOk = [&](const std::vector<int> &perm) {
+        std::vector<Header> h = baseHeaders;
+        return applyHeaderPermutation(h, perm);
+    };
+
+    // Rank candidate permutations: prefer the most desirable inner
+    // loop, then the next position outward, etc. (Section 4.1).
+    auto score = [&](const std::vector<int> &perm) {
+        std::vector<int> s(d);
+        for (int i = 0; i < d; ++i)
+            s[i] = moIndexOf[perm[d - 1 - i]];
+        return s;
+    };
+
+    std::vector<int> best = identity;
+    std::vector<int> bestScore = score(identity);
+    bool targetLegalByDeps = false;
+
+    if (d <= 6) {
+        for (const auto &perm : allPermutations(d)) {
+            if (perm == identity)
+                continue;
+            bool legal = permutationLegal(edges, perm);
+            if (legal && perm == target)
+                targetLegalByDeps = true;
+            if (!legal || !boundsOk(perm))
+                continue;
+            auto s = score(perm);
+            if (s > bestScore) {
+                bestScore = s;
+                best = perm;
+            }
+        }
+    }
+
+    // Reversal as an enabler: only chased for the full memory-order
+    // target, single reversed loop at a time (the paper found reversal
+    // never helped; we keep the capability faithful but narrow).
+    std::vector<int> reversedLevels;
+    if (allowReversal && best != target) {
+        for (int l = 0; l < d && reversedLevels.empty(); ++l) {
+            auto mod = edgesWithReversedLevels(edges, {l});
+            if (!permutationLegal(mod, target))
+                continue;
+            std::vector<Header> h = baseHeaders;
+            h[l].lb = baseHeaders[l].ub;
+            h[l].ub = baseHeaders[l].lb;
+            h[l].step = -baseHeaders[l].step;
+            if (applyHeaderPermutation(h, target)) {
+                reversedLevels = {l};
+                best = target;
+            }
+        }
+    }
+
+    if (best == identity) {
+        result.fail = targetLegalByDeps ? PermuteFail::Bounds
+                                        : PermuteFail::Dependences;
+        // Even unchanged, the inner loop may already be the best one.
+        result.innerInMemoryOrder = result.innerAlreadyMemoryOrder;
+        return result;
+    }
+
+    // Apply: reversals first, then the permutation on real headers.
+    std::vector<Header> h = baseHeaders;
+    for (int l : reversedLevels) {
+        std::swap(h[l].lb, h[l].ub);
+        h[l].step = -h[l].step;
+        result.usedReversal = true;
+    }
+    bool ok = applyHeaderPermutation(h, best);
+    MEMORIA_ASSERT(ok, "bounds exchange failed after dry run succeeded");
+    for (int i = 0; i < d; ++i)
+        setHeader(*chain[i], h[i]);
+
+    result.changed = true;
+    result.achievedMemoryOrder = (best == target);
+    result.innerInMemoryOrder = (best[d - 1] == target[d - 1]);
+    if (!result.achievedMemoryOrder) {
+        result.fail = targetLegalByDeps ? PermuteFail::Bounds
+                                        : PermuteFail::Dependences;
+    }
+    return result;
+}
+
+} // namespace memoria

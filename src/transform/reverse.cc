@@ -1,0 +1,15 @@
+#include "transform/reverse.hh"
+
+#include "support/logging.hh"
+
+namespace memoria {
+
+void
+reverseLoop(Node &loop)
+{
+    MEMORIA_ASSERT(loop.isLoop(), "reverseLoop needs a loop");
+    std::swap(loop.lb, loop.ub);
+    loop.step = -loop.step;
+}
+
+} // namespace memoria

@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Loop reversal (Section 4.2).
+ *
+ * Reversal runs a loop's iterations backwards. It never changes the
+ * pattern of reuse, but it can *enable* permutation by flipping the sign
+ * of a dependence level; Permute consults it when a desired placement is
+ * otherwise illegal.
+ */
+
+#ifndef MEMORIA_TRANSFORM_REVERSE_HH
+#define MEMORIA_TRANSFORM_REVERSE_HH
+
+#include "ir/program.hh"
+
+namespace memoria {
+
+/** Reverse the iteration direction of a loop in place:
+ *  DO I = lb, ub, s becomes DO I = ub, lb, -s. */
+void reverseLoop(Node &loop);
+
+} // namespace memoria
+
+#endif // MEMORIA_TRANSFORM_REVERSE_HH

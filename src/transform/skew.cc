@@ -1,0 +1,28 @@
+#include "transform/skew.hh"
+
+#include "ir/walk.hh"
+#include "support/logging.hh"
+
+namespace memoria {
+
+void
+skewLoop(Node &outer, Node &inner, int64_t factor)
+{
+    MEMORIA_ASSERT(outer.isLoop() && inner.isLoop(),
+                   "skewLoop needs two loops");
+    MEMORIA_ASSERT(outer.step == 1 && inner.step == 1,
+                   "skewLoop requires unit steps");
+    MEMORIA_ASSERT(factor != 0, "zero skew factor is the identity");
+
+    // New index j' = j + f*i runs over shifted bounds; the body sees
+    // j = j' - f*i.
+    AffineExpr fi = AffineExpr::makeVar(outer.var) * factor;
+    for (auto &item : inner.body) {
+        substituteVar(*item, inner.var,
+                      AffineExpr::makeVar(inner.var) - fi);
+    }
+    inner.lb = inner.lb + fi;
+    inner.ub = inner.ub + fi;
+}
+
+} // namespace memoria

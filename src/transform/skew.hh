@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Loop skewing.
+ *
+ * The paper's system implemented skewing and the cost model can drive
+ * it, but Wolf's experiments (and the paper's own) found it was never
+ * needed for locality, so Compound does not invoke it (Section 2). It
+ * is provided as a standalone, fully tested transformation: skewing an
+ * inner loop by factor f w.r.t. an outer loop maps iteration (i, j) to
+ * (i, j + f*i), turning dependence components (di, dj) into
+ * (di, dj + f*di) — always legal, and able to make a band fully
+ * permutable (enabling tiling of wavefront codes).
+ */
+
+#ifndef MEMORIA_TRANSFORM_SKEW_HH
+#define MEMORIA_TRANSFORM_SKEW_HH
+
+#include "ir/program.hh"
+
+namespace memoria {
+
+/**
+ * Skew `inner` by `factor` with respect to `outer` (both must be
+ * loops, inner nested directly or indirectly in outer, steps +1).
+ * The iteration space is relabeled; semantics are always preserved.
+ */
+void skewLoop(Node &outer, Node &inner, int64_t factor);
+
+} // namespace memoria
+
+#endif // MEMORIA_TRANSFORM_SKEW_HH

@@ -1,0 +1,107 @@
+#include "transform/tile.hh"
+
+#include "ir/walk.hh"
+#include "support/logging.hh"
+
+namespace memoria {
+
+bool
+bandFullyPermutable(const std::vector<DepEdge> &edges, int bandDepth)
+{
+    for (const auto &e : edges) {
+        if (!e.constrains())
+            continue;
+        for (int p = 0;
+             p < bandDepth && p < static_cast<int>(e.vec.levels.size());
+             ++p) {
+            if (e.vec.levels[p].canGT())
+                return false;
+        }
+    }
+    return true;
+}
+
+bool
+tilePerfectNest(Program &prog, Node *chainRoot, int bandDepth,
+                int64_t tileSize, const std::vector<DepEdge> &edges)
+{
+    MEMORIA_ASSERT(tileSize >= 1, "tile size must be positive");
+    std::vector<Node *> chain = perfectChain(chainRoot);
+    if (bandDepth < 1 || bandDepth > static_cast<int>(chain.size()))
+        return false;
+    if (!bandFullyPermutable(edges, bandDepth))
+        return false;
+
+    // Bounds must be compile-time evaluable: constants or affine in
+    // parameters (whose values are known).
+    auto evalBound = [&prog](const AffineExpr &e, int64_t *out) {
+        for (const auto &[v, c] : e.terms()) {
+            (void)c;
+            if (prog.varInfo(v).kind != VarKind::Param)
+                return false;
+        }
+        *out = e.eval([&prog](VarId v) {
+            return prog.varInfo(v).paramValue;
+        });
+        return true;
+    };
+
+    struct Band
+    {
+        VarId var;
+        int64_t lb, ub;
+        VarId ctrl;
+    };
+    std::vector<Band> band;
+    for (int k = 0; k < bandDepth; ++k) {
+        Node *l = chain[k];
+        int64_t lb = 0, ub = 0;
+        if (l->step != 1 || !evalBound(l->lb, &lb) ||
+            !evalBound(l->ub, &ub))
+            return false;
+        if ((ub - lb + 1) % tileSize != 0)
+            return false;
+        band.push_back({l->var, lb, ub, kNoVar});
+    }
+
+    // Fresh tile-controller variables.
+    for (auto &b : band) {
+        VarInfo info;
+        info.name = prog.varName(b.var) + "T";
+        info.kind = VarKind::LoopVar;
+        prog.vars.push_back(std::move(info));
+        b.ctrl = static_cast<VarId>(prog.vars.size() - 1);
+    }
+
+    // Rebuild from the inside out: element loops over one tile, then
+    // controller loops striding by the tile size.
+    std::vector<NodePtr> inner = std::move(chain[bandDepth - 1]->body);
+    for (int k = bandDepth - 1; k >= 0; --k) {
+        const Band &b = band[k];
+        std::vector<NodePtr> body = std::move(inner);
+        inner.clear();
+        inner.push_back(Node::makeLoop(
+            b.var, AffineExpr::makeVar(b.ctrl),
+            AffineExpr::makeVar(b.ctrl) + (tileSize - 1), 1,
+            std::move(body)));
+    }
+    for (int k = bandDepth - 1; k >= 0; --k) {
+        const Band &b = band[k];
+        std::vector<NodePtr> body = std::move(inner);
+        inner.clear();
+        inner.push_back(Node::makeLoop(b.ctrl, AffineExpr(b.lb),
+                                       AffineExpr(b.ub), tileSize,
+                                       std::move(body)));
+    }
+
+    // Replace the chain root's contents with the new structure.
+    Node &top = *inner[0];
+    chainRoot->var = top.var;
+    chainRoot->lb = top.lb;
+    chainRoot->ub = top.ub;
+    chainRoot->step = top.step;
+    chainRoot->body = std::move(top.body);
+    return true;
+}
+
+} // namespace memoria

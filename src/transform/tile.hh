@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Loop tiling (Section 6): strip-mine-and-interchange.
+ *
+ * The paper identifies the criterion its cost model supplies for tiling:
+ * create loop-invariant references with respect to the target loop.
+ * Tiling here is the classic transformation — the outermost `bandDepth`
+ * loops of a fully permutable perfect band are strip-mined and their
+ * tile-controller loops moved outside the band.
+ */
+
+#ifndef MEMORIA_TRANSFORM_TILE_HH
+#define MEMORIA_TRANSFORM_TILE_HH
+
+#include <vector>
+
+#include "dependence/graph.hh"
+#include "ir/program.hh"
+
+namespace memoria {
+
+/**
+ * True when the outermost `bandDepth` levels of the nest form a fully
+ * permutable band (every dependence component in the band is
+ * non-negative), which makes tiling legal.
+ */
+bool bandFullyPermutable(const std::vector<DepEdge> &edges, int bandDepth);
+
+/**
+ * Tile the outermost `bandDepth` loops of the perfect chain rooted at
+ * `chainRoot` with square tiles of `tileSize`.
+ *
+ * Restrictions (sufficient for the benchmarks): the band loops must
+ * have step 1 and constant bounds whose trip counts divide evenly by
+ * the tile size. Returns false, leaving the nest untouched, when any
+ * restriction fails or the band is not permutable.
+ */
+bool tilePerfectNest(Program &prog, Node *chainRoot, int bandDepth,
+                     int64_t tileSize, const std::vector<DepEdge> &edges);
+
+} // namespace memoria
+
+#endif // MEMORIA_TRANSFORM_TILE_HH

@@ -1,0 +1,64 @@
+#include "transform/unroll_jam.hh"
+
+#include "dependence/legality.hh"
+#include "ir/walk.hh"
+#include "support/logging.hh"
+#include "transform/tile.hh"
+
+namespace memoria {
+
+bool
+unrollAndJam(Program &prog, Node *outer, int64_t factor,
+             const std::vector<DepEdge> &edges)
+{
+    if (factor < 2 || !outer->isLoop() || outer->step != 1)
+        return false;
+    std::vector<Node *> chain = perfectChain(outer);
+    if (chain.size() < 2)
+        return false;
+
+    // Outer trip must be a known multiple of the factor.
+    auto evalBound = [&prog](const AffineExpr &e, int64_t *out) {
+        for (const auto &[v, c] : e.terms()) {
+            (void)c;
+            if (prog.varInfo(v).kind != VarKind::Param)
+                return false;
+        }
+        *out = e.eval([&prog](VarId v) {
+            return prog.varInfo(v).paramValue;
+        });
+        return true;
+    };
+    int64_t lb = 0, ub = 0;
+    if (!evalBound(outer->lb, &lb) || !evalBound(outer->ub, &ub))
+        return false;
+    if ((ub - lb + 1) % factor != 0)
+        return false;
+
+    // Jamming executes the strip's outer iterations inside the inner
+    // loops: the (outer, inner) band must be fully permutable.
+    if (!bandFullyPermutable(edges, 2))
+        return false;
+
+    // Replicate the innermost body with shifted outer indices; the
+    // copies get fresh statement ids.
+    Node *innermost = chain.back();
+    int nextId = maxStmtId(prog) + 1;
+    std::vector<NodePtr> jammed;
+    for (int64_t u = 0; u < factor; ++u) {
+        for (const auto &item : innermost->body) {
+            NodePtr copy = cloneNode(*item);
+            if (u > 0) {
+                substituteVar(*copy, outer->var,
+                              AffineExpr::makeVar(outer->var) + u);
+                renumberStmtsFrom(*copy, nextId);
+            }
+            jammed.push_back(std::move(copy));
+        }
+    }
+    innermost->body = std::move(jammed);
+    outer->step = factor;
+    return true;
+}
+
+} // namespace memoria

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Unroll-and-jam (register tiling; framework step 3, [CCK88, Car92]).
+ *
+ * Unrolls an outer loop by a factor and jams the copies into the inner
+ * loop body, multiplying the register reuse scalar replacement can
+ * harvest. Legality is the strip-interchange condition: no constraining
+ * dependence may be reversed when iterations of the outer loop within
+ * one strip execute together (conservatively, the outer/inner pair must
+ * be interchangeable).
+ */
+
+#ifndef MEMORIA_TRANSFORM_UNROLL_JAM_HH
+#define MEMORIA_TRANSFORM_UNROLL_JAM_HH
+
+#include "dependence/graph.hh"
+#include "ir/program.hh"
+
+namespace memoria {
+
+/**
+ * Unroll-and-jam the perfect 2-deep (or deeper) nest at `outer` by
+ * `factor`: outer steps by factor, and the innermost body is
+ * replicated with the outer index shifted by 0..factor-1.
+ *
+ * Requirements (returns false, untouched, otherwise): outer step +1,
+ * constant-evaluable outer trip divisible by factor, a perfect chain
+ * of depth >= 2 below `outer`, and a fully permutable (outer, next)
+ * pair per `edges`.
+ */
+bool unrollAndJam(Program &prog, Node *outer, int64_t factor,
+                  const std::vector<DepEdge> &edges);
+
+} // namespace memoria
+
+#endif // MEMORIA_TRANSFORM_UNROLL_JAM_HH

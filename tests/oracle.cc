@@ -1,0 +1,230 @@
+#include "oracle.hh"
+
+#include <set>
+#include <sstream>
+#include <tuple>
+
+#include "ir/printer.hh"
+#include "support/logging.hh"
+
+namespace memoria {
+
+namespace {
+
+class TraceBuilder
+{
+  public:
+    explicit TraceBuilder(Program &prog) : prog_(prog)
+    {
+        env_.assign(prog.vars.size(), 0);
+        for (size_t v = 0; v < prog.vars.size(); ++v)
+            if (prog.vars[v].kind == VarKind::Param)
+                env_[v] = prog.vars[v].paramValue;
+    }
+
+    std::vector<OracleAccess>
+    run()
+    {
+        for (auto &n : prog_.body)
+            exec(*n);
+        return std::move(trace_);
+    }
+
+  private:
+    int64_t
+    evalAffine(const AffineExpr &e) const
+    {
+        return e.eval([this](VarId v) { return env_[v]; });
+    }
+
+    uint64_t
+    location(const ArrayRef &ref) const
+    {
+        const ArrayDecl &decl = prog_.arrayDecl(ref.array);
+        uint64_t index = 0;
+        uint64_t stride = 1;
+        for (size_t k = 0; k < ref.subs.size(); ++k) {
+            MEMORIA_ASSERT(ref.subs[k].isAffine(),
+                           "oracle requires affine subscripts");
+            int64_t s = evalAffine(ref.subs[k].affine);
+            int64_t ext = evalAffine(decl.extents[k]);
+            MEMORIA_ASSERT(s >= 1 && s <= ext, "oracle subscript OOB");
+            index += static_cast<uint64_t>(s - 1) * stride;
+            stride *= static_cast<uint64_t>(ext);
+        }
+        return (static_cast<uint64_t>(ref.array) << 48) | index;
+    }
+
+    void
+    record(const Statement &stmt, const ArrayRef &ref, bool isWrite)
+    {
+        OracleAccess a;
+        a.stmt = &stmt;
+        a.ref = &ref;
+        a.isWrite = isWrite;
+        a.location = location(ref);
+        a.loops = loops_;
+        a.iters.reserve(loops_.size());
+        for (Node *l : loops_)
+            a.iters.push_back(env_[l->var]);
+        a.time = time_++;
+        trace_.push_back(std::move(a));
+    }
+
+    void
+    exec(Node &n)
+    {
+        if (n.isStmt()) {
+            for (const auto &occ : collectRefs(n.stmt))
+                if (!occ.isWrite)
+                    record(n.stmt, *occ.ref, false);
+            for (const auto &occ : collectRefs(n.stmt))
+                if (occ.isWrite)
+                    record(n.stmt, *occ.ref, true);
+            return;
+        }
+        int64_t lb = evalAffine(n.lb);
+        int64_t ub = evalAffine(n.ub);
+        loops_.push_back(&n);
+        if (n.step > 0) {
+            for (int64_t v = lb; v <= ub; v += n.step) {
+                env_[n.var] = v;
+                for (auto &kid : n.body)
+                    exec(*kid);
+            }
+        } else {
+            for (int64_t v = lb; v >= ub; v += n.step) {
+                env_[n.var] = v;
+                for (auto &kid : n.body)
+                    exec(*kid);
+            }
+        }
+        loops_.pop_back();
+    }
+
+    Program &prog_;
+    std::vector<int64_t> env_;
+    std::vector<Node *> loops_;
+    std::vector<OracleAccess> trace_;
+    uint64_t time_ = 0;
+};
+
+} // namespace
+
+std::vector<OracleAccess>
+oracleTrace(Program &prog)
+{
+    return TraceBuilder(prog).run();
+}
+
+std::vector<OracleDep>
+oracleDependences(Program &prog, bool includeInput)
+{
+    auto trace = oracleTrace(prog);
+
+    // Group accesses per location, preserving execution order.
+    std::map<uint64_t, std::vector<const OracleAccess *>> byLoc;
+    for (const auto &a : trace)
+        byLoc[a.location].push_back(&a);
+
+    std::vector<OracleDep> deps;
+    std::set<std::tuple<const ArrayRef *, const ArrayRef *,
+                        std::vector<int64_t>, bool, bool>>
+        seen;
+
+    for (const auto &[loc, list] : byLoc) {
+        for (size_t i = 0; i < list.size(); ++i) {
+            for (size_t j = i + 1; j < list.size(); ++j) {
+                const OracleAccess &src = *list[i];
+                const OracleAccess &dst = *list[j];
+                if (!includeInput && !src.isWrite && !dst.isWrite)
+                    continue;
+                if (src.ref == dst.ref && src.time == dst.time)
+                    continue;
+                // Read-read self pairs (one reference against itself
+                // across iterations) are deliberately unmodeled: they
+                // constrain nothing and RefGroup needs only cross-
+                // reference input dependences.
+                if (src.ref == dst.ref && !src.isWrite && !dst.isWrite)
+                    continue;
+
+                size_t nCommon = 0;
+                while (nCommon < src.loops.size() &&
+                       nCommon < dst.loops.size() &&
+                       src.loops[nCommon] == dst.loops[nCommon])
+                    ++nCommon;
+                std::vector<int64_t> dist(nCommon);
+                for (size_t l = 0; l < nCommon; ++l) {
+                    dist[l] = (dst.iters[l] - src.iters[l]) /
+                              src.loops[l]->step;
+                }
+                auto key = std::make_tuple(src.ref, dst.ref, dist,
+                                           src.isWrite, dst.isWrite);
+                if (!seen.insert(key).second)
+                    continue;
+                OracleDep d;
+                d.src = src.stmt;
+                d.dst = dst.stmt;
+                d.srcRef = src.ref;
+                d.dstRef = dst.ref;
+                d.srcWrite = src.isWrite;
+                d.dstWrite = dst.isWrite;
+                d.dist = std::move(dist);
+                deps.push_back(std::move(d));
+            }
+        }
+    }
+    return deps;
+}
+
+bool
+graphCovers(const DependenceGraph &graph,
+            const std::vector<OracleDep> &deps, std::string *firstMiss)
+{
+    for (const auto &d : deps) {
+        bool covered = false;
+        for (const auto &e : graph.edges()) {
+            if (e.srcRef != d.srcRef || e.dstRef != d.dstRef)
+                continue;
+            if (e.src != d.src || e.dst != d.dst)
+                continue;
+            if (e.vec.levels.size() > d.dist.size())
+                continue;
+            bool match = true;
+            for (size_t l = 0; l < e.vec.levels.size(); ++l) {
+                const DepLevel &lev = e.vec.levels[l];
+                int64_t dd = d.dist[l];
+                if (lev.hasDist) {
+                    if (lev.dist != dd)
+                        match = false;
+                } else {
+                    Dir need = dd > 0 ? DirLT : (dd < 0 ? DirGT : DirEQ);
+                    if (!(lev.dirs & need))
+                        match = false;
+                }
+                if (!match)
+                    break;
+            }
+            if (match) {
+                covered = true;
+                break;
+            }
+        }
+        if (!covered) {
+            if (firstMiss) {
+                std::ostringstream os;
+                os << "uncovered dependence stmt" << d.src->id << " -> "
+                   << "stmt" << d.dst->id << " dist(";
+                for (size_t l = 0; l < d.dist.size(); ++l)
+                    os << (l ? "," : "") << d.dist[l];
+                os << ") " << (d.srcWrite ? "W" : "R")
+                   << (d.dstWrite ? "W" : "R");
+                *firstMiss = os.str();
+            }
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace memoria

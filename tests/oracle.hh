@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Brute-force dependence oracle for the test suite.
+ *
+ * Enumerates the entire iteration space of an (affine) program,
+ * records every access with its loop-iteration snapshot, and derives
+ * the exact set of data dependences. Tests require the analytical
+ * dependence graph to *cover* the oracle (soundness); selected cases
+ * also assert exactness.
+ */
+
+#ifndef MEMORIA_TESTS_ORACLE_HH
+#define MEMORIA_TESTS_ORACLE_HH
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "dependence/graph.hh"
+#include "ir/program.hh"
+#include "ir/walk.hh"
+
+namespace memoria {
+
+/** One recorded access. */
+struct OracleAccess
+{
+    const Statement *stmt = nullptr;
+    const ArrayRef *ref = nullptr;
+    bool isWrite = false;
+    uint64_t location = 0;              ///< array id + linear index
+    std::vector<Node *> loops;          ///< enclosing loops
+    std::vector<int64_t> iters;         ///< loop variable values
+    uint64_t time = 0;                  ///< execution order
+};
+
+/** A ground-truth dependence between two accesses. */
+struct OracleDep
+{
+    const Statement *src = nullptr;
+    const Statement *dst = nullptr;
+    const ArrayRef *srcRef = nullptr;
+    const ArrayRef *dstRef = nullptr;
+    bool srcWrite = false;
+    bool dstWrite = false;
+    /** Iteration deltas over the common loops (dst minus src, in
+     *  iteration counts). */
+    std::vector<int64_t> dist;
+};
+
+/** Execute the program symbolically and record all accesses. */
+std::vector<OracleAccess> oracleTrace(Program &prog);
+
+/** All exact dependences (pairs touching one location, at least one
+ *  write, ordered by execution time). Input (read-read) pairs are
+ *  included when `includeInput`. */
+std::vector<OracleDep> oracleDependences(Program &prog,
+                                         bool includeInput = false);
+
+/**
+ * True when every oracle dependence is covered by some edge of the
+ * analytical graph: same statements and refs, and the edge's vector
+ * admits the observed iteration distances.
+ */
+bool graphCovers(const DependenceGraph &graph,
+                 const std::vector<OracleDep> &deps,
+                 std::string *firstMiss = nullptr);
+
+} // namespace memoria
+
+#endif // MEMORIA_TESTS_ORACLE_HH

@@ -1,0 +1,123 @@
+/** End-to-end driver tests: report construction, changed-nest mapping,
+ *  hit-rate simulation, the ideal program. */
+
+#include <gtest/gtest.h>
+
+#include "driver/memoria.hh"
+#include "suite/corpus.hh"
+#include "suite/kernels.hh"
+
+namespace memoria {
+namespace {
+
+ModelParams
+cls4()
+{
+    ModelParams p;
+    p.lineBytes = 32;
+    return p;
+}
+
+TEST(Driver, MatmulReportAndRates)
+{
+    Program p = makeMatmul("IKJ", 32);
+    OptimizedProgram opt = optimizeProgram(p, cls4());
+
+    EXPECT_EQ(opt.report.nests, 1);
+    EXPECT_EQ(opt.report.nestsOrig, 0);
+    EXPECT_EQ(opt.report.nestsPerm, 1);
+    EXPECT_EQ(opt.report.nestsFail, 0);
+    EXPECT_GT(opt.report.ratioFinal, 1.0);
+    EXPECT_TRUE(opt.anyChanged);
+
+    // Semantics: original and transformed agree.
+    EXPECT_EQ(runChecksum(opt.original), runChecksum(opt.transformed));
+
+    HitRates rates = simulateHitRates(opt, CacheConfig::i860());
+    EXPECT_GT(rates.wholeFinal, rates.wholeOrig);
+    EXPECT_GT(rates.optFinal, rates.optOrig);
+
+    Performance perf = simulatePerformance(opt, CacheConfig::i860());
+    EXPECT_GT(perf.speedup(), 1.0);
+}
+
+TEST(Driver, OptimalProgramUntouched)
+{
+    Program p = makeMatmul("JKI", 24);
+    OptimizedProgram opt = optimizeProgram(p, cls4());
+    EXPECT_EQ(opt.report.nestsOrig, 1);
+    EXPECT_FALSE(opt.anyChanged);
+    EXPECT_TRUE(structurallyEqual(opt.original, opt.transformed));
+    HitRates rates = simulateHitRates(opt, CacheConfig::i860());
+    EXPECT_DOUBLE_EQ(rates.wholeOrig, rates.wholeFinal);
+}
+
+TEST(Driver, IdealIgnoresLegality)
+{
+    // The wavefront nest cannot legally permute, but the ideal program
+    // gets the better order anyway (Section 5.2's Ideal column).
+    Program wave = makeJacobiBadOrder(16);
+    OptimizedProgram opt = optimizeProgram(wave, cls4());
+    EXPECT_GE(opt.report.ratioIdeal, opt.report.ratioFinal);
+}
+
+TEST(Driver, FailureBreakdownRecorded)
+{
+    const auto &specs = corpusSpecs();
+    // trfd: 48% of nests fail, mostly by dependences.
+    const CorpusSpec *trfd = nullptr;
+    for (const auto &s : specs)
+        if (s.name == "trfd")
+            trfd = &s;
+    ASSERT_TRUE(trfd);
+    Program p = buildCorpusProgram(*trfd, 10);
+    OptimizedProgram opt = optimizeProgram(p, cls4());
+    EXPECT_GT(opt.report.nestsFail, 0);
+    EXPECT_GT(opt.report.failDeps, 0);
+    EXPECT_GT(opt.report.failBounds, 0);
+    EXPECT_EQ(opt.report.failDeps + opt.report.failBounds,
+              opt.report.nestsFail);
+}
+
+TEST(Driver, CorpusProgramRoundTrip)
+{
+    const CorpusSpec &arc2d = corpusSpecs()[1];
+    ASSERT_EQ(arc2d.name, "arc2d");
+    Program p = buildCorpusProgram(arc2d, 10);
+    OptimizedProgram opt = optimizeProgram(p, cls4());
+    EXPECT_EQ(runChecksum(opt.original), runChecksum(opt.transformed));
+    EXPECT_EQ(opt.report.nests, arc2d.nests);
+    // arc2d permutes a good fraction of nests and fuses some.
+    EXPECT_GT(opt.report.nestsPerm, 0);
+    EXPECT_GT(opt.report.fusion.fused, 0);
+    // Whole-program stats are self-consistent.
+    EXPECT_EQ(opt.report.nestsOrig + opt.report.nestsPerm +
+                  opt.report.nestsFail,
+              opt.report.nests);
+    EXPECT_EQ(opt.report.innerOrig + opt.report.innerPerm +
+                  opt.report.innerFail,
+              opt.report.nests);
+}
+
+TEST(Driver, AccessStatsImproveUnitStride)
+{
+    Program p = makeVpenta(24);
+    OptimizedProgram opt = optimizeProgram(p, cls4());
+    // Transformation raises the unit-stride share (Table 5's story).
+    EXPECT_GT(opt.accessFinal.pctUnit(), opt.accessOrig.pctUnit());
+    EXPECT_GE(opt.accessIdeal.pctUnit(), opt.accessOrig.pctUnit());
+}
+
+TEST(Driver, AblationWithoutFusion)
+{
+    Program p = makeErlebacherDistributed(10);
+    OptimizedProgram withF = optimizeProgram(p, cls4(), true);
+    OptimizedProgram withoutF = optimizeProgram(p, cls4(), false);
+    EXPECT_GT(withF.report.fusion.fused, 0);
+    EXPECT_EQ(withoutF.report.fusion.fused, 0);
+    EXPECT_EQ(runChecksum(withoutF.transformed),
+              runChecksum(withF.transformed));
+}
+
+} // namespace
+} // namespace memoria

@@ -1,0 +1,189 @@
+/** Fusion tests: compatibility, legality, profitability, rewriting. */
+
+#include <gtest/gtest.h>
+
+#include "interp/interp.hh"
+#include "ir/builder.hh"
+#include "ir/printer.hh"
+#include "ir/walk.hh"
+#include "suite/kernels.hh"
+#include "transform/fuse.hh"
+
+namespace memoria {
+namespace {
+
+ModelParams
+cls4()
+{
+    ModelParams p;
+    p.lineBytes = 32;
+    return p;
+}
+
+TEST(Fuse, HeaderCompatibility)
+{
+    ProgramBuilder b("hdr");
+    Var n = b.param("N", 16);
+    Arr a = b.array("A", {Ix(n) + 1});
+    Var i = b.loopVar("I");
+    Var j = b.loopVar("J");
+    NodePtr l1 = b.loop(i, 1, n, b.assign(a(i), Val(i)));
+    NodePtr l2 = b.loop(j, 1, n, b.assign(a(j), Val(j)));
+    NodePtr l3 = b.loop(j, 2, Ix(n) + 1, b.assign(a(j), Val(j)));
+    NodePtr l4 = b.loop(j, 1, Ix(n) - 1, b.assign(a(j), Val(j)));
+
+    EXPECT_TRUE(headersCompatible(*l1, *l2));  // same range
+    EXPECT_TRUE(headersCompatible(*l1, *l3));  // shifted, same trip
+    EXPECT_FALSE(headersCompatible(*l1, *l4)); // different trip
+}
+
+TEST(Fuse, MergeRenamesAndShifts)
+{
+    // DO I=1,N: A(I)=I  and  DO J=2,N+1: B(J)=A(J-1) fuse into one loop
+    // with B's subscripts shifted onto I.
+    ProgramBuilder b("merge");
+    Var n = b.param("N", 8);
+    Arr a = b.array("A", {Ix(n) + 1});
+    Arr c = b.array("B", {Ix(n) + 2});
+    Var i = b.loopVar("I");
+    Var j = b.loopVar("J");
+    b.add(b.loop(i, 1, n, b.assign(a(i), Val(i))));
+    b.add(b.loop(j, 2, Ix(n) + 1, b.assign(c(j), a(Ix(j) - 1))));
+    Program p = b.finish();
+    uint64_t before = runChecksum(p);
+
+    Node *l1 = p.body[0].get();
+    ASSERT_TRUE(fusionLegal(p, *l1, *p.body[1], {}));
+    mergeLoops(*l1, std::move(p.body[1]));
+    p.body.erase(p.body.begin() + 1);
+
+    EXPECT_EQ(p.body.size(), 1u);
+    EXPECT_EQ(countStmts(*p.body[0]), 2);
+    std::string s = printProgram(p);
+    EXPECT_NE(s.find("B(I + 1) = A(I)"), std::string::npos);
+    EXPECT_EQ(runChecksum(p), before);
+}
+
+TEST(Fuse, BackwardDependencePreventsFusion)
+{
+    // L1 reads A(I-1); L2 writes A(I). In the original, every read
+    // sees the initial A values. Fused, the read at iteration i would
+    // see A(i-1) freshly written at iteration i-1: the anti dependence
+    // L1 -> L2 reverses into a flow dependence. Illegal [War84].
+    ProgramBuilder b("prevent");
+    Var n = b.param("N", 8);
+    Arr a = b.array("A", {Ix(n) + 2});
+    Arr c = b.array("C", {Ix(n) + 2});
+    Var i = b.loopVar("I");
+    b.add(b.loop(i, 2, n, b.assign(c(i), a(Ix(i) - 1))));
+    b.add(b.loop(i, 2, n, b.assign(a(i), c(i) * 2.0)));
+    Program p = b.finish();
+    EXPECT_FALSE(fusionLegal(p, *p.body[0], *p.body[1], {}));
+
+    // Reading A(I+1) instead keeps every read ahead of the write that
+    // replaces it: fusion stays legal.
+    ProgramBuilder b2("fine");
+    Var n2 = b2.param("N", 8);
+    Arr a2 = b2.array("A", {Ix(n2) + 2});
+    Arr c2 = b2.array("C", {Ix(n2) + 2});
+    Var i2 = b2.loopVar("I");
+    b2.add(b2.loop(i2, 1, n2, b2.assign(c2(i2), a2(Ix(i2) + 1))));
+    b2.add(b2.loop(i2, 1, n2, b2.assign(a2(i2), c2(i2) * 2.0)));
+    Program p2 = b2.finish();
+    EXPECT_TRUE(fusionLegal(p2, *p2.body[0], *p2.body[1], {}));
+}
+
+TEST(Fuse, ForwardDependenceAllowsFusion)
+{
+    ProgramBuilder b("allow");
+    Var n = b.param("N", 8);
+    Arr a = b.array("A", {Ix(n) + 2});
+    Arr c = b.array("C", {Ix(n) + 2});
+    Var i = b.loopVar("I");
+    b.add(b.loop(i, 1, n, b.assign(a(i), Val(i))));
+    b.add(b.loop(i, 1, n, b.assign(c(i), a(i) + a(Ix(i) - 1 + 1))));
+    Program p = b.finish();
+    EXPECT_TRUE(fusionLegal(p, *p.body[0], *p.body[1], {}));
+}
+
+TEST(Fuse, AdiProfitability)
+{
+    // Figure 3: fusing the two K loops lowers LoopCost from 5n^2 to
+    // 3n^2 -> profitable.
+    Program p = makeAdiScalarized(64);
+    Node *iLoop = p.body[0].get();
+    Node *k1 = iLoop->body[0].get();
+    Node *k2 = iLoop->body[1].get();
+    EXPECT_TRUE(fusionProfitable(p, *k1, *k2, {iLoop}, cls4()));
+}
+
+TEST(Fuse, UnrelatedNestsNotProfitable)
+{
+    // No shared arrays: fusion gains nothing.
+    ProgramBuilder b("noshare");
+    Var n = b.param("N", 16);
+    Arr a = b.array("A", {n, n});
+    Arr c = b.array("C", {n, n});
+    Var i = b.loopVar("I");
+    Var j = b.loopVar("J");
+    b.add(b.loop(j, 1, n, b.loop(i, 1, n, b.assign(a(i, j), 1.0))));
+    b.add(b.loop(j, 1, n, b.loop(i, 1, n, b.assign(c(i, j), 2.0))));
+    Program p = b.finish();
+    EXPECT_FALSE(
+        fusionProfitable(p, *p.body[0], *p.body[1], {}, cls4()));
+}
+
+TEST(Fuse, FuseAllInnerMakesAdiPerfect)
+{
+    Program p = makeAdiScalarized(16);
+    uint64_t before = runChecksum(p);
+    Node *iLoop = p.body[0].get();
+    ASSERT_TRUE(fuseAllInner(p, *iLoop, {}, cls4()));
+    EXPECT_EQ(perfectChain(iLoop).size(), 2u);
+    EXPECT_EQ(countStmts(*iLoop), 2);
+    EXPECT_EQ(runChecksum(p), before);
+}
+
+TEST(Fuse, FuseAllInnerRefusesMixedBody)
+{
+    Program p = makeCholeskyKIJ(8);
+    Node *k = p.body[0].get();
+    // Body is {S1, DO I}: cannot be made perfect by fusion.
+    EXPECT_FALSE(fuseAllInner(p, *k, {}, cls4()));
+}
+
+TEST(Fuse, SiblingsGreedyOnErlebacher)
+{
+    Program p = makeErlebacherDistributed(10);
+    uint64_t before = runChecksum(p);
+    size_t nestsBefore = p.body.size();
+
+    FuseStats stats = fuseSiblings(p, p.body, {}, cls4(), true);
+    EXPECT_GT(stats.candidates, 0);
+    EXPECT_GT(stats.fused, 0);
+    EXPECT_LT(p.body.size(), nestsBefore);
+    EXPECT_EQ(runChecksum(p), before);
+}
+
+TEST(Fuse, SiblingsPreserveJacobiSemantics)
+{
+    // The two Jacobi nests must NOT fuse at the innermost level into a
+    // same-iteration pair (U(i,j)=V(i,j) reads neighbours); whatever
+    // the pass decides, semantics hold.
+    Program p = makeJacobiBadOrder(12);
+    uint64_t before = runChecksum(p);
+    fuseSiblings(p, p.body, {}, cls4(), true);
+    EXPECT_EQ(runChecksum(p), before);
+}
+
+TEST(Fuse, StatsAccumulate)
+{
+    FuseStats a{2, 2};
+    FuseStats b{3, 0};
+    a += b;
+    EXPECT_EQ(a.candidates, 5);
+    EXPECT_EQ(a.fused, 2);
+}
+
+} // namespace
+} // namespace memoria
