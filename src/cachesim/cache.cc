@@ -1,6 +1,8 @@
 #include "cachesim/cache.hh"
 
 #include "support/logging.hh"
+#include "support/stats.hh"
+#include "support/trace.hh"
 
 namespace memoria {
 
@@ -39,6 +41,18 @@ CacheStats::hitRateWarm() const
     return warm == 0 ? 100.0 : 100.0 * hits / warm;
 }
 
+void
+CacheStats::checkConsistent() const
+{
+    MEMORIA_ASSERT(hits + misses == accesses,
+                   "cache counters out of sync: " << hits << " hits + "
+                       << misses << " misses != " << accesses
+                       << " accesses");
+    MEMORIA_ASSERT(coldMisses <= misses,
+                   "more cold misses than misses");
+    MEMORIA_ASSERT(evictions <= misses, "more evictions than misses");
+}
+
 Cache::Cache(CacheConfig config) : config_(std::move(config))
 {
     MEMORIA_ASSERT(config_.lineBytes > 0 &&
@@ -56,8 +70,14 @@ void
 Cache::access(uint64_t addr, int size, bool isWrite)
 {
     (void)size;
-    (void)isWrite;
-    probe(addr);
+    bool hit = probe(addr);
+    if (samplePeriod_ && obs::tracingEnabled() &&
+        stats_.accesses % samplePeriod_ == 0) {
+        obs::traceEvent("cachesim", "access",
+                        {{"addr", addr},
+                         {"write", isWrite},
+                         {"hit", hit}});
+    }
 }
 
 bool
@@ -78,6 +98,8 @@ Cache::probe(uint64_t addr)
         if (way.valid && way.tag == line) {
             way.lastUse = clock_;
             ++stats_.hits;
+            MEMORIA_ASSERT(stats_.hits + stats_.misses == stats_.accesses,
+                           "cache counters out of sync");
             return true;
         }
         if (!way.valid) {
@@ -88,12 +110,27 @@ Cache::probe(uint64_t addr)
     }
 
     ++stats_.misses;
+    MEMORIA_ASSERT(stats_.hits + stats_.misses == stats_.accesses,
+                   "cache counters out of sync");
     if (touchedLines_.insert(line).second)
         ++stats_.coldMisses;
+    if (victim->valid)
+        ++stats_.evictions;
     victim->valid = true;
     victim->tag = line;
     victim->lastUse = clock_;
     return false;
+}
+
+void
+Cache::publishStats(const std::string &prefix) const
+{
+    stats_.checkConsistent();
+    obs::counter(prefix + ".accesses") += stats_.accesses;
+    obs::counter(prefix + ".hits") += stats_.hits;
+    obs::counter(prefix + ".misses") += stats_.misses;
+    obs::counter(prefix + ".cold_misses") += stats_.coldMisses;
+    obs::counter(prefix + ".evictions") += stats_.evictions;
 }
 
 void

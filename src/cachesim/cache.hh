@@ -40,19 +40,25 @@ struct CacheConfig
     static CacheConfig i860();
 };
 
-/** Hit/miss counters. */
+/** Hit/miss counters. Invariant: hits + misses == accesses (asserted
+ *  by Cache on every probe; see checkConsistent). */
 struct CacheStats
 {
     uint64_t accesses = 0;
     uint64_t hits = 0;
     uint64_t misses = 0;
     uint64_t coldMisses = 0;
+    uint64_t evictions = 0;  ///< valid lines displaced by a fill
 
     /** Hit rate in percent over all accesses. */
     double hitRate() const;
 
     /** Hit rate in percent with cold misses excluded (Table 4). */
     double hitRateWarm() const;
+
+    /** Panics unless the counters reconcile (hits + misses == accesses,
+     *  cold misses and evictions bounded by misses). */
+    void checkConsistent() const;
 };
 
 /** Interface for components observing the memory reference stream. */
@@ -82,6 +88,17 @@ class Cache : public MemoryListener
     /** Empty the cache and zero the statistics. */
     void reset();
 
+    /**
+     * Emit every `period`-th access as a `cachesim/access` trace event
+     * (0 disables, the default). Events only fire while a trace sink is
+     * installed, so sampling can stay configured at zero run cost.
+     */
+    void setAccessTraceSampling(uint64_t period) { samplePeriod_ = period; }
+
+    /** Add this cache's counters into the process stats registry under
+     *  `prefix` (e.g. "cachesim"). */
+    void publishStats(const std::string &prefix = "cachesim") const;
+
   private:
     struct Way
     {
@@ -96,6 +113,7 @@ class Cache : public MemoryListener
     std::unordered_set<uint64_t> touchedLines_;
     uint64_t clock_ = 0;
     int lineShift_ = 0;
+    uint64_t samplePeriod_ = 0;
 };
 
 } // namespace memoria

@@ -5,6 +5,8 @@
 
 #include "model/loopcost.hh"
 #include "support/logging.hh"
+#include "support/stats.hh"
+#include "support/trace.hh"
 #include "transform/permute.hh"
 
 namespace memoria {
@@ -96,6 +98,12 @@ OptimizedProgram
 optimizeProgram(const Program &input, const ModelParams &params,
                 bool applyFusion, double evalN)
 {
+    obs::TraceScope span("driver", "optimize_program");
+    span.arg("program", input.name);
+    ++obs::counter("driver.programs_optimized");
+    obs::ScopedTimer timer(
+        obs::statsRegistry().histogram("driver.optimize_time_us"));
+
     OptimizedProgram out;
     out.original = input.clone();
     out.transformed = input.clone();
@@ -202,12 +210,24 @@ optimizeProgram(const Program &input, const ModelParams &params,
     out.accessFinal = programAccessStats(out.transformed, params);
     out.accessIdeal = programAccessStats(out.ideal, params);
 
+    if (span.active()) {
+        span.arg("nests", rep.nests);
+        span.arg("nests_orig", rep.nestsOrig);
+        span.arg("nests_permuted", rep.nestsPerm);
+        span.arg("nests_failed", rep.nestsFail);
+        span.arg("ratio_final", rep.ratioFinal);
+        span.arg("ratio_ideal", rep.ratioIdeal);
+    }
     return out;
 }
 
 HitRates
 simulateHitRates(const OptimizedProgram &opt, const CacheConfig &config)
 {
+    obs::TraceScope span("driver", "simulate_hit_rates");
+    span.arg("program", opt.original.name);
+    span.arg("cache", config.name);
+
     HitRates rates;
     rates.wholeOrig =
         runWithCache(opt.original, config).cache.hitRateWarm();
@@ -220,6 +240,10 @@ simulateHitRates(const OptimizedProgram &opt, const CacheConfig &config)
             runWithCache(opt.finalOpt, config).cache.hitRateWarm();
     } else {
         rates.optOrig = rates.optFinal = rates.wholeOrig;
+    }
+    if (span.active()) {
+        span.arg("whole_orig_hit_pct", rates.wholeOrig);
+        span.arg("whole_final_hit_pct", rates.wholeFinal);
     }
     return rates;
 }

@@ -4,6 +4,8 @@
 #include <cstring>
 
 #include "support/logging.hh"
+#include "support/stats.hh"
+#include "support/trace.hh"
 
 namespace memoria {
 
@@ -201,12 +203,14 @@ Interpreter::execNode(const Node &n, MemoryListener *listener)
     int64_t ub = evalAffine(n.ub);
     if (n.step > 0) {
         for (int64_t v = lb; v <= ub; v += n.step) {
+            ++stats_.loopIterations;
             env_[n.var] = v;
             for (const auto &kid : n.body)
                 execNode(*kid, listener);
         }
     } else {
         for (int64_t v = lb; v >= ub; v += n.step) {
+            ++stats_.loopIterations;
             env_[n.var] = v;
             for (const auto &kid : n.body)
                 execNode(*kid, listener);
@@ -217,9 +221,29 @@ Interpreter::execNode(const Node &n, MemoryListener *listener)
 void
 Interpreter::run(MemoryListener *listener)
 {
+    obs::TraceScope span("interp", "run");
+    span.arg("program", prog_.name);
+
     ran_ = true;
     for (const auto &n : prog_.body)
         execNode(*n, listener);
+
+    // Publish aggregates once per run: the per-iteration path stays a
+    // plain member increment.
+    static obs::Counter &cRuns = obs::counter("interp.runs");
+    static obs::Counter &cIters = obs::counter("interp.loop_iterations");
+    static obs::Counter &cStmts = obs::counter("interp.stmts_executed");
+    static obs::Counter &cRefs = obs::counter("interp.mem_refs");
+    ++cRuns;
+    cIters += stats_.loopIterations;
+    cStmts += stats_.stmtsExecuted;
+    cRefs += stats_.memRefs;
+
+    if (span.active()) {
+        span.arg("loop_iterations", stats_.loopIterations);
+        span.arg("stmts_executed", stats_.stmtsExecuted);
+        span.arg("mem_refs", stats_.memRefs);
+    }
 }
 
 const std::vector<double> &
@@ -257,9 +281,14 @@ RunResult
 runWithCache(const Program &prog, const CacheConfig &config,
              const MachineModel &machine)
 {
+    obs::TraceScope span("interp", "run_with_cache");
+    span.arg("program", prog.name);
+    span.arg("cache", config.name);
+
     Interpreter interp(prog);
     Cache cache(config);
     interp.run(&cache);
+    cache.publishStats();
 
     RunResult r;
     r.exec = interp.stats();
@@ -268,6 +297,13 @@ runWithCache(const Program &prog, const CacheConfig &config,
                machine.cyclesPerRef * r.exec.memRefs +
                machine.missPenalty * r.cache.misses;
     r.checksum = interp.checksum();
+    if (span.active()) {
+        span.arg("accesses", r.cache.accesses);
+        span.arg("hits", r.cache.hits);
+        span.arg("misses", r.cache.misses);
+        span.arg("evictions", r.cache.evictions);
+        span.arg("cycles", r.cycles);
+    }
     return r;
 }
 

@@ -31,6 +31,7 @@ struct ExecStats
 {
     uint64_t stmtsExecuted = 0;
     uint64_t memRefs = 0;
+    uint64_t loopIterations = 0;
 };
 
 /** Crude latency model for simulated "performance" numbers. */

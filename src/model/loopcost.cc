@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "support/logging.hh"
+#include "support/stats.hh"
 
 namespace memoria {
 
@@ -63,6 +64,12 @@ NestAnalysis::groupsWithin(const Node *candidate, const Node *inner) const
     }
     sg.groups = computeRefGroups(prog_, subset, graph_.edges(), candidate,
                                  params_);
+    static obs::Counter &cComputed =
+        obs::counter("model.refgroup.computations");
+    static obs::Counter &cFormed =
+        obs::counter("model.refgroup.groups_formed");
+    ++cComputed;
+    cFormed += sg.groups.size();
     return scopedCache_.emplace(key, std::move(sg)).first->second;
 }
 
@@ -76,6 +83,12 @@ NestAnalysis::groups(const Node *candidate) const
                           computeRefGroups(prog_, refs_, graph_.edges(),
                                            candidate, params_))
                  .first;
+        static obs::Counter &cComputed =
+            obs::counter("model.refgroup.computations");
+        static obs::Counter &cFormed =
+            obs::counter("model.refgroup.groups_formed");
+        ++cComputed;
+        cFormed += it->second.size();
     }
     return it->second;
 }
@@ -119,10 +132,17 @@ NestAnalysis::classify(const NestRef &ref, const Node *candidate) const
 Poly
 NestAnalysis::refCost(const NestRef &ref, const Node *candidate) const
 {
+    static obs::Counter &cInvariant =
+        obs::counter("model.refcost.invariant");
+    static obs::Counter &cConsecutive =
+        obs::counter("model.refcost.consecutive");
+    static obs::Counter &cNone = obs::counter("model.refcost.none");
     switch (classify(ref, candidate)) {
       case Reuse::Invariant:
+        ++cInvariant;
         return Poly(1.0);
       case Reuse::Consecutive: {
+        ++cConsecutive;
         int64_t coeff = ref.ref->subs[0].affine.coeff(candidate->var);
         int64_t stride = std::abs(candidate->step * coeff);
         const ArrayDecl &decl = prog_.arrayDecl(ref.ref->array);
@@ -132,6 +152,7 @@ NestAnalysis::refCost(const NestRef &ref, const Node *candidate) const
                (static_cast<double>(stride) / static_cast<double>(cls));
       }
       case Reuse::None:
+        ++cNone;
         break;
     }
     bool enclosed = std::find(ref.loops.begin(), ref.loops.end(),

@@ -3,11 +3,69 @@
 #include <cstdlib>
 #include <iostream>
 
+#include "support/trace.hh"
+
 namespace memoria {
+
+namespace {
+
+LogLevel
+levelFromEnv()
+{
+    const char *env = std::getenv("MEMORIA_LOG_LEVEL");
+    if (!env)
+        return LogLevel::Warn;
+    std::string s(env);
+    if (s == "quiet" || s == "0")
+        return LogLevel::Quiet;
+    if (s == "warn" || s == "1")
+        return LogLevel::Warn;
+    if (s == "info" || s == "2")
+        return LogLevel::Info;
+    if (s == "debug" || s == "3")
+        return LogLevel::Debug;
+    std::cerr << "warn: unknown MEMORIA_LOG_LEVEL '" << s
+              << "' (want quiet|warn|info|debug or 0..3)\n";
+    return LogLevel::Warn;
+}
+
+LogLevel &
+currentLevel()
+{
+    static LogLevel level = levelFromEnv();
+    return level;
+}
+
+/** Print to stderr when allowed; always mirror into the trace sink. */
+void
+report(LogLevel level, const char *tag, const std::string &msg)
+{
+    if (obs::tracingEnabled())
+        obs::traceEvent("log", tag, {{"msg", msg}});
+    if (level <= currentLevel())
+        std::cerr << tag << ": " << msg << std::endl;
+}
+
+} // namespace
+
+LogLevel
+logLevel()
+{
+    return currentLevel();
+}
+
+void
+setLogLevel(LogLevel level)
+{
+    currentLevel() = level;
+}
 
 void
 fatal(const std::string &msg)
 {
+    if (obs::tracingEnabled())
+        obs::traceEvent("log", "fatal", {{"msg", msg}});
+    obs::flushTrace();
     std::cerr << "fatal: " << msg << std::endl;
     std::exit(1);
 }
@@ -15,6 +73,9 @@ fatal(const std::string &msg)
 void
 panic(const std::string &msg)
 {
+    if (obs::tracingEnabled())
+        obs::traceEvent("log", "panic", {{"msg", msg}});
+    obs::flushTrace();
     std::cerr << "panic: " << msg << std::endl;
     std::abort();
 }
@@ -22,13 +83,19 @@ panic(const std::string &msg)
 void
 warn(const std::string &msg)
 {
-    std::cerr << "warn: " << msg << std::endl;
+    report(LogLevel::Warn, "warn", msg);
 }
 
 void
 inform(const std::string &msg)
 {
-    std::cerr << "info: " << msg << std::endl;
+    report(LogLevel::Info, "info", msg);
+}
+
+void
+debugLog(const std::string &msg)
+{
+    report(LogLevel::Debug, "debug", msg);
 }
 
 } // namespace memoria

@@ -6,6 +6,13 @@
  * (bad configuration, malformed program); `panic` terminates because the
  * library itself is broken (violated internal invariant). `warn` and
  * `inform` report without terminating.
+ *
+ * Output is gated by a process-wide verbosity level, initialized from
+ * the MEMORIA_LOG_LEVEL environment variable (`quiet`, `warn`, `info`,
+ * `debug`, or 0..3) and adjustable via the CLI's -v/-q flags. When a
+ * trace sink is installed (support/trace.hh) every message is also
+ * emitted as a `log` trace event, and `fatal`/`panic` flush the sink
+ * before terminating so a crashing run still yields a usable trace.
  */
 
 #ifndef MEMORIA_SUPPORT_LOGGING_HH
@@ -16,17 +23,35 @@
 
 namespace memoria {
 
+/** Verbosity threshold: a message prints when its level <= current. */
+enum class LogLevel
+{
+    Quiet = 0,  ///< only fatal/panic reach stderr
+    Warn = 1,   ///< + warnings (the default)
+    Info = 2,   ///< + informational messages
+    Debug = 3,  ///< + debug chatter
+};
+
+/** Current verbosity (lazily initialized from MEMORIA_LOG_LEVEL). */
+LogLevel logLevel();
+
+/** Override the verbosity (CLI -v/-q flags). */
+void setLogLevel(LogLevel level);
+
 /** Terminate with a user-level error message (exit code 1). */
 [[noreturn]] void fatal(const std::string &msg);
 
 /** Terminate with an internal-invariant violation message (aborts). */
 [[noreturn]] void panic(const std::string &msg);
 
-/** Print a non-fatal warning to stderr. */
+/** Print a non-fatal warning to stderr (level >= Warn). */
 void warn(const std::string &msg);
 
-/** Print an informational message to stderr. */
+/** Print an informational message to stderr (level >= Info). */
 void inform(const std::string &msg);
+
+/** Print a debug message to stderr (level >= Debug). */
+void debugLog(const std::string &msg);
 
 /**
  * Check an internal invariant; calls panic with the failing condition

@@ -1,0 +1,173 @@
+#include "support/stats.hh"
+
+#include <chrono>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace memoria {
+namespace obs {
+
+namespace {
+
+double
+nowUs()
+{
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+/** Render a double compactly and JSON-valid (no inf/nan). */
+std::string
+num(double v)
+{
+    std::ostringstream os;
+    os << v;
+    std::string s = os.str();
+    if (s == "inf" || s == "-inf" || s == "nan" || s == "-nan")
+        return "0";
+    return s;
+}
+
+std::string
+quoted(const std::string &s)
+{
+    // Stat names are code-chosen dotted identifiers; no escaping needed
+    // beyond the quotes themselves.
+    return "\"" + s + "\"";
+}
+
+} // namespace
+
+ScopedTimer::ScopedTimer(Histogram &h) : hist_(h), startUs_(nowUs()) {}
+
+ScopedTimer::~ScopedTimer()
+{
+    hist_.sample(nowUs() - startUs_);
+}
+
+Counter &
+StatsRegistry::counter(const std::string &name)
+{
+    auto &slot = counters_[name];
+    if (!slot)
+        slot = std::make_unique<Counter>();
+    return *slot;
+}
+
+Gauge &
+StatsRegistry::gauge(const std::string &name)
+{
+    auto &slot = gauges_[name];
+    if (!slot)
+        slot = std::make_unique<Gauge>();
+    return *slot;
+}
+
+Histogram &
+StatsRegistry::histogram(const std::string &name)
+{
+    auto &slot = histograms_[name];
+    if (!slot)
+        slot = std::make_unique<Histogram>();
+    return *slot;
+}
+
+void
+StatsRegistry::dumpText(std::ostream &out) const
+{
+    size_t width = 0;
+    for (const auto &[name, c] : counters_)
+        width = std::max(width, name.size());
+    for (const auto &[name, g] : gauges_)
+        width = std::max(width, name.size());
+    for (const auto &[name, h] : histograms_)
+        width = std::max(width, name.size());
+
+    out << "---------- stats ----------\n";
+    for (const auto &[name, c] : counters_)
+        out << std::left << std::setw(static_cast<int>(width)) << name
+            << "  " << c->value() << "\n";
+    for (const auto &[name, g] : gauges_)
+        out << std::left << std::setw(static_cast<int>(width)) << name
+            << "  " << num(g->value()) << "\n";
+    for (const auto &[name, h] : histograms_)
+        out << std::left << std::setw(static_cast<int>(width)) << name
+            << "  count=" << h->count() << " sum=" << num(h->sum())
+            << " min=" << num(h->min()) << " max=" << num(h->max())
+            << " mean=" << num(h->mean()) << "\n";
+    out << "---------------------------\n";
+}
+
+void
+StatsRegistry::dumpJson(std::ostream &out) const
+{
+    out << "{\"counters\":{";
+    bool first = true;
+    for (const auto &[name, c] : counters_) {
+        if (!first)
+            out << ",";
+        first = false;
+        out << quoted(name) << ":" << c->value();
+    }
+    out << "},\"gauges\":{";
+    first = true;
+    for (const auto &[name, g] : gauges_) {
+        if (!first)
+            out << ",";
+        first = false;
+        out << quoted(name) << ":" << num(g->value());
+    }
+    out << "},\"histograms\":{";
+    first = true;
+    for (const auto &[name, h] : histograms_) {
+        if (!first)
+            out << ",";
+        first = false;
+        out << quoted(name) << ":{\"count\":" << h->count()
+            << ",\"sum\":" << num(h->sum()) << ",\"min\":" << num(h->min())
+            << ",\"max\":" << num(h->max())
+            << ",\"mean\":" << num(h->mean()) << "}";
+    }
+    out << "}}\n";
+}
+
+void
+StatsRegistry::resetValues()
+{
+    for (auto &[name, c] : counters_)
+        c->reset();
+    for (auto &[name, g] : gauges_)
+        g->reset();
+    for (auto &[name, h] : histograms_)
+        h->reset();
+}
+
+StatsRegistry &
+statsRegistry()
+{
+    static StatsRegistry registry;
+    return registry;
+}
+
+Counter &
+counter(const std::string &name)
+{
+    return statsRegistry().counter(name);
+}
+
+Gauge &
+gauge(const std::string &name)
+{
+    return statsRegistry().gauge(name);
+}
+
+Histogram &
+histogram(const std::string &name)
+{
+    return statsRegistry().histogram(name);
+}
+
+} // namespace obs
+} // namespace memoria

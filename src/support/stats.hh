@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Process-wide statistics registry in the gem5 tradition.
+ *
+ * Passes register named counters, gauges, and histograms lazily at
+ * first use and bump them as they run; the driver dumps the whole
+ * registry at exit as an aligned text table or as JSON. Names are
+ * dotted paths grouped by subsystem (`pass.compound.nests_permuted`,
+ * `cachesim.hits`, `interp.loop_iterations` — see
+ * docs/OBSERVABILITY.md for the naming convention).
+ *
+ * Registration returns a stable reference, so hot call sites cache it
+ * in a function-local static and pay only the increment:
+ *
+ *     static obs::Counter &hits = obs::counter("cachesim.hits");
+ *     ++hits;
+ *
+ * `StatsRegistry::resetValues()` zeroes every value but keeps the
+ * registrations (and therefore the cached references) valid — the test
+ * suite calls it between cases.
+ */
+
+#ifndef MEMORIA_SUPPORT_STATS_HH
+#define MEMORIA_SUPPORT_STATS_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <limits>
+#include <map>
+#include <memory>
+#include <string>
+
+namespace memoria {
+namespace obs {
+
+/** Monotonically increasing event count. */
+class Counter
+{
+  public:
+    Counter &
+    operator+=(uint64_t delta)
+    {
+        value_ += delta;
+        return *this;
+    }
+
+    Counter &
+    operator++()
+    {
+        ++value_;
+        return *this;
+    }
+
+    uint64_t value() const { return value_; }
+    void reset() { value_ = 0; }
+
+  private:
+    uint64_t value_ = 0;
+};
+
+/** Last-written level (e.g. a configuration or a final ratio). */
+class Gauge
+{
+  public:
+    void set(double v) { value_ = v; }
+    double value() const { return value_; }
+    void reset() { value_ = 0.0; }
+
+  private:
+    double value_ = 0.0;
+};
+
+/** Count/sum/min/max/mean over sampled values (e.g. timings in us). */
+class Histogram
+{
+  public:
+    void
+    sample(double v)
+    {
+        ++count_;
+        sum_ += v;
+        if (v < min_)
+            min_ = v;
+        if (v > max_)
+            max_ = v;
+    }
+
+    uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+
+    void
+    reset()
+    {
+        count_ = 0;
+        sum_ = 0.0;
+        min_ = std::numeric_limits<double>::infinity();
+        max_ = -std::numeric_limits<double>::infinity();
+    }
+
+  private:
+    uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/** RAII wall-clock timer feeding a histogram in microseconds. */
+class ScopedTimer
+{
+  public:
+    explicit ScopedTimer(Histogram &h);
+    ~ScopedTimer();
+
+    ScopedTimer(const ScopedTimer &) = delete;
+    ScopedTimer &operator=(const ScopedTimer &) = delete;
+
+  private:
+    Histogram &hist_;
+    double startUs_;
+};
+
+/** Name-keyed store of all statistics; one instance per process. */
+class StatsRegistry
+{
+  public:
+    /** Find-or-create; references stay valid for the process lifetime. */
+    Counter &counter(const std::string &name);
+    Gauge &gauge(const std::string &name);
+    Histogram &histogram(const std::string &name);
+
+    /** Aligned name/value table, sorted by name. */
+    void dumpText(std::ostream &out) const;
+
+    /** One JSON object: {"counters":{...},"gauges":{...},...}. */
+    void dumpJson(std::ostream &out) const;
+
+    /** Zero every value; registrations (and references) survive. */
+    void resetValues();
+
+    bool
+    empty() const
+    {
+        return counters_.empty() && gauges_.empty() && histograms_.empty();
+    }
+
+  private:
+    std::map<std::string, std::unique_ptr<Counter>> counters_;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+    std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/** The process-wide registry. */
+StatsRegistry &statsRegistry();
+
+/** Shorthands for statsRegistry().counter(...) etc. */
+Counter &counter(const std::string &name);
+Gauge &gauge(const std::string &name);
+Histogram &histogram(const std::string &name);
+
+} // namespace obs
+} // namespace memoria
+
+#endif // MEMORIA_SUPPORT_STATS_HH

@@ -1,0 +1,288 @@
+#include "support/trace.hh"
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "support/logging.hh"
+
+namespace memoria {
+namespace obs {
+
+namespace detail {
+TraceSink *sinkPtr = nullptr;
+} // namespace detail
+
+namespace {
+
+/** Owner of the installed sink; detail::sinkPtr aliases it. */
+std::unique_ptr<TraceSink> ownedSink;
+
+uint64_t nextSeq = 0;
+int spanDepth = 0;
+
+/** JSON string escaping per RFC 8259. */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    out.push_back('"');
+    for (unsigned char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          case '\b':
+            out += "\\b";
+            break;
+          case '\f':
+            out += "\\f";
+            break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out.push_back(static_cast<char>(c));
+            }
+        }
+    }
+    out.push_back('"');
+    return out;
+}
+
+/** Render a double without trailing-zero noise, JSON-valid. */
+std::string
+renderDouble(double v)
+{
+    std::ostringstream os;
+    os << v;
+    std::string s = os.str();
+    if (s == "inf")
+        return "1e308";
+    if (s == "-inf")
+        return "-1e308";
+    if (s == "nan" || s == "-nan")
+        return "null";
+    return s;
+}
+
+void
+emit(TraceEvent &&e)
+{
+    e.seq = nextSeq++;
+    detail::sinkPtr->event(e);
+}
+
+const char *
+typeName(TraceEvent::Type t)
+{
+    switch (t) {
+      case TraceEvent::Type::Event:
+        return "event";
+      case TraceEvent::Type::SpanBegin:
+        return "begin";
+      case TraceEvent::Type::SpanEnd:
+        return "span";
+    }
+    return "?";
+}
+
+} // namespace
+
+std::string
+TraceValue::render() const
+{
+    switch (kind_) {
+      case Kind::Str:
+        return str_;
+      case Kind::Bool:
+        return int_ ? "true" : "false";
+      case Kind::Int:
+        return std::to_string(int_);
+      case Kind::Float:
+        return renderDouble(float_);
+    }
+    return "?";
+}
+
+std::string
+TraceValue::renderJson() const
+{
+    if (kind_ == Kind::Str)
+        return jsonEscape(str_);
+    return render();
+}
+
+void
+TextSink::event(const TraceEvent &e)
+{
+    out_ << "[trace] ";
+    for (int i = 0; i < e.depth; ++i)
+        out_ << "  ";
+    out_ << typeName(e.type) << " " << e.category << "/" << e.name;
+    for (const auto &[key, value] : e.args)
+        out_ << " " << key << "=" << value.render();
+    if (e.type == TraceEvent::Type::SpanEnd)
+        out_ << " (" << renderDouble(e.durationUs) << "us)";
+    out_ << "\n";
+}
+
+void
+TextSink::flush()
+{
+    out_.flush();
+}
+
+JsonLinesSink::JsonLinesSink(const std::string &path)
+    : owned_(std::make_unique<std::ofstream>(path)), out_(owned_.get())
+{
+    if (!*out_)
+        fatal("cannot open trace file '" + path + "'");
+}
+
+JsonLinesSink::JsonLinesSink(std::ostream &out) : out_(&out) {}
+
+JsonLinesSink::~JsonLinesSink()
+{
+    out_->flush();
+}
+
+void
+JsonLinesSink::event(const TraceEvent &e)
+{
+    std::ostream &out = *out_;
+    out << "{\"type\":" << jsonEscape(typeName(e.type))
+        << ",\"seq\":" << e.seq << ",\"cat\":" << jsonEscape(e.category)
+        << ",\"name\":" << jsonEscape(e.name) << ",\"depth\":" << e.depth;
+    if (e.type == TraceEvent::Type::SpanEnd)
+        out << ",\"dur_us\":" << renderDouble(e.durationUs);
+    if (!e.args.empty()) {
+        out << ",\"args\":{";
+        bool first = true;
+        for (const auto &[key, value] : e.args) {
+            if (!first)
+                out << ",";
+            first = false;
+            out << jsonEscape(key) << ":" << value.renderJson();
+        }
+        out << "}";
+    }
+    out << "}\n";
+}
+
+void
+JsonLinesSink::flush()
+{
+    out_->flush();
+}
+
+void
+setTraceSink(std::unique_ptr<TraceSink> sink)
+{
+    if (ownedSink)
+        ownedSink->flush();
+    ownedSink = std::move(sink);
+    detail::sinkPtr = ownedSink.get();
+    nextSeq = 0;
+    spanDepth = 0;
+}
+
+TraceSink *
+traceSink()
+{
+    return detail::sinkPtr;
+}
+
+void
+flushTrace()
+{
+    if (detail::sinkPtr)
+        detail::sinkPtr->flush();
+}
+
+void
+traceEvent(std::string category, std::string name,
+           std::initializer_list<TraceArg> args)
+{
+    traceEvent(std::move(category), std::move(name),
+               std::vector<TraceArg>(args));
+}
+
+void
+traceEvent(std::string category, std::string name,
+           std::vector<TraceArg> args)
+{
+    if (!tracingEnabled())
+        return;
+    TraceEvent e;
+    e.type = TraceEvent::Type::Event;
+    e.category = std::move(category);
+    e.name = std::move(name);
+    e.args = std::move(args);
+    e.depth = spanDepth;
+    emit(std::move(e));
+}
+
+TraceScope::TraceScope(std::string category, std::string name)
+{
+    if (!tracingEnabled())
+        return;
+    active_ = true;
+    category_ = std::move(category);
+    name_ = std::move(name);
+    start_ = std::chrono::steady_clock::now();
+
+    TraceEvent e;
+    e.type = TraceEvent::Type::SpanBegin;
+    e.category = category_;
+    e.name = name_;
+    e.depth = spanDepth++;
+    emit(std::move(e));
+}
+
+TraceScope::~TraceScope()
+{
+    if (!active_)
+        return;
+    // The sink may have been swapped out mid-span (tests); drop the
+    // record rather than write to the wrong sink with a skewed depth.
+    if (!tracingEnabled()) {
+        active_ = false;
+        return;
+    }
+    auto end = std::chrono::steady_clock::now();
+    TraceEvent e;
+    e.type = TraceEvent::Type::SpanEnd;
+    e.category = std::move(category_);
+    e.name = std::move(name_);
+    e.args = std::move(args_);
+    e.depth = --spanDepth;
+    e.durationUs =
+        std::chrono::duration<double, std::micro>(end - start_).count();
+    emit(std::move(e));
+}
+
+void
+TraceScope::arg(std::string key, TraceValue value)
+{
+    if (active_)
+        args_.emplace_back(std::move(key), std::move(value));
+}
+
+} // namespace obs
+} // namespace memoria

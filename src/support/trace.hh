@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Structured event tracing for the Memoria pipeline.
+ *
+ * The pipeline emits two kinds of records: point *events*
+ * (`traceEvent`) and RAII *spans* (`TraceScope`) that measure
+ * wall-clock time and nest, so per-pass timing falls out of the scope
+ * structure for free. Every record carries a category (`pass.compound`,
+ * `cachesim`, ...), a name, and a flat key/value payload.
+ *
+ * Records flow into one process-wide pluggable `TraceSink`: none (the
+ * default — `tracingEnabled()` is a single pointer test, so an
+ * uninstrumented run pays nothing), a human-readable text sink, a
+ * JSON-lines writer, or an in-memory recording sink for tests. Hot
+ * paths must guard payload construction with `tracingEnabled()`.
+ *
+ * The tracer is deliberately single-threaded, like the pipeline itself;
+ * see docs/OBSERVABILITY.md for the event schema.
+ */
+
+#ifndef MEMORIA_SUPPORT_TRACE_HH
+#define MEMORIA_SUPPORT_TRACE_HH
+
+#include <chrono>
+#include <cstdint>
+#include <initializer_list>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace memoria {
+namespace obs {
+
+/** One typed payload value (string, integer, float, or bool). */
+class TraceValue
+{
+  public:
+    enum class Kind { Str, Int, Float, Bool };
+
+    TraceValue(const char *s) : kind_(Kind::Str), str_(s) {}
+    TraceValue(std::string s) : kind_(Kind::Str), str_(std::move(s)) {}
+    TraceValue(bool b) : kind_(Kind::Bool), int_(b ? 1 : 0) {}
+    TraceValue(double f) : kind_(Kind::Float), float_(f) {}
+    /** Any integral type (bool is caught by the overload above). */
+    template <typename T,
+              typename = std::enable_if_t<std::is_integral_v<T>>>
+    TraceValue(T i) : kind_(Kind::Int), int_(static_cast<int64_t>(i))
+    {
+    }
+
+    Kind kind() const { return kind_; }
+
+    /** Human-readable rendering (unquoted strings). */
+    std::string render() const;
+
+    /** JSON rendering (quoted/escaped strings, true/false, numbers). */
+    std::string renderJson() const;
+
+  private:
+    Kind kind_;
+    std::string str_;
+    int64_t int_ = 0;
+    double float_ = 0.0;
+};
+
+using TraceArg = std::pair<std::string, TraceValue>;
+
+/** One trace record, point event or completed span. */
+struct TraceEvent
+{
+    enum class Type { Event, SpanBegin, SpanEnd };
+
+    Type type = Type::Event;
+    std::string category;
+    std::string name;
+    std::vector<TraceArg> args;
+
+    /** Span-nesting depth at emission (0 = top level). */
+    int depth = 0;
+
+    /** Wall-clock duration; valid for SpanEnd records only. */
+    double durationUs = 0.0;
+
+    /** Monotonically increasing per-process sequence number. */
+    uint64_t seq = 0;
+};
+
+/** Destination for trace records. */
+class TraceSink
+{
+  public:
+    virtual ~TraceSink() = default;
+
+    virtual void event(const TraceEvent &e) = 0;
+
+    /** Push buffered output to durable storage (called on crash). */
+    virtual void flush() {}
+};
+
+/** Indented human-readable lines on an ostream (not owned). */
+class TextSink : public TraceSink
+{
+  public:
+    explicit TextSink(std::ostream &out) : out_(out) {}
+
+    void event(const TraceEvent &e) override;
+    void flush() override;
+
+  private:
+    std::ostream &out_;
+};
+
+/** One JSON object per line, written to a file the sink owns. */
+class JsonLinesSink : public TraceSink
+{
+  public:
+    /** Opens `path` for writing; calls fatal() when it cannot. */
+    explicit JsonLinesSink(const std::string &path);
+
+    /** Writes to a caller-owned stream (tests). */
+    explicit JsonLinesSink(std::ostream &out);
+
+    ~JsonLinesSink() override;
+
+    void event(const TraceEvent &e) override;
+    void flush() override;
+
+  private:
+    std::unique_ptr<std::ostream> owned_;
+    std::ostream *out_;
+};
+
+/** Buffers every record in memory; the test suite's sink. */
+class RecordingSink : public TraceSink
+{
+  public:
+    void event(const TraceEvent &e) override { events.push_back(e); }
+
+    std::vector<TraceEvent> events;
+};
+
+namespace detail {
+/** Raw sink pointer, read on every trace check — null means disabled. */
+extern TraceSink *sinkPtr;
+} // namespace detail
+
+/** True when a sink is installed; the null fast path is this one test. */
+inline bool
+tracingEnabled()
+{
+    return detail::sinkPtr != nullptr;
+}
+
+/**
+ * Install (or, with nullptr, remove) the process-wide sink. The
+ * previous sink is flushed before being destroyed.
+ */
+void setTraceSink(std::unique_ptr<TraceSink> sink);
+
+/** The installed sink, or nullptr. Ownership stays with the tracer. */
+TraceSink *traceSink();
+
+/** Flush the installed sink, if any; safe to call from fatal/panic. */
+void flushTrace();
+
+/**
+ * Emit a point event. Callers on hot paths should guard with
+ * `tracingEnabled()` so the payload is never built when disabled.
+ */
+void traceEvent(std::string category, std::string name,
+                std::initializer_list<TraceArg> args = {});
+
+/** Payload-vector overload for dynamically built argument lists. */
+void traceEvent(std::string category, std::string name,
+                std::vector<TraceArg> args);
+
+/**
+ * RAII span: emits SpanBegin on construction and SpanEnd (carrying the
+ * accumulated args and the wall-clock duration) on destruction. When no
+ * sink is installed the scope is inert and costs one branch.
+ */
+class TraceScope
+{
+  public:
+    TraceScope(std::string category, std::string name);
+    ~TraceScope();
+
+    TraceScope(const TraceScope &) = delete;
+    TraceScope &operator=(const TraceScope &) = delete;
+
+    /** Attach one payload entry to the eventual SpanEnd record. */
+    void arg(std::string key, TraceValue value);
+
+    /** Whether this span is live (a sink existed at construction). */
+    bool active() const { return active_; }
+
+  private:
+    bool active_ = false;
+    std::string category_;
+    std::string name_;
+    std::vector<TraceArg> args_;
+    std::chrono::steady_clock::time_point start_;
+};
+
+} // namespace obs
+} // namespace memoria
+
+#endif // MEMORIA_SUPPORT_TRACE_HH

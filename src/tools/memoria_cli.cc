@@ -10,6 +10,16 @@
  *   memoria optimize <program> [N]     Compound + before/after source
  *   memoria simulate <program> [N]     hit rates + speedup on both caches
  *   memoria reuse <program> [N]        reuse-distance profile
+ *   memoria trace <program> [N]        Compound decision provenance
+ *
+ * Global flags (accepted anywhere on the command line):
+ *
+ *   --trace=<file.jsonl>   write the structured event trace as JSON lines
+ *   --trace                write a human-readable trace to stderr
+ *   --stats                dump the stats registry as a table at exit
+ *   --stats=json           dump the stats registry as JSON at exit
+ *   -v / -q                raise / silence log verbosity
+ *                          (also: MEMORIA_LOG_LEVEL=quiet|warn|info|debug)
  *
  * <program> is a kernel name (matmul-ijk, matmul-jki, cholesky, adi,
  * erlebacher, gmtry, simple, vpenta, jacobi), a corpus program name
@@ -17,11 +27,15 @@
  * loop-nest language (see src/frontend/parser.hh and examples/stencil.mem).
  */
 
+#include <algorithm>
+#include <cctype>
 #include <cstdlib>
 #include <functional>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include <fstream>
 #include <sstream>
@@ -29,6 +43,8 @@
 #include "cachesim/reuse.hh"
 #include "frontend/parser.hh"
 #include "support/logging.hh"
+#include "support/stats.hh"
+#include "support/trace.hh"
 #include "driver/memoria.hh"
 #include "ir/printer.hh"
 #include "model/loopcost.hh"
@@ -193,39 +209,150 @@ cmdReuse(Program prog)
     return 0;
 }
 
+/** Decision provenance: one row per nest with Compound's choice. */
+int
+cmdTrace(Program prog)
+{
+    ModelParams params;
+    OptimizedProgram opt = optimizeProgram(prog, params);
+
+    TextTable t({"nest", "depth", "strategy", "fail", "orig cost",
+                 "final cost", "ideal cost"});
+    int nest = 0;
+    for (const NestReport &rep : opt.compound.nests) {
+        t.addRow({std::to_string(nest++), std::to_string(rep.depth),
+                  nestStrategyName(rep), permuteFailName(rep.fail),
+                  rep.origCost.str(), rep.finalCost.str(),
+                  rep.idealCost.str()});
+    }
+    std::cout << t.str();
+    std::cout << "nests: " << opt.report.nests
+              << "  already in memory order: " << opt.report.nestsOrig
+              << "  transformed into memory order: "
+              << opt.report.nestsPerm
+              << "  failed: " << opt.report.nestsFail << "\n";
+
+    // Confirm the decisions in the cache simulator; this also fills the
+    // cachesim.* stats counters so --stats reconciles with the table.
+    HitRates rates = simulateHitRates(opt, CacheConfig::i860());
+    std::cout << "whole-program hit% (warm, i860): "
+              << TextTable::num(rates.wholeOrig, 2) << " -> "
+              << TextTable::num(rates.wholeFinal, 2) << "\n";
+    return 0;
+}
+
+/** Global flags pulled out of argv before command dispatch. */
+struct Options
+{
+    std::vector<std::string> positional;
+    std::string traceFile;     ///< --trace=<file.jsonl>
+    bool traceText = false;    ///< bare --trace
+    bool statsText = false;    ///< --stats
+    bool statsJson = false;    ///< --stats=json
+    int verbosity = 0;         ///< -v count minus -q count
+    bool quiet = false;
+};
+
+Options
+parseArgs(int argc, char **argv)
+{
+    Options opts;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--trace") {
+            opts.traceText = true;
+        } else if (arg.rfind("--trace=", 0) == 0) {
+            opts.traceFile = arg.substr(8);
+            if (opts.traceFile.empty())
+                fatal("--trace= needs a file name");
+        } else if (arg == "--stats") {
+            opts.statsText = true;
+        } else if (arg == "--stats=json") {
+            opts.statsJson = true;
+        } else if (arg == "-v") {
+            ++opts.verbosity;
+        } else if (arg == "-q") {
+            opts.quiet = true;
+        } else if (!arg.empty() && arg[0] == '-' && arg.size() > 1 &&
+                   !isdigit(static_cast<unsigned char>(arg[1]))) {
+            fatal("unknown flag '" + arg + "'");
+        } else {
+            opts.positional.push_back(std::move(arg));
+        }
+    }
+    return opts;
+}
+
+void
+applyVerbosity(const Options &opts)
+{
+    if (opts.quiet) {
+        setLogLevel(LogLevel::Quiet);
+        return;
+    }
+    int level = static_cast<int>(logLevel()) + opts.verbosity;
+    level = std::min(level, static_cast<int>(LogLevel::Debug));
+    setLogLevel(static_cast<LogLevel>(level));
+}
+
 int
 run(int argc, char **argv)
 {
-    if (argc < 2) {
-        std::cerr << "usage: memoria "
-                     "<list|print|analyze|optimize|simulate|reuse> "
-                     "[program] [N]\n";
-        return 2;
-    }
-    std::string cmd = argv[1];
-    if (cmd == "list")
-        return cmdList();
-    if (argc < 3) {
-        std::cerr << "missing program name; try `memoria list`\n";
-        return 2;
-    }
-    int64_t n = argc > 3 ? std::atoll(argv[3]) : 48;
-    Program prog = resolve(argv[2], n);
+    Options opts = parseArgs(argc, argv);
+    applyVerbosity(opts);
 
-    if (cmd == "print") {
-        std::cout << printProgram(prog);
-        return 0;
+    if (opts.positional.empty()) {
+        std::cerr
+            << "usage: memoria "
+               "<list|print|analyze|optimize|simulate|reuse|trace> "
+               "[program] [N] [--trace[=file.jsonl]] [--stats[=json]] "
+               "[-v] [-q]\n";
+        return 2;
     }
-    if (cmd == "analyze")
-        return cmdAnalyze(std::move(prog));
-    if (cmd == "optimize")
-        return cmdOptimize(std::move(prog));
-    if (cmd == "simulate")
-        return cmdSimulate(std::move(prog));
-    if (cmd == "reuse")
-        return cmdReuse(std::move(prog));
-    std::cerr << "unknown command '" << cmd << "'\n";
-    return 2;
+
+    if (!opts.traceFile.empty())
+        obs::setTraceSink(
+            std::make_unique<obs::JsonLinesSink>(opts.traceFile));
+    else if (opts.traceText)
+        obs::setTraceSink(std::make_unique<obs::TextSink>(std::cerr));
+
+    const std::string &cmd = opts.positional[0];
+    int rc = 2;
+    if (cmd == "list") {
+        rc = cmdList();
+    } else if (opts.positional.size() < 2) {
+        std::cerr << "missing program name; try `memoria list`\n";
+    } else {
+        int64_t n = opts.positional.size() > 2
+                        ? std::atoll(opts.positional[2].c_str())
+                        : 48;
+        Program prog = resolve(opts.positional[1], n);
+
+        if (cmd == "print") {
+            std::cout << printProgram(prog);
+            rc = 0;
+        } else if (cmd == "analyze") {
+            rc = cmdAnalyze(std::move(prog));
+        } else if (cmd == "optimize") {
+            rc = cmdOptimize(std::move(prog));
+        } else if (cmd == "simulate") {
+            rc = cmdSimulate(std::move(prog));
+        } else if (cmd == "reuse") {
+            rc = cmdReuse(std::move(prog));
+        } else if (cmd == "trace") {
+            rc = cmdTrace(std::move(prog));
+        } else {
+            std::cerr << "unknown command '" << cmd << "'\n";
+        }
+    }
+
+    if (opts.statsJson)
+        obs::statsRegistry().dumpJson(std::cout);
+    else if (opts.statsText)
+        obs::statsRegistry().dumpText(std::cout);
+
+    obs::setTraceSink(nullptr);  // flush and close any trace file
+    return rc;
 }
 
 } // namespace

@@ -2,11 +2,35 @@
 
 #include "model/loopcost.hh"
 #include "support/logging.hh"
+#include "support/stats.hh"
+#include "support/trace.hh"
 #include "transform/distribute.hh"
 
 namespace memoria {
 
+const char *
+nestStrategyName(const NestReport &rep)
+{
+    if (rep.usedDistribution)
+        return "distribute";
+    if (rep.usedFusion)
+        return "fuse-all";
+    if (rep.usedPermutation)
+        return "permute";
+    return "none";
+}
+
 namespace {
+
+/** Memory-order loop variables of a nest, e.g. "JKI". */
+std::string
+memoryOrderString(const Program &prog, const NestAnalysis &na)
+{
+    std::string s;
+    for (Node *l : na.memoryOrder())
+        s += prog.varName(l->var);
+    return s;
+}
 
 /**
  * Optimize the nest at ownerBody[index] toward memory order using
@@ -136,12 +160,16 @@ optimizeNest(const Program &prog, std::vector<NodePtr> &ownerBody,
     NestReport rep;
     rep.depth = loopDepth(*root);
 
+    obs::TraceScope span("pass.compound", "nest");
+    std::string memOrder;
     {
         NestAnalysis na(prog, root, params, enclosing);
         rep.origCost = nestCost(na);
         rep.idealCost = idealNestCost(na);
         rep.origMemoryOrder = nestInMemoryOrder(na);
         rep.origInnerMemoryOrder = innermostInMemoryOrder(na);
+        if (span.active())
+            memOrder = memoryOrderString(prog, na);
     }
 
     size_t slots = optimizeStructure(prog, ownerBody, index, enclosing,
@@ -161,6 +189,43 @@ optimizeNest(const Program &prog, std::vector<NodePtr> &ownerBody,
     if (rep.finalMemoryOrder)
         rep.fail = PermuteFail::None;
 
+    // Decision provenance: what Compound chose for this nest and why.
+    static obs::Counter &cNests =
+        obs::counter("pass.compound.nests_total");
+    static obs::Counter &cAlready =
+        obs::counter("pass.compound.nests_already_in_memory_order");
+    static obs::Counter &cPermuted =
+        obs::counter("pass.compound.nests_permuted");
+    static obs::Counter &cFailed =
+        obs::counter("pass.compound.nests_failed");
+    ++cNests;
+    if (rep.origMemoryOrder)
+        ++cAlready;
+    else if (rep.finalMemoryOrder)
+        ++cPermuted;
+    else
+        ++cFailed;
+    if (rep.usedFusion)
+        ++obs::counter("pass.compound.nests_fuse_all");
+    if (rep.usedDistribution)
+        ++obs::counter("pass.compound.nests_distributed");
+    if (rep.usedReversal)
+        ++obs::counter("pass.compound.nests_reversed");
+
+    if (span.active()) {
+        span.arg("depth", rep.depth);
+        span.arg("memory_order", memOrder);
+        span.arg("orig_memory_order", rep.origMemoryOrder);
+        span.arg("final_memory_order", rep.finalMemoryOrder);
+        span.arg("strategy", nestStrategyName(rep));
+        span.arg("fail", permuteFailName(rep.fail));
+        span.arg("used_reversal", rep.usedReversal);
+        span.arg("orig_cost", rep.origCost.str());
+        span.arg("final_cost", rep.finalCost.str());
+        span.arg("ideal_cost", rep.idealCost.str());
+        span.arg("slots", slots);
+    }
+
     result.nests.push_back(std::move(rep));
     return slots;
 }
@@ -172,6 +237,11 @@ compoundTransform(Program &prog, const ModelParams &params,
                   bool applyFusion)
 {
     CompoundResult result;
+
+    obs::TraceScope span("pass.compound", "program");
+    span.arg("program", prog.name);
+    obs::ScopedTimer timer(
+        obs::statsRegistry().histogram("pass.compound.time_us"));
 
     for (auto &top : prog.body)
         if (top->isLoop())
@@ -195,6 +265,13 @@ compoundTransform(Program &prog, const ModelParams &params,
     if (applyFusion)
         result.fusion = fuseSiblings(prog, prog.body, {}, params, true);
 
+    if (span.active()) {
+        span.arg("total_loops", result.totalLoops);
+        span.arg("total_nests", result.totalNests);
+        span.arg("distributions", result.distributions);
+        span.arg("fusion_candidates", result.fusion.candidates);
+        span.arg("fused", result.fusion.fused);
+    }
     return result;
 }
 

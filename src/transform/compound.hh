@@ -47,6 +47,13 @@ struct NestReport
     Poly idealCost;
 };
 
+/**
+ * The dominant strategy Compound used on a nest, for provenance
+ * reporting: "distribute" > "fuse-all" > "permute" > "none" (fusion and
+ * distribution both imply a subsequent permutation attempt).
+ */
+const char *nestStrategyName(const NestReport &rep);
+
 /** Whole-program outcome of Compound. */
 struct CompoundResult
 {

@@ -8,6 +8,8 @@
 #include "dependence/legality.hh"
 #include "model/loopcost.hh"
 #include "support/logging.hh"
+#include "support/stats.hh"
+#include "support/trace.hh"
 #include "transform/permute.hh"
 
 namespace memoria {
@@ -170,6 +172,11 @@ distributeForMemoryOrder(const Program &prog,
     if (m < 2)
         return result;
 
+    static obs::Counter &cInvocations =
+        obs::counter("pass.distribute.invocations");
+    static obs::Counter &cTrials = obs::counter("pass.distribute.trials");
+    ++cInvocations;
+
     // Deepest distributable level first (Figure 5: j = m-1 down to 1,
     // i.e. 0-based loop level m-2 down to 0).
     for (int jz = m - 2; jz >= 0; --jz) {
@@ -188,11 +195,19 @@ distributeForMemoryOrder(const Program &prog,
             findLoopsAtLevel(trialTop[0].get(), jz, tpath, trialCands);
             LevelLoop &cand = trialCands[c];
 
+            ++cTrials;
             DependenceGraph graph(prog,
                                   collectStmts(trialTop[0].get()));
             auto parts = partitionItems(graph, *cand.loop, jz);
-            if (parts.empty())
+            if (parts.empty()) {
+                if (obs::tracingEnabled()) {
+                    obs::traceEvent("pass.distribute", "trial",
+                                    {{"level", jz},
+                                     {"committed", false},
+                                     {"reason", "single_recurrence"}});
+                }
                 continue;
+            }
 
             // Build one copy of the loop per partition.
             std::vector<NodePtr> copies;
@@ -248,14 +263,32 @@ distributeForMemoryOrder(const Program &prog,
                     (pr.achievedMemoryOrder || pr.innerInMemoryOrder))
                     achieved = true;
             }
-            if (!achieved)
+            if (!achieved) {
+                if (obs::tracingEnabled()) {
+                    obs::traceEvent(
+                        "pass.distribute", "trial",
+                        {{"level", jz},
+                         {"partitions", parts.size()},
+                         {"committed", false},
+                         {"reason", "no_permutation_enabled"}});
+                }
                 continue;  // trial discarded; try the next candidate
+            }
 
             // Commit the trial.
             result.distributed = true;
             result.resultingNests = static_cast<int>(copyPtrs.size());
             result.memoryOrderAchieved = true;
             result.splitTopLevel = (jz == 0);
+            ++obs::counter("pass.distribute.committed");
+            obs::counter("pass.distribute.resulting_nests") +=
+                static_cast<uint64_t>(copyPtrs.size());
+            if (obs::tracingEnabled()) {
+                obs::traceEvent("pass.distribute", "trial",
+                                {{"level", jz},
+                                 {"partitions", parts.size()},
+                                 {"committed", true}});
+            }
             ownerBody.erase(ownerBody.begin() + index);
             for (size_t t = 0; t < trialTop.size(); ++t)
                 ownerBody.insert(ownerBody.begin() + index + t,

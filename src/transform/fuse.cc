@@ -5,6 +5,8 @@
 #include "dependence/legality.hh"
 #include "model/loopcost.hh"
 #include "support/logging.hh"
+#include "support/stats.hh"
+#include "support/trace.hh"
 
 namespace memoria {
 
@@ -176,21 +178,55 @@ fuseSiblings(const Program &prog, std::vector<NodePtr> &siblings,
         stats.candidates = static_cast<int>(candidateSet.size());
     }
 
+    static obs::Counter &cPairs =
+        obs::counter("pass.fuse.pairs_considered");
+    static obs::Counter &cIncompatible =
+        obs::counter("pass.fuse.rejected_incompatible");
+    static obs::Counter &cIllegal =
+        obs::counter("pass.fuse.rejected_legality");
+    static obs::Counter &cUnprofitable =
+        obs::counter("pass.fuse.rejected_profit");
+    static obs::Counter &cFused = obs::counter("pass.fuse.fused");
+
     std::set<const Node *> fusedInto;
     size_t i = 0;
     while (i + 1 < siblings.size()) {
         Node *a = siblings[i].get();
         Node *b = siblings[i + 1].get();
-        bool canFuse = a->isLoop() && b->isLoop() &&
-                       headersCompatible(*a, *b) &&
-                       fusionLegal(prog, *a, *b, enclosing) &&
-                       (!requireProfit ||
-                        fusionProfitable(prog, *a, *b, enclosing, params));
+        if (!a->isLoop() || !b->isLoop()) {
+            ++i;
+            continue;
+        }
+        ++cPairs;
+        // Evaluated stepwise so the rejection reason is observable.
+        bool compatible = headersCompatible(*a, *b);
+        bool legal = compatible && fusionLegal(prog, *a, *b, enclosing);
+        bool canFuse =
+            legal && (!requireProfit ||
+                      fusionProfitable(prog, *a, *b, enclosing, params));
         if (!canFuse) {
+            const char *why = !compatible ? "incompatible"
+                              : !legal    ? "dependences"
+                                          : "unprofitable";
+            ++(!compatible ? cIncompatible
+               : !legal    ? cIllegal
+                           : cUnprofitable);
+            if (obs::tracingEnabled()) {
+                obs::traceEvent("pass.fuse", "candidate",
+                                {{"level", enclosing.size()},
+                                 {"accepted", false},
+                                 {"reason", why}});
+            }
             ++i;
             continue;
         }
         // `b` disappears into `a`.
+        ++cFused;
+        if (obs::tracingEnabled()) {
+            obs::traceEvent("pass.fuse", "candidate",
+                            {{"level", enclosing.size()},
+                             {"accepted", true}});
+        }
         if (countStats)
             stats.fused += fusedInto.insert(a).second ? 2 : 1;
         mergeLoops(*a, std::move(siblings[i + 1]));
@@ -235,13 +271,28 @@ fuseAllInner(const Program &prog, Node &outer,
     if (!allLoops)
         return false;  // mixed statements and loops: cannot perfect
 
+    static obs::Counter &cAttempts =
+        obs::counter("pass.fuse.fuse_all_attempts");
+    static obs::Counter &cMerged =
+        obs::counter("pass.fuse.fuse_all_merged");
+    ++cAttempts;
+
     std::vector<Node *> inner = enclosing;
     inner.push_back(&outer);
     while (outer.body.size() > 1) {
         Node &a = *outer.body[0];
         Node &b = *outer.body[1];
-        if (!headersCompatible(a, b) || !fusionLegal(prog, a, b, inner))
+        if (!headersCompatible(a, b) || !fusionLegal(prog, a, b, inner)) {
+            if (obs::tracingEnabled()) {
+                obs::traceEvent(
+                    "pass.fuse", "fuse_all",
+                    {{"accepted", false},
+                     {"reason", headersCompatible(a, b) ? "dependences"
+                                                        : "incompatible"}});
+            }
             return false;
+        }
+        ++cMerged;
         mergeLoops(a, std::move(outer.body[1]));
         outer.body.erase(outer.body.begin() + 1);
     }

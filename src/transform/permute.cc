@@ -5,11 +5,40 @@
 
 #include "dependence/legality.hh"
 #include "support/logging.hh"
+#include "support/stats.hh"
+#include "support/trace.hh"
 #include "transform/reverse.hh"
 
 namespace memoria {
 
+const char *
+permuteFailName(PermuteFail f)
+{
+    switch (f) {
+      case PermuteFail::None:
+        return "none";
+      case PermuteFail::Dependences:
+        return "dependences";
+      case PermuteFail::Bounds:
+        return "bounds";
+    }
+    return "?";
+}
+
 namespace {
+
+/** "2,0,1"-style rendering of a permutation for trace payloads. */
+std::string
+permString(const std::vector<int> &perm)
+{
+    std::string s;
+    for (size_t i = 0; i < perm.size(); ++i) {
+        if (i)
+            s += ",";
+        s += std::to_string(perm[i]);
+    }
+    return s;
+}
 
 /** A loop header, detached from its tree position. */
 struct Header
@@ -270,15 +299,34 @@ permuteToMemoryOrder(const NestAnalysis &analysis, Node *chainRoot,
     std::vector<int> bestScore = score(identity);
     bool targetLegalByDeps = false;
 
+    static obs::Counter &cInvocations =
+        obs::counter("pass.permute.invocations");
+    static obs::Counter &cConsidered =
+        obs::counter("pass.permute.candidates_considered");
+    static obs::Counter &cViable =
+        obs::counter("pass.permute.candidates_viable");
+    ++cInvocations;
+
     if (d <= 6) {
         for (const auto &perm : allPermutations(d)) {
             if (perm == identity)
                 continue;
+            ++cConsidered;
             bool legal = permutationLegal(edges, perm);
             if (legal && perm == target)
                 targetLegalByDeps = true;
-            if (!legal || !boundsOk(perm))
+            bool viable = legal && boundsOk(perm);
+            if (obs::tracingEnabled()) {
+                obs::traceEvent("pass.permute", "candidate",
+                                {{"perm", permString(perm)},
+                                 {"target", perm == target},
+                                 {"legal_deps", legal},
+                                 {"bounds_ok", viable},
+                                 {"accepted", viable}});
+            }
+            if (!viable)
                 continue;
+            ++cViable;
             auto s = score(perm);
             if (s > bestScore) {
                 bestScore = s;
@@ -312,6 +360,14 @@ permuteToMemoryOrder(const NestAnalysis &analysis, Node *chainRoot,
                                         : PermuteFail::Dependences;
         // Even unchanged, the inner loop may already be the best one.
         result.innerInMemoryOrder = result.innerAlreadyMemoryOrder;
+        ++obs::counter(result.fail == PermuteFail::Bounds
+                           ? "pass.permute.fail_bounds"
+                           : "pass.permute.fail_dependences");
+        if (obs::tracingEnabled()) {
+            obs::traceEvent("pass.permute", "result",
+                            {{"changed", false},
+                             {"fail", permuteFailName(result.fail)}});
+        }
         return result;
     }
 
@@ -333,6 +389,22 @@ permuteToMemoryOrder(const NestAnalysis &analysis, Node *chainRoot,
     if (!result.achievedMemoryOrder) {
         result.fail = targetLegalByDeps ? PermuteFail::Bounds
                                         : PermuteFail::Dependences;
+    }
+
+    static obs::Counter &cApplied = obs::counter("pass.permute.applied");
+    ++cApplied;
+    if (result.usedReversal)
+        ++obs::counter("pass.permute.reversals");
+    if (obs::tracingEnabled()) {
+        obs::traceEvent("pass.permute", "result",
+                        {{"changed", true},
+                         {"perm", permString(best)},
+                         {"achieved_memory_order",
+                          result.achievedMemoryOrder},
+                         {"inner_in_memory_order",
+                          result.innerInMemoryOrder},
+                         {"used_reversal", result.usedReversal},
+                         {"fail", permuteFailName(result.fail)}});
     }
     return result;
 }

@@ -29,6 +29,9 @@ enum class PermuteFail
     Bounds,        ///< legal by dependences, but bounds too complex
 };
 
+/** Printable name of a failure reason ("none"/"dependences"/"bounds"). */
+const char *permuteFailName(PermuteFail f);
+
 /** Outcome of one Permute invocation. */
 struct PermuteResult
 {
