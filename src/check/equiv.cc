@@ -1,0 +1,171 @@
+#include "check/equiv.hh"
+
+#include <cstring>
+#include <sstream>
+
+#include "interp/interp.hh"
+#include "support/stats.hh"
+#include "support/trace.hh"
+
+namespace memoria {
+
+namespace {
+
+/** Parameters the cost model treats as the abstract size n; fixed
+ *  small parameters (constant paramPoly) are semantic and keep their
+ *  values. */
+bool
+isSymbolicParam(const VarInfo &v)
+{
+    return v.kind == VarKind::Param && !v.paramPoly.isConstant();
+}
+
+/** One interpreted execution, or the fault that stopped it. */
+struct RunOutcome
+{
+    bool ok = false;
+    Diag diag;
+    Interpreter *interp = nullptr;
+};
+
+/** Bind size/seed and run. `interp` must outlive the outcome. */
+RunOutcome
+runOne(const Program &prog, Interpreter &interp, int64_t size,
+       uint64_t seed)
+{
+    RunOutcome out;
+    out.interp = &interp;
+    if (size > 0) {
+        for (const auto &v : prog.vars) {
+            if (!isSymbolicParam(v))
+                continue;
+            Status st = interp.setParam(v.name, size);
+            if (!st.ok()) {
+                out.diag = st.diag();
+                return out;
+            }
+        }
+    }
+    interp.setInitSeed(seed);
+    Status st = interp.run(nullptr);
+    if (!st.ok()) {
+        out.diag = st.diag();
+        return out;
+    }
+    out.ok = true;
+    return out;
+}
+
+/** Index of the array named `name`, or -1. */
+ArrayId
+findArray(const Program &prog, const std::string &name)
+{
+    for (size_t a = 0; a < prog.arrays.size(); ++a)
+        if (prog.arrays[a].name == name)
+            return static_cast<ArrayId>(a);
+    return -1;
+}
+
+} // namespace
+
+EquivResult
+checkEquivalence(const Program &reference, const Program &candidate,
+                 const EquivOptions &opts)
+{
+    static obs::Counter &cChecks = obs::counter("check.equiv.checks");
+    static obs::Counter &cRuns = obs::counter("check.equiv.runs");
+    static obs::Counter &cFail = obs::counter("check.equiv.failures");
+    ++cChecks;
+
+    EquivResult result;
+    for (int64_t size : opts.sizes) {
+        for (uint64_t seed : opts.seeds) {
+            Interpreter refInterp(reference);
+            RunOutcome ref = runOne(reference, refInterp, size, seed);
+            if (!ref.ok) {
+                // The reference itself faults at this trial point:
+                // inconclusive, not a miscompile.
+                ++result.skippedRuns;
+                continue;
+            }
+
+            Interpreter candInterp(candidate);
+            RunOutcome cand = runOne(candidate, candInterp, size, seed);
+            ++cRuns;
+            if (!cand.ok) {
+                result.equivalent = false;
+                std::ostringstream os;
+                os << "candidate '" << candidate.name
+                   << "' faults where the reference runs (size="
+                   << size << ", seed=" << seed
+                   << "): " << cand.diag.str();
+                result.detail = os.str();
+                break;
+            }
+
+            ++result.comparedRuns;
+            for (size_t a = 0;
+                 result.equivalent && a < reference.arrays.size();
+                 ++a) {
+                const ArrayDecl &decl = reference.arrays[a];
+                if (decl.isRegister)
+                    continue;  // compiler temporaries, not outputs
+                ArrayId ca = findArray(candidate, decl.name);
+                std::ostringstream os;
+                if (ca < 0) {
+                    result.equivalent = false;
+                    os << "array '" << decl.name
+                       << "' missing from candidate '" << candidate.name
+                       << "'";
+                    result.detail = os.str();
+                    break;
+                }
+                const auto &rv =
+                    refInterp.arrayData(static_cast<ArrayId>(a));
+                const auto &cv = candInterp.arrayData(ca);
+                if (rv.size() != cv.size()) {
+                    result.equivalent = false;
+                    os << "array '" << decl.name << "' has "
+                       << rv.size() << " elements in the reference, "
+                       << cv.size() << " in the candidate";
+                    result.detail = os.str();
+                    break;
+                }
+                if (rv.empty() ||
+                    std::memcmp(rv.data(), cv.data(),
+                                rv.size() * sizeof(double)) == 0)
+                    continue;
+                for (size_t i = 0; i < rv.size(); ++i) {
+                    if (std::memcmp(&rv[i], &cv[i], sizeof(double)) ==
+                        0)
+                        continue;
+                    result.equivalent = false;
+                    os << "array '" << decl.name << "' diverges at "
+                       << "element " << i << " (size=" << size
+                       << ", seed=" << seed << "): " << rv[i]
+                       << " != " << cv[i];
+                    result.detail = os.str();
+                    break;
+                }
+            }
+            if (!result.equivalent)
+                break;
+        }
+        if (!result.equivalent)
+            break;
+        if (opts.stopAfterConclusiveSize && result.comparedRuns > 0)
+            break;
+    }
+
+    if (!result.equivalent) {
+        ++cFail;
+        if (obs::tracingEnabled())
+            obs::traceEvent("check", "equiv_failed",
+                            {{"reference", reference.name},
+                             {"candidate", candidate.name},
+                             {"detail", result.detail}});
+    }
+    return result;
+}
+
+} // namespace memoria

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Seeded random loop-nest program generator.
+ *
+ * Produces small well-formed programs exercising the constructs the
+ * pipeline handles: rectangular and triangular bounds, negative steps,
+ * imperfect nests, shifted and permuted affine subscripts, shared
+ * arrays across nests, reductions, and the full expression grammar
+ * (including MIN/MAX/SQRT and occasional opaque subscripts). Generated
+ * programs are always interpretable — array extents are padded past the
+ * largest subscript shift — so they can drive the differential
+ * oracle, and always printable/parsable, so they can drive print→parse
+ * round-trip testing.
+ *
+ * Generation is a pure function of the seed (support/rng.hh), so any
+ * failure reproduces from its seed alone.
+ */
+
+#ifndef MEMORIA_CHECK_FUZZ_HH
+#define MEMORIA_CHECK_FUZZ_HH
+
+#include <cstdint>
+
+#include "ir/program.hh"
+
+namespace memoria {
+
+/** Generator shape knobs. */
+struct FuzzOptions
+{
+    int maxNests = 4;       ///< top-level nests per program
+    int maxDepth = 3;       ///< loop depth per nest
+    int maxArrays = 3;      ///< shared data arrays
+    int64_t paramValue = 6; ///< default symbolic size
+    int maxShift = 2;       ///< largest subscript offset
+    bool allowOpaque = true;    ///< emit [expr] subscripts sometimes
+    bool allowTriangular = true;
+    bool allowNegativeStep = true;
+    bool allowImperfect = true;
+};
+
+/** Generate one program; identical (seed, opts) give identical
+ *  programs. */
+Program fuzzProgram(uint64_t seed, const FuzzOptions &opts = {});
+
+} // namespace memoria
+
+#endif // MEMORIA_CHECK_FUZZ_HH

@@ -421,7 +421,11 @@ class SigmaRange
                 break;
             Key k = *pick;
             int64_t c = f[k];
-            bool useUpper = wantHi ? (c > 0) : (c < 0);
+            bool atValueMax = wantHi ? (c > 0) : (c < 0);
+            // For a negative-step loop the DO's first bound (lb) is the
+            // value maximum and its second (ub) the minimum.
+            bool useUpper =
+                k.loop->step > 0 ? atValueMax : !atValueMax;
             if (!substituteBound(f, k, useUpper, acc))
                 return false;
         }

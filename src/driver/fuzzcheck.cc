@@ -1,0 +1,132 @@
+#include "driver/fuzzcheck.hh"
+
+#include <sstream>
+
+#include "check/equiv.hh"
+#include "check/validate.hh"
+#include "frontend/parser.hh"
+#include "interp/interp.hh"
+#include "ir/printer.hh"
+#include "model/params.hh"
+#include "support/stats.hh"
+#include "support/trace.hh"
+#include "transform/compound.hh"
+
+namespace memoria {
+
+namespace {
+
+constexpr size_t kMaxMessages = 10;
+
+void
+record(FuzzReport &rep, uint64_t seed, const std::string &what)
+{
+    if (rep.messages.size() < kMaxMessages)
+        rep.messages.push_back("seed " + std::to_string(seed) + ": " +
+                               what);
+}
+
+/** Steps 1–4 for one seed. */
+void
+fuzzOne(uint64_t seed, const FuzzOptions &opts, FuzzReport &rep)
+{
+    obs::TraceScope span("fuzz", "round");
+    span.arg("seed", static_cast<int64_t>(seed));
+
+    Program prog = fuzzProgram(seed, opts);
+
+    // Step 1: the generator must produce structurally valid IR.
+    std::vector<Diag> diags = validateProgram(prog);
+    if (!diags.empty()) {
+        ++rep.validateFailures;
+        record(rep, seed, "generated program fails validation: " +
+                              diags.front().str());
+        return;
+    }
+
+    // Step 2: print → parse → print reaches a fixpoint and preserves
+    // semantics (same checksum).
+    std::string text = printProgram(prog);
+    ParseError perr;
+    auto reparsed = parseProgram(text, &perr);
+    if (!reparsed) {
+        ++rep.roundTripFailures;
+        record(rep, seed,
+               "printed program does not parse: " + perr.str());
+        return;
+    }
+    std::string text2 = printProgram(*reparsed);
+    if (text2 != text) {
+        ++rep.roundTripFailures;
+        record(rep, seed, "print -> parse -> print is not a fixpoint");
+        return;
+    }
+    Result<uint64_t> sumOrig = tryRunChecksum(prog);
+    Result<uint64_t> sumBack = tryRunChecksum(*reparsed);
+    if (!sumOrig.ok() || !sumBack.ok()) {
+        ++rep.roundTripFailures;
+        record(rep, seed,
+               "interpretation faulted: " +
+                   (!sumOrig.ok() ? sumOrig.diag() : sumBack.diag())
+                       .str());
+        return;
+    }
+    if (sumOrig.value() != sumBack.value()) {
+        ++rep.roundTripFailures;
+        record(rep, seed, "reparsed program computes a different "
+                          "checksum");
+        return;
+    }
+
+    // Step 3: the guarded pipeline on a copy.
+    Program transformed = prog.clone();
+    ModelParams params;
+    CompoundOptions copts;
+    CompoundResult cres = compoundTransform(transformed, params, copts);
+    rep.rollbacks += cres.failVerify + cres.fusion.failVerify;
+
+    diags = validateProgram(transformed);
+    if (!diags.empty()) {
+        ++rep.validateFailures;
+        record(rep, seed, "transformed program fails validation: " +
+                              diags.front().str());
+        return;
+    }
+
+    // Step 4: end-to-end differential equivalence.
+    EquivResult eq = checkEquivalence(prog, transformed);
+    if (!eq.equivalent) {
+        ++rep.equivFailures;
+        record(rep, seed, "transformed program is not equivalent: " +
+                              eq.detail);
+    }
+}
+
+} // namespace
+
+FuzzReport
+runFuzzCampaign(uint64_t seed, int count, const FuzzOptions &opts)
+{
+    obs::TraceScope span("fuzz", "campaign");
+    span.arg("seed", static_cast<int64_t>(seed));
+    span.arg("count", count);
+    obs::ScopedTimer timer(
+        obs::statsRegistry().histogram("fuzz.campaign_time_us"));
+
+    FuzzReport rep;
+    for (int k = 0; k < count; ++k) {
+        ++rep.programs;
+        fuzzOne(seed + static_cast<uint64_t>(k), opts, rep);
+    }
+
+    if (span.active()) {
+        span.arg("programs", rep.programs);
+        span.arg("validate_failures", rep.validateFailures);
+        span.arg("round_trip_failures", rep.roundTripFailures);
+        span.arg("equiv_failures", rep.equivFailures);
+        span.arg("rollbacks", rep.rollbacks);
+    }
+    return rep;
+}
+
+} // namespace memoria

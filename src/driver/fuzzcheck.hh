@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Differential fuzzing campaign over the whole pipeline.
+ *
+ * Each round generates a seeded random program (check/fuzz.hh) and
+ * pushes it through every guarantee the toolkit makes:
+ *
+ *  1. the generated IR passes structural validation;
+ *  2. it survives a print → parse round trip — the reparsed program
+ *     prints identically and computes the same checksum;
+ *  3. Compound (with its verification guard enabled) produces a
+ *     transformed program that passes validation;
+ *  4. the transformed program is differentially equivalent to the
+ *     original.
+ *
+ * Guard rollbacks during step 3 are counted but are not failures —
+ * they are the guard doing its job. Any step-1/2/4 disagreement is a
+ * real bug (in the generator, front end, interpreter, or optimizer)
+ * reproducible from its seed.
+ */
+
+#ifndef MEMORIA_DRIVER_FUZZCHECK_HH
+#define MEMORIA_DRIVER_FUZZCHECK_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "check/fuzz.hh"
+
+namespace memoria {
+
+/** Aggregate outcome of a campaign. */
+struct FuzzReport
+{
+    int programs = 0;          ///< rounds executed
+    int validateFailures = 0;  ///< step 1 or 3 rejections
+    int roundTripFailures = 0; ///< step 2 disagreements
+    int equivFailures = 0;     ///< step 4 disagreements
+    int rollbacks = 0;         ///< guard rollbacks (not failures)
+
+    /** First few failure descriptions, each with its seed. */
+    std::vector<std::string> messages;
+
+    bool
+    ok() const
+    {
+        return validateFailures == 0 && roundTripFailures == 0 &&
+               equivFailures == 0;
+    }
+};
+
+/** Run `count` rounds starting at `seed` (round k uses seed + k). */
+FuzzReport runFuzzCampaign(uint64_t seed, int count,
+                           const FuzzOptions &opts = {});
+
+} // namespace memoria
+
+#endif // MEMORIA_DRIVER_FUZZCHECK_HH

@@ -3,6 +3,7 @@
 #include <map>
 #include <set>
 
+#include "model/checked.hh"
 #include "model/loopcost.hh"
 #include "support/logging.hh"
 #include "support/stats.hh"
@@ -59,8 +60,8 @@ forceIdeal(Program &prog, const ModelParams &params)
 double
 costRatio(const Poly &orig, const Poly &now, double evalN)
 {
-    double o = orig.eval(evalN);
-    double t = now.eval(evalN);
+    double o = checkedEval(orig, evalN);
+    double t = checkedEval(now, evalN);
     if (t <= 0.0 || o <= 0.0)
         return 1.0;
     return o / t;
@@ -160,6 +161,8 @@ optimizeProgram(const Program &input, const ModelParams &params,
     rep.fusion = out.compound.fusion;
     rep.distributions = out.compound.distributions;
     rep.resultingNests = out.compound.resultingNests;
+    rep.failVerify =
+        out.compound.failVerify + out.compound.fusion.failVerify;
 
     // ----- changed-nest mapping (optimized procedures) ------------
     std::vector<std::set<int>> origSets, finalSets;

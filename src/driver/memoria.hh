@@ -49,6 +49,10 @@ struct ProgramReport
     int distributions = 0;
     int resultingNests = 0;
 
+    /** Transformations undone by the verification guard (per-nest
+     *  rollbacks plus fusion-pass rollbacks); 0 on a healthy run. */
+    int failVerify = 0;
+
     /** Average original/final and original/ideal LoopCost ratios,
      *  evaluated at the given symbolic size. */
     double ratioFinal = 1.0;

@@ -21,6 +21,7 @@ struct Token
     bool isInt = false;
     char sym = 0;  ///< Sym
     int line = 1;
+    int col = 1;
 };
 
 class Lexer
@@ -41,25 +42,36 @@ class Lexer
     int line() const { return line_; }
 
   private:
+    /** Consume one character, tracking line and column. */
+    void
+    bump()
+    {
+        if (src_[pos_] == '\n') {
+            ++line_;
+            col_ = 1;
+        } else {
+            ++col_;
+        }
+        ++pos_;
+    }
+
     void
     advance()
     {
         while (pos_ < src_.size()) {
             char c = src_[pos_];
-            if (c == '\n') {
-                ++line_;
-                ++pos_;
-            } else if (std::isspace(static_cast<unsigned char>(c))) {
-                ++pos_;
+            if (std::isspace(static_cast<unsigned char>(c))) {
+                bump();
             } else if (c == '!') {  // comment to end of line
                 while (pos_ < src_.size() && src_[pos_] != '\n')
-                    ++pos_;
+                    bump();
             } else {
                 break;
             }
         }
         tok_ = Token{};
         tok_.line = line_;
+        tok_.col = col_;
         if (pos_ >= src_.size()) {
             tok_.kind = Token::Kind::End;
             return;
@@ -71,7 +83,7 @@ class Lexer
                    (std::isalnum(
                         static_cast<unsigned char>(src_[pos_])) ||
                     src_[pos_] == '_'))
-                ++pos_;
+                bump();
             tok_.kind = Token::Kind::Ident;
             tok_.text = src_.substr(start, pos_ - start);
             return;
@@ -84,14 +96,14 @@ class Lexer
             while (pos_ < src_.size()) {
                 char d = src_[pos_];
                 if (std::isdigit(static_cast<unsigned char>(d))) {
-                    ++pos_;
+                    bump();
                 } else if (d == '.' || d == 'e' || d == 'E') {
                     isInt = false;
-                    ++pos_;
+                    bump();
                     if (pos_ < src_.size() &&
                         (src_[pos_] == '+' || src_[pos_] == '-') &&
                         (d == 'e' || d == 'E'))
-                        ++pos_;
+                        bump();
                 } else {
                     break;
                 }
@@ -103,12 +115,13 @@ class Lexer
         }
         tok_.kind = Token::Kind::Sym;
         tok_.sym = c;
-        ++pos_;
+        bump();
     }
 
     const std::string &src_;
     size_t pos_ = 0;
     int line_ = 1;
+    int col_ = 1;
     Token tok_;
 };
 
@@ -148,10 +161,15 @@ class Parser
     }
 
   private:
+    /** Recursion bounds; hostile nesting fails cleanly instead of
+     *  overflowing the stack. */
+    static constexpr int kMaxLoopDepth = 64;
+    static constexpr int kMaxExprDepth = 256;
+
     [[noreturn]] void
     fail(const std::string &msg)
     {
-        throw Bail{{lex_.peek().line, msg}};
+        throw Bail{{lex_.peek().line, msg, lex_.peek().col}};
     }
 
     static void
@@ -325,6 +343,10 @@ class Parser
     NodePtr
     parseLoop()
     {
+        if (loopDepth_ >= kMaxLoopDepth)
+            fail("loop nesting exceeds the depth limit of " +
+                 std::to_string(kMaxLoopDepth));
+        ++loopDepth_;
         expectKeyword("DO");
         VarId var = loopVarFor(expectIdent());
         expectSym('=');
@@ -337,6 +359,7 @@ class Parser
         std::vector<NodePtr> body;
         parseStmtList(body, {"ENDDO"});
         expectKeyword("ENDDO");
+        --loopDepth_;
         return Node::makeLoop(var, std::move(lb), std::move(ub), step,
                               std::move(body));
     }
@@ -407,6 +430,10 @@ class Parser
     ValuePtr
     parseExpr()
     {
+        if (exprDepth_ >= kMaxExprDepth)
+            fail("expression nesting exceeds the depth limit of " +
+                 std::to_string(kMaxExprDepth));
+        ++exprDepth_;
         ValuePtr lhs = parseTerm();
         for (;;) {
             if (acceptSym('+'))
@@ -414,8 +441,10 @@ class Parser
             else if (acceptSym('-'))
                 lhs = Value::make(ValOp::Sub, {lhs, parseTerm()});
             else
-                return lhs;
+                break;
         }
+        --exprDepth_;
+        return lhs;
     }
 
     ValuePtr
@@ -549,9 +578,20 @@ class Parser
     Program prog_;
     std::map<std::string, VarId> vars_;
     std::map<std::string, ArrayId> arrays_;
+    int loopDepth_ = 0;
+    int exprDepth_ = 0;
 };
 
 } // namespace
+
+std::string
+ParseError::str() const
+{
+    std::string s = "line " + std::to_string(line);
+    if (col > 0)
+        s += ":" + std::to_string(col);
+    return s + ": " + message;
+}
 
 std::optional<Program>
 parseProgram(const std::string &source, ParseError *error)

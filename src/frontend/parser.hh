@@ -20,6 +20,11 @@
  * parse as opaque (unanalyzable) subscripts. Purely affine arithmetic
  * over index variables folds into affine Index leaves, so parsing a
  * printed program reaches a print fixpoint.
+ *
+ * The parser is safe on hostile input: loop nesting and expression
+ * nesting are bounded (64 and 256 levels), so deeply nested text
+ * produces a ParseError instead of exhausting the stack, and every
+ * error carries the line and column of the offending token.
  */
 
 #ifndef MEMORIA_FRONTEND_PARSER_HH
@@ -37,6 +42,10 @@ struct ParseError
 {
     int line = 0;
     std::string message;
+    int col = 0;  ///< 1-based column of the offending token
+
+    /** "line L:C: message" rendering for user-facing reports. */
+    std::string str() const;
 };
 
 /**

@@ -14,17 +14,25 @@ namespace {
 /** Deterministic small integer-valued initial data. Using integers in a
  *  narrow range keeps floating-point arithmetic exact, so reordered
  *  evaluation in transformed programs cannot mask (or fake) semantic
- *  differences. */
+ *  differences. The seed selects one of many such initializations for
+ *  differential testing; seed 0 reproduces the historical contents. */
 double
-initialValue(ArrayId a, uint64_t index)
+initialValue(ArrayId a, uint64_t index, uint64_t seed)
 {
     uint64_t h = (static_cast<uint64_t>(a) + 1) * 0x9e3779b97f4a7c15ULL;
     h ^= (index + 1) * 0xbf58476d1ce4e5b9ULL;
+    h ^= seed * 0x94d049bb133111ebULL;
     h ^= h >> 29;
     return static_cast<double>(1 + (h % 7));
 }
 
 constexpr uint64_t kBaseAddress = 0x100000;
+
+/** Internal unwind for program-dependent faults; never escapes run(). */
+struct Fault
+{
+    Diag diag;
+};
 
 } // namespace
 
@@ -37,7 +45,7 @@ Interpreter::Interpreter(const Program &prog) : prog_(prog)
     allocate();
 }
 
-void
+Status
 Interpreter::setParam(const std::string &name, int64_t value)
 {
     MEMORIA_ASSERT(!ran_, "setParam after run");
@@ -46,10 +54,21 @@ Interpreter::setParam(const std::string &name, int64_t value)
             prog_.vars[v].name == name) {
             env_[v] = value;
             allocate();
-            return;
+            if (allocError_)
+                return Status::err(*allocError_);
+            return Status{};
         }
     }
-    fatal("unknown parameter '" + name + "'");
+    return Status::err(
+        Diag::error("interp.param", "unknown parameter '" + name + "'"));
+}
+
+void
+Interpreter::setInitSeed(uint64_t seed)
+{
+    MEMORIA_ASSERT(!ran_, "setInitSeed after run");
+    initSeed_ = seed;
+    allocate();
 }
 
 void
@@ -58,6 +77,7 @@ Interpreter::allocate()
     data_.clear();
     bases_.clear();
     extents_.clear();
+    allocError_.reset();
     uint64_t next = kBaseAddress;
     for (size_t a = 0; a < prog_.arrays.size(); ++a) {
         const ArrayDecl &decl = prog_.arrays[a];
@@ -65,8 +85,13 @@ Interpreter::allocate()
         uint64_t elems = 1;
         for (const auto &e : decl.extents) {
             int64_t x = evalAffine(e);
-            MEMORIA_ASSERT(x > 0, "non-positive extent for array "
-                                      << decl.name);
+            if (x <= 0) {
+                allocError_ = Diag::error(
+                    "interp.extent", "non-positive extent " +
+                                         std::to_string(x) +
+                                         " for array " + decl.name);
+                return;
+            }
             ext.push_back(x);
             elems *= static_cast<uint64_t>(x);
         }
@@ -76,9 +101,28 @@ Interpreter::allocate()
 
         std::vector<double> buf(elems);
         for (uint64_t i = 0; i < elems; ++i)
-            buf[i] = initialValue(static_cast<ArrayId>(a), i);
+            buf[i] = initialValue(static_cast<ArrayId>(a), i, initSeed_);
         data_.push_back(std::move(buf));
     }
+}
+
+/** The enclosing-loop iteration snapshot, e.g. " in DO I=3, DO J=5". */
+std::string
+Interpreter::loopContext() const
+{
+    std::string s;
+    for (VarId v : loopStack_)
+        s += (s.empty() ? " in DO " : ", DO ") + prog_.varName(v) + "=" +
+             std::to_string(env_[v]);
+    if (curStmt_ >= 0)
+        s += " (statement " + std::to_string(curStmt_) + ")";
+    return s;
+}
+
+void
+Interpreter::fault(std::string code, std::string msg) const
+{
+    throw Fault{Diag::error(std::move(code), msg + loopContext())};
 }
 
 int64_t
@@ -98,10 +142,17 @@ Interpreter::paramValue(VarId v) const
 uint64_t
 Interpreter::elementIndex(const ArrayRef &ref, MemoryListener *listener)
 {
+    if (ref.array < 0 ||
+        static_cast<size_t>(ref.array) >= extents_.size())
+        fault("interp.array",
+              "reference to out-of-range array id " +
+                  std::to_string(ref.array));
     const auto &ext = extents_[ref.array];
-    MEMORIA_ASSERT(ref.subs.size() == ext.size(),
-                   "rank mismatch on array "
-                       << prog_.arrayDecl(ref.array).name);
+    if (ref.subs.size() != ext.size())
+        fault("interp.rank",
+              "rank " + std::to_string(ref.subs.size()) +
+                  " reference to rank " + std::to_string(ext.size()) +
+                  " array " + prog_.arrayDecl(ref.array).name);
     uint64_t index = 0;
     uint64_t stride = 1;
     for (size_t k = 0; k < ref.subs.size(); ++k) {
@@ -110,10 +161,12 @@ Interpreter::elementIndex(const ArrayRef &ref, MemoryListener *listener)
             s = evalAffine(ref.subs[k].affine);
         else
             s = std::llround(evalValue(ref.subs[k].opaque, listener));
-        MEMORIA_ASSERT(s >= 1 && s <= ext[k],
-                       "subscript " << s << " out of bounds 1.."
-                                    << ext[k] << " on array "
-                                    << prog_.arrayDecl(ref.array).name);
+        if (s < 1 || s > ext[k])
+            fault("interp.oob",
+                  "subscript " + std::to_string(k + 1) + " = " +
+                      std::to_string(s) + " out of bounds 1.." +
+                      std::to_string(ext[k]) + " on array " +
+                      prog_.arrayDecl(ref.array).name);
         index += static_cast<uint64_t>(s - 1) * stride;
         stride *= static_cast<uint64_t>(ext[k]);
     }
@@ -166,7 +219,8 @@ Interpreter::evalValue(const ValuePtr &v, MemoryListener *listener)
       case ValOp::IMod: {
         int64_t a = std::llround(evalValue(v->kids[0], listener));
         int64_t b = std::llround(evalValue(v->kids[1], listener));
-        MEMORIA_ASSERT(b != 0, "MOD by zero");
+        if (b == 0)
+            fault("interp.mod_zero", "MOD by zero");
         int64_t m = a % b;
         if (m < 0)
             m += std::abs(b);
@@ -179,6 +233,7 @@ Interpreter::evalValue(const ValuePtr &v, MemoryListener *listener)
 void
 Interpreter::execStmt(const Statement &s, MemoryListener *listener)
 {
+    curStmt_ = s.id;
     double value = evalValue(s.rhs, listener);
     uint64_t idx = elementIndex(s.write, listener);
     const ArrayDecl &decl = prog_.arrayDecl(s.write.array);
@@ -199,6 +254,10 @@ Interpreter::execNode(const Node &n, MemoryListener *listener)
         execStmt(n.stmt, listener);
         return;
     }
+    if (n.step == 0)
+        fault("interp.step",
+              "loop over '" + prog_.varName(n.var) + "' has step 0");
+    loopStack_.push_back(n.var);
     int64_t lb = evalAffine(n.lb);
     int64_t ub = evalAffine(n.ub);
     if (n.step > 0) {
@@ -216,17 +275,29 @@ Interpreter::execNode(const Node &n, MemoryListener *listener)
                 execNode(*kid, listener);
         }
     }
+    loopStack_.pop_back();
 }
 
-void
+Status
 Interpreter::run(MemoryListener *listener)
 {
     obs::TraceScope span("interp", "run");
     span.arg("program", prog_.name);
 
     ran_ = true;
-    for (const auto &n : prog_.body)
-        execNode(*n, listener);
+    if (allocError_) {
+        ++obs::counter("interp.faults");
+        return Status::err(*allocError_);
+    }
+    try {
+        for (const auto &n : prog_.body)
+            execNode(*n, listener);
+    } catch (const Fault &f) {
+        ++obs::counter("interp.faults");
+        if (span.active())
+            span.arg("fault", f.diag.str());
+        return Status::err(f.diag);
+    }
 
     // Publish aggregates once per run: the per-iteration path stays a
     // plain member increment.
@@ -244,6 +315,7 @@ Interpreter::run(MemoryListener *listener)
         span.arg("stmts_executed", stats_.stmtsExecuted);
         span.arg("mem_refs", stats_.memRefs);
     }
+    return Status{};
 }
 
 const std::vector<double> &
@@ -287,7 +359,10 @@ runWithCache(const Program &prog, const CacheConfig &config,
 
     Interpreter interp(prog);
     Cache cache(config);
-    interp.run(&cache);
+    Status st = interp.run(&cache);
+    MEMORIA_ASSERT(st.ok(),
+                   "runWithCache on faulting program: "
+                       << st.diag().str());
     cache.publishStats();
 
     RunResult r;
@@ -310,8 +385,19 @@ runWithCache(const Program &prog, const CacheConfig &config,
 uint64_t
 runChecksum(const Program &prog)
 {
+    Result<uint64_t> r = tryRunChecksum(prog);
+    MEMORIA_ASSERT(r.ok(), "runChecksum on faulting program: "
+                               << r.diag().str());
+    return r.value();
+}
+
+Result<uint64_t>
+tryRunChecksum(const Program &prog)
+{
     Interpreter interp(prog);
-    interp.run(nullptr);
+    Status st = interp.run(nullptr);
+    if (!st.ok())
+        return Result<uint64_t>::err(st.diag());
     return interp.checksum();
 }
 

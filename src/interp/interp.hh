@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "cachesim/cache.hh"
+#include "check/diag.hh"
 #include "ir/program.hh"
 
 namespace memoria {
@@ -48,11 +49,24 @@ class Interpreter
   public:
     explicit Interpreter(const Program &prog);
 
-    /** Override a parameter value before running (by name). */
-    void setParam(const std::string &name, int64_t value);
+    /** Override a parameter value before running (by name). Unknown
+     *  names and non-positive resulting extents report a Diag. */
+    Status setParam(const std::string &name, int64_t value);
 
-    /** Execute the whole program, reporting accesses to `listener`. */
-    void run(MemoryListener *listener = nullptr);
+    /** Re-seed the deterministic initial array contents and
+     *  re-initialize the arrays (differential testing runs the same
+     *  program pair under several initializations). */
+    void setInitSeed(uint64_t seed);
+
+    /**
+     * Execute the whole program, reporting accesses to `listener`.
+     *
+     * Program-dependent faults — out-of-bounds subscripts, rank
+     * mismatches, MOD by zero — stop execution and come back as a
+     * Diag; they are properties of the *input*, not internal bugs, so
+     * they must not terminate the process (docs/ROBUSTNESS.md).
+     */
+    Status run(MemoryListener *listener = nullptr);
 
     /** Raw data of one array (valid after construction). */
     const std::vector<double> &arrayData(ArrayId a) const;
@@ -80,6 +94,8 @@ class Interpreter
     double evalValue(const ValuePtr &v, MemoryListener *listener);
     int64_t evalAffine(const AffineExpr &e) const;
     uint64_t elementIndex(const ArrayRef &ref, MemoryListener *listener);
+    [[noreturn]] void fault(std::string code, std::string msg) const;
+    std::string loopContext() const;
 
     const Program &prog_;
     std::vector<int64_t> env_;            ///< VarId -> current value
@@ -87,6 +103,10 @@ class Interpreter
     std::vector<uint64_t> bases_;
     std::vector<std::vector<int64_t>> extents_;
     ExecStats stats_;
+    uint64_t initSeed_ = 0;
+    std::optional<Diag> allocError_;      ///< deferred allocation fault
+    std::vector<VarId> loopStack_;        ///< active loops, outer first
+    int curStmt_ = -1;                    ///< executing statement id
     bool ran_ = false;
 };
 
@@ -103,8 +123,12 @@ struct RunResult
 RunResult runWithCache(const Program &prog, const CacheConfig &config,
                        const MachineModel &machine = MachineModel{});
 
-/** Run without a cache, for semantics checks only. */
+/** Run without a cache, for semantics checks only. Panics on a
+ *  program fault; use tryRunChecksum for untrusted programs. */
 uint64_t runChecksum(const Program &prog);
+
+/** Checked variant: a faulting program reports a Diag instead. */
+Result<uint64_t> tryRunChecksum(const Program &prog);
 
 } // namespace memoria
 

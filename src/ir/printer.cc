@@ -54,6 +54,52 @@ printRef(const Program &prog, const ArrayRef &ref)
     return os.str();
 }
 
+namespace {
+
+/**
+ * An Index leaf renders with the precedence of its affine expression:
+ * "K" binds like a name, but "K + 3" or "2*K" would bind wrongly
+ * inside * and / ("K + 3/2" reparses as K + (3/2)). Anything other
+ * than a bare positive variable needs parentheses there.
+ */
+bool
+needsParensInTerm(const ValuePtr &v)
+{
+    if (v->op != ValOp::Index)
+        return false;
+    const auto &terms = v->index.terms();
+    if (terms.empty())
+        return false;  // renders as a plain number
+    return terms.size() > 1 || v->index.constant() != 0 ||
+           terms[0].second != 1;
+}
+
+/** Render a Mul/Div operand, parenthesized when precedence needs it. */
+std::string
+termOperand(const Program &prog, const ValuePtr &v)
+{
+    std::string s = printValue(prog, v);
+    return needsParensInTerm(v) ? "(" + s + ")" : s;
+}
+
+/**
+ * Render the right operand of + or -. An Index leaf rendering with a
+ * top-level + or - tail ("L + 1") would regroup under the parser's
+ * left associativity — harmless after +, meaning-changing after - —
+ * so it gets parentheses.
+ */
+std::string
+sumRhsOperand(const Program &prog, const ValuePtr &v)
+{
+    std::string s = printValue(prog, v);
+    if (v->op == ValOp::Index && !v->index.terms().empty() &&
+        (v->index.terms().size() > 1 || v->index.constant() != 0))
+        return "(" + s + ")";
+    return s;
+}
+
+} // namespace
+
 std::string
 printValue(const Program &prog, const ValuePtr &v)
 {
@@ -72,22 +118,27 @@ printValue(const Program &prog, const ValuePtr &v)
         break;
       case ValOp::Add:
         os << "(" << printValue(prog, v->kids[0]) << " + "
-           << printValue(prog, v->kids[1]) << ")";
+           << sumRhsOperand(prog, v->kids[1]) << ")";
         break;
       case ValOp::Sub:
         os << "(" << printValue(prog, v->kids[0]) << " - "
-           << printValue(prog, v->kids[1]) << ")";
+           << sumRhsOperand(prog, v->kids[1]) << ")";
         break;
       case ValOp::Mul:
-        os << printValue(prog, v->kids[0]) << "*"
-           << printValue(prog, v->kids[1]);
+        os << termOperand(prog, v->kids[0]) << "*"
+           << termOperand(prog, v->kids[1]);
         break;
       case ValOp::Div:
-        os << printValue(prog, v->kids[0]) << "/"
-           << printValue(prog, v->kids[1]);
+        os << termOperand(prog, v->kids[0]) << "/"
+           << termOperand(prog, v->kids[1]);
         break;
       case ValOp::Neg:
-        os << "-" << printValue(prog, v->kids[0]);
+        // Negating an affine leaf textually ("-K + 2") would change
+        // its meaning; fold the sign into the affine form instead.
+        if (v->kids[0]->op == ValOp::Index)
+            os << (-v->kids[0]->index).str(namer(prog));
+        else
+            os << "-" << printValue(prog, v->kids[0]);
         break;
       case ValOp::Sqrt:
         os << "SQRT(" << printValue(prog, v->kids[0]) << ")";

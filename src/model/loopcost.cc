@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "model/checked.hh"
 #include "support/logging.hh"
 #include "support/stats.hh"
 
@@ -123,7 +124,7 @@ NestAnalysis::classify(const NestRef &ref, const Node *candidate) const
     int64_t coeff = subs[0].affine.coeff(v);
     if (coeff == 0)
         return Reuse::None;  // v only in an opaque position
-    int64_t stride = std::abs(candidate->step * coeff);
+    int64_t stride = checkedAbs(checkedMul(candidate->step, coeff));
     const ArrayDecl &decl = prog_.arrayDecl(ref.ref->array);
     int64_t cls = std::max(1, params_.lineBytes / decl.elemSize);
     return stride < cls ? Reuse::Consecutive : Reuse::None;
@@ -144,7 +145,7 @@ NestAnalysis::refCost(const NestRef &ref, const Node *candidate) const
       case Reuse::Consecutive: {
         ++cConsecutive;
         int64_t coeff = ref.ref->subs[0].affine.coeff(candidate->var);
-        int64_t stride = std::abs(candidate->step * coeff);
+        int64_t stride = checkedAbs(checkedMul(candidate->step, coeff));
         const ArrayDecl &decl = prog_.arrayDecl(ref.ref->array);
         int64_t cls = std::max(1, params_.lineBytes / decl.elemSize);
         // trip / (cls / stride)

@@ -1,5 +1,6 @@
 #include "model/trip.hh"
 
+#include "model/checked.hh"
 #include "support/logging.hh"
 
 namespace memoria {
@@ -81,7 +82,7 @@ TripModel::trip(const Node *loop) const
         lb = lbR.hi;
         ub = ubR.lo;
     }
-    return (ub - lb + Poly(step)) / step;
+    return saturatePoly((ub - lb + Poly(step)) / step);
 }
 
 } // namespace memoria

@@ -11,6 +11,7 @@
  *   memoria simulate <program> [N]     hit rates + speedup on both caches
  *   memoria reuse <program> [N]        reuse-distance profile
  *   memoria trace <program> [N]        Compound decision provenance
+ *   memoria fuzz [--seed N] [--count K]  differential pipeline fuzzing
  *
  * Global flags (accepted anywhere on the command line):
  *
@@ -41,6 +42,7 @@
 #include <sstream>
 
 #include "cachesim/reuse.hh"
+#include "driver/fuzzcheck.hh"
 #include "frontend/parser.hh"
 #include "support/logging.hh"
 #include "support/stats.hh"
@@ -94,10 +96,8 @@ resolve(const std::string &name, int64_t n)
         buf << in.rdbuf();
         ParseError err;
         auto p = parseProgram(buf.str(), &err);
-        if (!p) {
-            fatal(name + ":" + std::to_string(err.line) + ": " +
-                  err.message);
-        }
+        if (!p)
+            fatal(name + ": " + err.str());
         return std::move(*p);
     }
     fatal("unknown program or file '" + name +
@@ -216,14 +216,15 @@ cmdTrace(Program prog)
     ModelParams params;
     OptimizedProgram opt = optimizeProgram(prog, params);
 
-    TextTable t({"nest", "depth", "strategy", "fail", "orig cost",
-                 "final cost", "ideal cost"});
+    TextTable t({"nest", "depth", "strategy", "verify", "fail",
+                 "orig cost", "final cost", "ideal cost"});
     int nest = 0;
     for (const NestReport &rep : opt.compound.nests) {
         t.addRow({std::to_string(nest++), std::to_string(rep.depth),
-                  nestStrategyName(rep), permuteFailName(rep.fail),
-                  rep.origCost.str(), rep.finalCost.str(),
-                  rep.idealCost.str()});
+                  nestStrategyName(rep),
+                  rep.rolledBack ? "ROLLED-BACK" : "ok",
+                  permuteFailName(rep.fail), rep.origCost.str(),
+                  rep.finalCost.str(), rep.idealCost.str()});
     }
     std::cout << t.str();
     std::cout << "nests: " << opt.report.nests
@@ -231,6 +232,8 @@ cmdTrace(Program prog)
               << "  transformed into memory order: "
               << opt.report.nestsPerm
               << "  failed: " << opt.report.nestsFail << "\n";
+    std::cout << "verify failures (rolled back): "
+              << opt.report.failVerify << "\n";
 
     // Confirm the decisions in the cache simulator; this also fills the
     // cachesim.* stats counters so --stats reconciles with the table.
@@ -238,6 +241,27 @@ cmdTrace(Program prog)
     std::cout << "whole-program hit% (warm, i860): "
               << TextTable::num(rates.wholeOrig, 2) << " -> "
               << TextTable::num(rates.wholeFinal, 2) << "\n";
+    return 0;
+}
+
+/** Differential fuzzing over the whole pipeline; see
+ *  driver/fuzzcheck.hh for the per-round protocol. */
+int
+cmdFuzz(uint64_t seed, int count)
+{
+    FuzzReport rep = runFuzzCampaign(seed, count);
+    std::cout << "fuzz: " << rep.programs << " programs (seed " << seed
+              << ")  validate failures: " << rep.validateFailures
+              << "  round-trip failures: " << rep.roundTripFailures
+              << "  equivalence failures: " << rep.equivFailures
+              << "  guard rollbacks: " << rep.rollbacks << "\n";
+    for (const std::string &msg : rep.messages)
+        std::cout << "  " << msg << "\n";
+    if (!rep.ok()) {
+        std::cout << "FUZZING FOUND FAILURES\n";
+        return 1;
+    }
+    std::cout << "all checks passed\n";
     return 0;
 }
 
@@ -251,6 +275,8 @@ struct Options
     bool statsJson = false;    ///< --stats=json
     int verbosity = 0;         ///< -v count minus -q count
     bool quiet = false;
+    uint64_t fuzzSeed = 1;     ///< fuzz: --seed
+    int fuzzCount = 100;       ///< fuzz: --count
 };
 
 Options
@@ -269,6 +295,20 @@ parseArgs(int argc, char **argv)
             opts.statsText = true;
         } else if (arg == "--stats=json") {
             opts.statsJson = true;
+        } else if (arg == "--seed" || arg == "--count") {
+            if (i + 1 >= argc)
+                fatal(arg + " needs a value");
+            std::string v = argv[++i];
+            if (arg == "--seed")
+                opts.fuzzSeed =
+                    static_cast<uint64_t>(std::atoll(v.c_str()));
+            else
+                opts.fuzzCount = std::atoi(v.c_str());
+        } else if (arg.rfind("--seed=", 0) == 0) {
+            opts.fuzzSeed =
+                static_cast<uint64_t>(std::atoll(arg.c_str() + 7));
+        } else if (arg.rfind("--count=", 0) == 0) {
+            opts.fuzzCount = std::atoi(arg.c_str() + 8);
         } else if (arg == "-v") {
             ++opts.verbosity;
         } else if (arg == "-q") {
@@ -306,7 +346,8 @@ run(int argc, char **argv)
             << "usage: memoria "
                "<list|print|analyze|optimize|simulate|reuse|trace> "
                "[program] [N] [--trace[=file.jsonl]] [--stats[=json]] "
-               "[-v] [-q]\n";
+               "[-v] [-q]\n"
+               "       memoria fuzz [--seed N] [--count K]\n";
         return 2;
     }
 
@@ -320,6 +361,10 @@ run(int argc, char **argv)
     int rc = 2;
     if (cmd == "list") {
         rc = cmdList();
+    } else if (cmd == "fuzz") {
+        if (opts.fuzzCount <= 0)
+            fatal("--count must be positive");
+        rc = cmdFuzz(opts.fuzzSeed, opts.fuzzCount);
     } else if (opts.positional.size() < 2) {
         std::cerr << "missing program name; try `memoria list`\n";
     } else {

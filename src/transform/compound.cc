@@ -1,5 +1,9 @@
 #include "transform/compound.hh"
 
+#include <utility>
+
+#include "check/equiv.hh"
+#include "check/validate.hh"
 #include "model/loopcost.hh"
 #include "support/logging.hh"
 #include "support/stats.hh"
@@ -7,6 +11,20 @@
 #include "transform/distribute.hh"
 
 namespace memoria {
+
+namespace {
+
+std::function<void(std::vector<NodePtr> &, size_t, size_t)>
+    gSabotageHook;
+
+} // namespace
+
+void
+setCompoundSabotageHook(
+    std::function<void(std::vector<NodePtr> &, size_t, size_t)> hook)
+{
+    gSabotageHook = std::move(hook);
+}
 
 const char *
 nestStrategyName(const NestReport &rep)
@@ -30,6 +48,55 @@ memoryOrderString(const Program &prog, const NestAnalysis &na)
     for (Node *l : na.memoryOrder())
         s += prog.varName(l->var);
     return s;
+}
+
+/**
+ * Equivalence protocol for the pipeline guards: try a cheap shrunken
+ * size first; the program's own (possibly large) default sizes are the
+ * fallback, paid only when shrinking is inconclusive.
+ */
+EquivOptions
+guardEquivOptions()
+{
+    EquivOptions eo;
+    eo.sizes = {7, 0};
+    eo.stopAfterConclusiveSize = true;
+    return eo;
+}
+
+/**
+ * A standalone program whose body is a clone of `parts`, sharing the
+ * symbol and array tables of `prog` — lets the validator and the
+ * oracle examine one top-level nest in isolation.
+ */
+Program
+nestProgram(const Program &prog, const char *tag,
+            const std::vector<const Node *> &parts)
+{
+    Program mini;
+    mini.name = prog.name + tag;
+    mini.vars = prog.vars;
+    mini.arrays = prog.arrays;
+    for (const Node *n : parts)
+        mini.body.push_back(cloneNode(*n));
+    return mini;
+}
+
+/**
+ * Guard a transformation: structural validation of the candidate, then
+ * the differential oracle against the reference. Returns the reason
+ * the candidate was rejected, or an empty string when it passes.
+ */
+std::string
+verifyAgainst(const Program &ref, const Program &cand)
+{
+    std::vector<Diag> diags = validateProgram(cand);
+    if (!diags.empty())
+        return "IR validation: " + diags.front().str();
+    EquivResult eq = checkEquivalence(ref, cand, guardEquivOptions());
+    if (!eq.equivalent)
+        return eq.detail;
+    return {};
 }
 
 /**
@@ -154,7 +221,8 @@ optimizeStructure(const Program &prog, std::vector<NodePtr> &ownerBody,
 size_t
 optimizeNest(const Program &prog, std::vector<NodePtr> &ownerBody,
              size_t index, const std::vector<Node *> &enclosing,
-             const ModelParams &params, CompoundResult &result)
+             const ModelParams &params, CompoundResult &result,
+             bool verify)
 {
     Node *root = ownerBody[index].get();
     NestReport rep;
@@ -172,8 +240,44 @@ optimizeNest(const Program &prog, std::vector<NodePtr> &ownerBody,
             memOrder = memoryOrderString(prog, na);
     }
 
+    NodePtr snapshot;
+    int savedDistributions = result.distributions;
+    int savedResultingNests = result.resultingNests;
+    if (verify)
+        snapshot = cloneNode(*root);
+
     size_t slots = optimizeStructure(prog, ownerBody, index, enclosing,
                                      params, result, &rep);
+
+    if (gSabotageHook)
+        gSabotageHook(ownerBody, index, slots);
+
+    if (verify) {
+        std::vector<const Node *> parts;
+        for (size_t s = 0; s < slots; ++s)
+            parts.push_back(ownerBody[index + s].get());
+        Program refP = nestProgram(prog, "#orig", {snapshot.get()});
+        Program candP = nestProgram(prog, "#opt", parts);
+        std::string why = verifyAgainst(refP, candP);
+        if (!why.empty()) {
+            auto first =
+                ownerBody.begin() + static_cast<std::ptrdiff_t>(index);
+            ownerBody.erase(first + 1,
+                            first + static_cast<std::ptrdiff_t>(slots));
+            ownerBody[index] = std::move(snapshot);
+            slots = 1;
+            rep.rolledBack = true;
+            result.failVerify += 1;
+            result.distributions = savedDistributions;
+            result.resultingNests = savedResultingNests;
+            ++obs::counter("pass.compound.nests_verify_failed");
+            if (obs::tracingEnabled())
+                obs::traceEvent("check", "verify_failed",
+                                {{"program", prog.name},
+                                 {"strategy", nestStrategyName(rep)},
+                                 {"detail", why}});
+        }
+    }
 
     // Final per-nest statistics over the slot range.
     rep.finalMemoryOrder = true;
@@ -218,6 +322,7 @@ optimizeNest(const Program &prog, std::vector<NodePtr> &ownerBody,
         span.arg("orig_memory_order", rep.origMemoryOrder);
         span.arg("final_memory_order", rep.finalMemoryOrder);
         span.arg("strategy", nestStrategyName(rep));
+        span.arg("rolled_back", rep.rolledBack);
         span.arg("fail", permuteFailName(rep.fail));
         span.arg("used_reversal", rep.usedReversal);
         span.arg("orig_cost", rep.origCost.str());
@@ -234,7 +339,7 @@ optimizeNest(const Program &prog, std::vector<NodePtr> &ownerBody,
 
 CompoundResult
 compoundTransform(Program &prog, const ModelParams &params,
-                  bool applyFusion)
+                  const CompoundOptions &opts)
 {
     CompoundResult result;
 
@@ -256,14 +361,41 @@ compoundTransform(Program &prog, const ModelParams &params,
             continue;
         }
         ++result.totalNests;
-        index += optimizeNest(prog, prog.body, index, {}, params, result);
+        index += optimizeNest(prog, prog.body, index, {}, params, result,
+                              opts.verify);
     }
 
     // Final pass: fuse adjacent compatible nests (and, through the
     // recursion inside fuseSiblings, the pieces distribution created)
-    // when the cost model says temporal locality improves.
-    if (applyFusion)
+    // when the cost model says temporal locality improves. Verification
+    // treats the whole pre-fusion program as the reference, since
+    // fusion crosses nest boundaries.
+    if (opts.applyFusion) {
+        std::vector<NodePtr> snapshot;
+        if (opts.verify)
+            for (const auto &top : prog.body)
+                snapshot.push_back(cloneNode(*top));
         result.fusion = fuseSiblings(prog, prog.body, {}, params, true);
+        if (opts.verify && result.fusion.fused > 0) {
+            Program refP;
+            refP.name = prog.name + "#prefuse";
+            refP.vars = prog.vars;
+            refP.arrays = prog.arrays;
+            refP.body = std::move(snapshot);
+            std::string why = verifyAgainst(refP, prog);
+            if (!why.empty()) {
+                prog.body = std::move(refP.body);
+                result.fusion.failVerify += 1;
+                result.fusion.fused = 0;
+                ++obs::counter("pass.compound.fusion_verify_failed");
+                if (obs::tracingEnabled())
+                    obs::traceEvent("check", "verify_failed",
+                                    {{"program", prog.name},
+                                     {"strategy", "fuse"},
+                                     {"detail", why}});
+            }
+        }
+    }
 
     if (span.active()) {
         span.arg("total_loops", result.totalLoops);
@@ -271,8 +403,19 @@ compoundTransform(Program &prog, const ModelParams &params,
         span.arg("distributions", result.distributions);
         span.arg("fusion_candidates", result.fusion.candidates);
         span.arg("fused", result.fusion.fused);
+        span.arg("fail_verify",
+                 result.failVerify + result.fusion.failVerify);
     }
     return result;
+}
+
+CompoundResult
+compoundTransform(Program &prog, const ModelParams &params,
+                  bool applyFusion)
+{
+    CompoundOptions opts;
+    opts.applyFusion = applyFusion;
+    return compoundTransform(prog, params, opts);
 }
 
 } // namespace memoria

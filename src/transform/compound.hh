@@ -14,6 +14,7 @@
 #ifndef MEMORIA_TRANSFORM_COMPOUND_HH
 #define MEMORIA_TRANSFORM_COMPOUND_HH
 
+#include <functional>
 #include <vector>
 
 #include "ir/program.hh"
@@ -42,6 +43,13 @@ struct NestReport
     /** Why memory order was missed (when it was). */
     PermuteFail fail = PermuteFail::None;
 
+    /**
+     * The transformed nest failed post-transformation verification (IR
+     * validation or the differential oracle) and the original was
+     * restored. The used* flags above still record what was attempted.
+     */
+    bool rolledBack = false;
+
     Poly origCost;
     Poly finalCost;
     Poly idealCost;
@@ -66,16 +74,50 @@ struct CompoundResult
     /** Total loops / nests scanned (depth >= 2 nests only in nests). */
     int totalLoops = 0;
     int totalNests = 0;
+
+    /** Nests rolled back after failing verification (fusion-pass
+     *  rollbacks are counted separately in fusion.failVerify). */
+    int failVerify = 0;
 };
 
-/**
- * Run Compound on a whole program in place.
- *
- * `applyFusion` allows ablating the final profit-driven fusion pass
- * (Section 5.5 measures hit rates with and without fusion).
- */
+/** Knobs for one Compound run. */
+struct CompoundOptions
+{
+    /**
+     * Apply the final profit-driven fusion pass. Turning it off ablates
+     * fusion (Section 5.5 measures hit rates with and without it).
+     */
+    bool applyFusion = true;
+
+    /**
+     * Guard every nest transformation (and the final fusion pass) with
+     * IR validation plus the differential-equivalence oracle
+     * (check/equiv.hh), restoring the original structure when a check
+     * fails. Verification never alters the result of a correct
+     * transformation — it only converts a miscompile into a no-op.
+     */
+    bool verify = true;
+};
+
+/** Run Compound on a whole program in place. */
+CompoundResult compoundTransform(Program &prog, const ModelParams &params,
+                                 const CompoundOptions &opts);
+
+/** Legacy form; equivalent to CompoundOptions{applyFusion, true}. */
 CompoundResult compoundTransform(Program &prog, const ModelParams &params,
                                  bool applyFusion = true);
+
+/**
+ * Test-only fault injection: the hook runs on each nest after Compound
+ * transforms it and before verification, so tests can corrupt the nest
+ * (e.g. force an illegal interchange) and observe the oracle catch it.
+ * `ownerBody[index .. index+slots)` is the transformed nest. Pass
+ * nullptr to clear. Not thread-safe; never set outside tests.
+ */
+void setCompoundSabotageHook(
+    std::function<void(std::vector<NodePtr> &ownerBody, size_t index,
+                       size_t slots)>
+        hook);
 
 } // namespace memoria
 

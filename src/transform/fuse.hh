@@ -34,11 +34,15 @@ struct FuseStats
     /** Nests that were actually fused with one or more others. */
     int fused = 0;
 
+    /** Fusions undone because post-fusion verification failed. */
+    int failVerify = 0;
+
     FuseStats &
     operator+=(const FuseStats &o)
     {
         candidates += o.candidates;
         fused += o.fused;
+        failVerify += o.failVerify;
         return *this;
     }
 };

@@ -1,0 +1,232 @@
+/** Tests for the guarded-pipeline subsystem: the structural IR
+ *  validator, the differential-equivalence oracle (including a
+ *  sabotage-injected miscompile caught and rolled back by Compound),
+ *  and a fuzz-campaign smoke run. */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "check/equiv.hh"
+#include "check/fuzz.hh"
+#include "check/validate.hh"
+#include "driver/fuzzcheck.hh"
+#include "ir/builder.hh"
+#include "ir/printer.hh"
+#include "suite/corpus.hh"
+#include "suite/kernels.hh"
+#include "support/trace.hh"
+#include "transform/compound.hh"
+
+namespace memoria {
+namespace {
+
+/** A depth-2 nest whose loops cannot legally be interchanged: the
+ *  dependence from A(I-1,J+1) has direction (<, >). */
+Program
+interchangeIllegalNest()
+{
+    ProgramBuilder b("noswap");
+    Var n = b.param("N", 8);
+    Arr a = b.array("A", {Ix(n) + 2, Ix(n) + 2});
+    Var i = b.loopVar("I");
+    Var j = b.loopVar("J");
+    b.add(b.loop(i, 2, n,
+                 b.loop(j, 1, n,
+                        b.assign(a(Ix(i), Ix(j)),
+                                 a(Ix(i) - 1, Ix(j) + 1) + 1.0))));
+    return b.finish();
+}
+
+// ---------------------------------------------------------------------
+// Validator
+
+TEST(Validate, AcceptsKernels)
+{
+    EXPECT_TRUE(validateProgram(makeMatmul("IKJ", 8)).empty());
+    EXPECT_TRUE(validateProgram(makeCholeskyKIJ(8)).empty());
+    EXPECT_TRUE(validateProgram(makeAdiScalarized(8)).empty());
+    EXPECT_TRUE(validateProgram(makeErlebacherDistributed(6)).empty());
+}
+
+TEST(Validate, AcceptsWholeCorpus)
+{
+    for (const Program &p : buildCorpus(8))
+        EXPECT_TRUE(validateProgram(p).empty()) << p.name;
+}
+
+TEST(Validate, RejectsDuplicateLoopVariable)
+{
+    Program p = makeMatmul("IJK", 8);
+    Node *outer = p.body[0].get();
+    outer->body[0]->var = outer->var;  // J-loop rebinds I
+    std::vector<Diag> diags = validateProgram(p);
+    ASSERT_FALSE(diags.empty());
+    EXPECT_NE(diags.front().str().find("bound"), std::string::npos);
+}
+
+TEST(Validate, RejectsZeroStep)
+{
+    Program p = makeMatmul("IJK", 8);
+    p.body[0]->step = 0;
+    EXPECT_FALSE(validateProgram(p).empty());
+}
+
+TEST(Validate, RejectsSubscriptRankMismatch)
+{
+    Program p = interchangeIllegalNest();
+    Node *stmt = p.body[0]->body[0]->body[0].get();
+    stmt->stmt.write.subs.pop_back();  // A is 2-D, write now rank 1
+    EXPECT_FALSE(validateProgram(p).empty());
+}
+
+TEST(Validate, RejectsOutOfRangeArrayId)
+{
+    Program p = interchangeIllegalNest();
+    Node *stmt = p.body[0]->body[0]->body[0].get();
+    stmt->stmt.write.array = 99;
+    EXPECT_FALSE(validateProgram(p).empty());
+}
+
+TEST(Validate, RejectsNullRhs)
+{
+    Program p = interchangeIllegalNest();
+    Node *stmt = p.body[0]->body[0]->body[0].get();
+    stmt->stmt.rhs = nullptr;
+    EXPECT_FALSE(validateProgram(p).empty());
+}
+
+TEST(Validate, RejectsExcessiveNestingDepth)
+{
+    Program p = makeMatmul("IJK", 8);  // depth 3
+    ValidateOptions opts;
+    opts.maxDepth = 2;
+    EXPECT_FALSE(validateProgram(p, opts).empty());
+    EXPECT_FALSE(validateProgramStatus(p, opts).ok());
+}
+
+// ---------------------------------------------------------------------
+// Differential-equivalence oracle
+
+TEST(Equiv, EquivalentProgramsAgree)
+{
+    // Matmul in two loop orders computes the same product.
+    EquivResult eq =
+        checkEquivalence(makeMatmul("IJK", 8), makeMatmul("JKI", 8));
+    EXPECT_TRUE(eq.equivalent) << eq.detail;
+    EXPECT_GT(eq.comparedRuns, 0);
+}
+
+TEST(Equiv, DetectsChangedComputation)
+{
+    Program ref = interchangeIllegalNest();
+    Program bad = ref.clone();
+    Node *stmt = bad.body[0]->body[0]->body[0].get();
+    // Same shape, different constant: A(...) + 2 instead of + 1.
+    stmt->stmt.rhs = (Val(stmt->stmt.rhs->kids[0]) + 2.0).p;
+    EquivResult eq = checkEquivalence(ref, bad);
+    EXPECT_FALSE(eq.equivalent);
+    EXPECT_FALSE(eq.detail.empty());
+}
+
+TEST(Equiv, DetectsIllegalInterchange)
+{
+    Program ref = interchangeIllegalNest();
+    Program bad = ref.clone();
+    std::swap(bad.body[0]->var, bad.body[0]->body[0]->var);
+    EquivResult eq = checkEquivalence(ref, bad);
+    EXPECT_FALSE(eq.equivalent);
+}
+
+// ---------------------------------------------------------------------
+// Guarded Compound: injected miscompile is caught and rolled back
+
+/** Installs a RecordingSink and clears the sabotage hook afterwards. */
+class GuardTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        auto sink = std::make_unique<obs::RecordingSink>();
+        rec_ = sink.get();
+        obs::setTraceSink(std::move(sink));
+    }
+
+    void
+    TearDown() override
+    {
+        setCompoundSabotageHook(nullptr);
+        obs::setTraceSink(nullptr);
+    }
+
+    obs::RecordingSink *rec_ = nullptr;
+};
+
+TEST_F(GuardTest, SabotagedNestIsRolledBackExactly)
+{
+    Program p = interchangeIllegalNest();
+    std::string before = printProgram(p);
+
+    // Force the illegal interchange behind the legality analysis's
+    // back, as a buggy transformation would.
+    setCompoundSabotageHook(
+        [](std::vector<NodePtr> &ownerBody, size_t index, size_t) {
+            Node *nest = ownerBody[index].get();
+            if (nest->isLoop() && !nest->body.empty() &&
+                nest->body[0]->isLoop())
+                std::swap(nest->var, nest->body[0]->var);
+        });
+
+    CompoundResult r = compoundTransform(p, ModelParams{},
+                                         CompoundOptions{});
+
+    EXPECT_EQ(r.failVerify, 1);
+    ASSERT_EQ(r.nests.size(), 1u);
+    EXPECT_TRUE(r.nests[0].rolledBack);
+    // Rollback restores the nest byte-for-byte.
+    EXPECT_EQ(printProgram(p), before);
+
+    // The rollback is visible in the trace stream.
+    bool sawEvent = false;
+    for (const auto &e : rec_->events)
+        if (e.type == obs::TraceEvent::Type::Event &&
+            e.category == "check" && e.name == "verify_failed")
+            sawEvent = true;
+    EXPECT_TRUE(sawEvent);
+}
+
+TEST_F(GuardTest, HealthyPipelineNeverRollsBack)
+{
+    for (const char *order : {"IJK", "IKJ", "JKI"}) {
+        Program p = makeMatmul(order, 8);
+        CompoundResult r = compoundTransform(p, ModelParams{},
+                                             CompoundOptions{});
+        EXPECT_EQ(r.failVerify, 0) << order;
+        EXPECT_EQ(r.fusion.failVerify, 0) << order;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fuzzing
+
+TEST(Fuzz, GeneratedProgramsAreDeterministic)
+{
+    Program a = fuzzProgram(42);
+    Program b = fuzzProgram(42);
+    EXPECT_EQ(printProgram(a), printProgram(b));
+    EXPECT_NE(printProgram(a), printProgram(fuzzProgram(43)));
+}
+
+TEST(Fuzz, SmokeCampaign)
+{
+    FuzzReport rep = runFuzzCampaign(1, 200);
+    EXPECT_EQ(rep.programs, 200);
+    EXPECT_TRUE(rep.ok());
+    for (const std::string &m : rep.messages)
+        ADD_FAILURE() << m;
+}
+
+} // namespace
+} // namespace memoria

@@ -7,10 +7,13 @@
 #include <numeric>
 
 #include "cachesim/reuse.hh"
+#include "check/fuzz.hh"
 #include "dependence/graph.hh"
 #include "dependence/legality.hh"
+#include "frontend/parser.hh"
 #include "interp/interp.hh"
 #include "ir/builder.hh"
+#include "ir/printer.hh"
 #include "support/poly.hh"
 #include "support/rng.hh"
 #include "transform/compound.hh"
@@ -267,6 +270,29 @@ TEST_P(ReversalSweep, ReversedLoopSameResults)
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ReversalSweep, ::testing::Range(0, 20));
+
+// ---------------------------------------------------------------------
+
+/** Property: printing a fuzzed program and parsing it back reaches a
+ *  textual fixpoint and preserves execution results exactly. */
+class RoundTripSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(RoundTripSweep, PrintParsePrintIsFixpoint)
+{
+    uint64_t seed = 9000 + static_cast<uint64_t>(GetParam());
+    Program p = fuzzProgram(seed);
+    std::string text = printProgram(p);
+
+    ParseError err;
+    auto back = parseProgram(text, &err);
+    ASSERT_TRUE(back) << err.str() << "\n" << text;
+    EXPECT_EQ(printProgram(*back), text);
+    EXPECT_EQ(runChecksum(*back), runChecksum(p));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RoundTripSweep, ::testing::Range(0, 40));
 
 } // namespace
 } // namespace memoria
