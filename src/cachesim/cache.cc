@@ -1,10 +1,19 @@
 #include "cachesim/cache.hh"
 
+#include "harness/fault.hh"
 #include "support/logging.hh"
 #include "support/stats.hh"
 #include "support/trace.hh"
 
 namespace memoria {
+
+namespace {
+
+/** Fires once per simulated run (at cache construction), so arming it
+ *  never costs anything on the per-access hot path. */
+harness::FaultSite gCachesimFault("cachesim.run");
+
+} // namespace
 
 CacheConfig
 CacheConfig::rs6000()
@@ -55,6 +64,7 @@ CacheStats::checkConsistent() const
 
 Cache::Cache(CacheConfig config) : config_(std::move(config))
 {
+    gCachesimFault.fireNoDiag();
     MEMORIA_ASSERT(config_.lineBytes > 0 &&
                        (config_.lineBytes & (config_.lineBytes - 1)) == 0,
                    "line size must be a power of two");

@@ -3,6 +3,8 @@
 #include <cstring>
 #include <sstream>
 
+#include "harness/budget.hh"
+#include "harness/fault.hh"
 #include "interp/interp.hh"
 #include "support/stats.hh"
 #include "support/trace.hh"
@@ -10,6 +12,9 @@
 namespace memoria {
 
 namespace {
+
+/** Diag action reports "not equivalent", exercising the rollback path. */
+harness::FaultSite gEquivFault("check.equiv", /*supportsDiag=*/true);
 
 /** Parameters the cost model treats as the abstract size n; fixed
  *  small parameters (constant paramPoly) are semantic and keep their
@@ -78,8 +83,15 @@ checkEquivalence(const Program &reference, const Program &candidate,
     ++cChecks;
 
     EquivResult result;
+    if (std::optional<Diag> injected = gEquivFault.fire()) {
+        result.equivalent = false;
+        result.detail = injected->str();
+        ++cFail;
+        return result;
+    }
     for (int64_t size : opts.sizes) {
         for (uint64_t seed : opts.seeds) {
+            harness::poll("check.equiv.round");
             Interpreter refInterp(reference);
             RunOutcome ref = runOne(reference, refInterp, size, seed);
             if (!ref.ok) {

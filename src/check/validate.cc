@@ -4,9 +4,15 @@
 #include <sstream>
 #include <string>
 
+#include "harness/budget.hh"
+#include "harness/fault.hh"
+
 namespace memoria {
 
 namespace {
+
+harness::FaultSite gValidateFault("validate.program",
+                                  /*supportsDiag=*/true);
 
 class Validator
 {
@@ -265,6 +271,11 @@ class Validator
 
     static constexpr int kMaxValueDepth = 256;
 
+  public:
+    /** Nodes visited; feeds the harness IR budget. */
+    size_t nodeCount() const { return nodeCount_; }
+
+  private:
     const Program &prog_;
     const ValidateOptions &opts_;
     std::vector<Diag> diags_;
@@ -280,7 +291,14 @@ class Validator
 std::vector<Diag>
 validateProgram(const Program &prog, const ValidateOptions &opts)
 {
-    return Validator(prog, opts).run();
+    std::vector<Diag> diags;
+    if (std::optional<Diag> injected = gValidateFault.fire())
+        diags.push_back(*injected);
+    Validator v(prog, opts);
+    std::vector<Diag> found = v.run();
+    diags.insert(diags.end(), found.begin(), found.end());
+    harness::chargeIrNodes(v.nodeCount(), "validate.program");
+    return diags;
 }
 
 Status

@@ -7,11 +7,14 @@
 #include <numeric>
 #include <optional>
 
+#include "harness/fault.hh"
 #include "support/logging.hh"
 
 namespace memoria {
 
 namespace {
+
+harness::FaultSite gDepFault("dependence.vectors");
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
@@ -576,6 +579,8 @@ dependenceVectors(const Program &prog, const ArrayRef &refA,
                   const std::vector<Node *> &loopsA, const ArrayRef &refB,
                   const std::vector<Node *> &loopsB, bool sameOccurrence)
 {
+    gDepFault.fireNoDiag();
+
     std::vector<DepVector> out;
     if (refA.array != refB.array)
         return out;

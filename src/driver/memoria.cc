@@ -99,6 +99,17 @@ OptimizedProgram
 optimizeProgram(const Program &input, const ModelParams &params,
                 bool applyFusion, double evalN)
 {
+    PipelineOptions opts;
+    opts.compound.applyFusion = applyFusion;
+    opts.evalN = evalN;
+    return optimizeProgram(input, params, opts);
+}
+
+OptimizedProgram
+optimizeProgram(const Program &input, const ModelParams &params,
+                const PipelineOptions &opts)
+{
+    const double evalN = opts.evalN;
     obs::TraceScope span("driver", "optimize_program");
     span.arg("program", input.name);
     ++obs::counter("driver.programs_optimized");
@@ -110,9 +121,11 @@ optimizeProgram(const Program &input, const ModelParams &params,
     out.transformed = input.clone();
     out.ideal = input.clone();
 
-    out.compound =
-        compoundTransform(out.transformed, params, applyFusion);
-    forceIdeal(out.ideal, params);
+    if (opts.transform)
+        out.compound =
+            compoundTransform(out.transformed, params, opts.compound);
+    if (opts.computeIdeal)
+        forceIdeal(out.ideal, params);
 
     // ----- Table 2 statistics ------------------------------------
     ProgramReport &rep = out.report;
@@ -211,7 +224,8 @@ optimizeProgram(const Program &input, const ModelParams &params,
     // ----- Table 5 access statistics -------------------------------
     out.accessOrig = programAccessStats(out.original, params);
     out.accessFinal = programAccessStats(out.transformed, params);
-    out.accessIdeal = programAccessStats(out.ideal, params);
+    if (opts.computeIdeal)
+        out.accessIdeal = programAccessStats(out.ideal, params);
 
     if (span.active()) {
         span.arg("nests", rep.nests);

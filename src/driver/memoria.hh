@@ -83,7 +83,33 @@ struct OptimizedProgram
     AccessStats accessIdeal;
 };
 
+/** Knobs for one pipeline run. */
+struct PipelineOptions
+{
+    CompoundOptions compound;
+
+    /**
+     * Run Compound at all. False is the degradation ladder's identity
+     * rung: the "transformed" program is a verbatim copy, so every
+     * downstream consumer (simulation, reporting) still works.
+     */
+    bool transform = true;
+
+    /** Build the legality-ignoring ideal version and its access stats
+     *  (Table 5). The batch driver turns this off — it reports real
+     *  outcomes only — which roughly halves per-program analysis cost. */
+    bool computeIdeal = true;
+
+    /** Concrete size at which cost-ratio polynomials are evaluated. */
+    double evalN = 64.0;
+};
+
 /** Run the full pipeline on one program. */
+OptimizedProgram optimizeProgram(const Program &input,
+                                 const ModelParams &params,
+                                 const PipelineOptions &opts);
+
+/** Legacy form: default options with fusion toggled. */
 OptimizedProgram optimizeProgram(const Program &input,
                                  const ModelParams &params,
                                  bool applyFusion = true,

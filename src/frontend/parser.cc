@@ -5,11 +5,17 @@
 #include <map>
 #include <vector>
 
+#include "harness/budget.hh"
+#include "harness/fault.hh"
 #include "support/logging.hh"
 
 namespace memoria {
 
 namespace {
+
+/** Armable failure point covering the whole front end
+ *  (docs/ROBUSTNESS.md, fault-site catalog). */
+harness::FaultSite gParseFault("parser.parse", /*supportsDiag=*/true);
 
 // ------------------------------------------------------------- lexer
 
@@ -327,6 +333,7 @@ class Parser
                   const std::vector<std::string> &terminators)
     {
         for (;;) {
+            harness::poll("parser.stmt");
             for (const auto &term : terminators)
                 if (peekKeyword(term))
                     return;
@@ -596,6 +603,11 @@ ParseError::str() const
 std::optional<Program>
 parseProgram(const std::string &source, ParseError *error)
 {
+    if (std::optional<Diag> injected = gParseFault.fire()) {
+        if (error)
+            *error = ParseError{0, injected->message, 0};
+        return std::nullopt;
+    }
     try {
         Parser p(source);
         return p.run();

@@ -1,0 +1,506 @@
+#include "harness/batch.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "check/validate.hh"
+#include "frontend/parser.hh"
+#include "harness/fault.hh"
+#include "suite/corpus.hh"
+#include "suite/kernels.hh"
+#include "support/stats.hh"
+#include "support/trace.hh"
+#include "transform/compound.hh"
+
+namespace memoria {
+namespace harness {
+
+namespace {
+
+/**
+ * Thrown out of a ladder attempt for problems no rung can fix — the
+ * *input* faults (e.g. the reference program goes out of bounds during
+ * simulation). Deliberately not a std::exception subclass, so it flies
+ * past runLadder's fault containment up to the per-program boundary,
+ * which maps it to status Diag.
+ */
+struct InputError
+{
+    Diag diag;
+};
+
+double
+nowMs()
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+/** JSON string escaping (quotes included). */
+std::string
+jstr(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    out.push_back('"');
+    for (unsigned char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out.push_back(static_cast<char>(c));
+            }
+        }
+    }
+    out.push_back('"');
+    return out;
+}
+
+/** JSON-valid double rendering (no inf/nan). */
+std::string
+jnum(double v)
+{
+    std::ostringstream os;
+    os << v;
+    std::string s = os.str();
+    if (s == "inf" || s == "-inf" || s == "nan" || s == "-nan")
+        return "0";
+    return s;
+}
+
+/** Run the ladder over optimize + simulate; fills `out` on success. */
+void
+runPipeline(const Program &prog, const BatchOptions &opts,
+            ProgramOutcome &out)
+{
+    LadderOptions lopts;
+    lopts.budget = opts.budget;
+    lopts.backoffBaseMs = opts.backoffBaseMs;
+    lopts.backoffCapMs = opts.backoffCapMs;
+
+    const CacheConfig cacheCfg = CacheConfig::i860();
+
+    LadderOutcome lr = runLadder(lopts, [&](AttemptContext &ctx) {
+        out.simulated = false;
+        out.nests.clear();
+
+        OptimizedProgram attempt =
+            optimizeProgram(prog, opts.params, ctx.pipeline);
+
+        if (opts.simulate) {
+            // The reference faulting is an input problem — no rung can
+            // fix it, so bypass the ladder entirely.
+            Result<RunResult> orig =
+                tryRunWithCache(attempt.original, cacheCfg);
+            if (!orig.ok())
+                throw InputError{orig.diag()};
+            Result<RunResult> fin =
+                tryRunWithCache(attempt.transformed, cacheCfg);
+            if (!fin.ok())
+                throw std::runtime_error(
+                    "transformed program faulted in simulation: " +
+                    fin.diag().str());
+
+            fin.value().cache.checkConsistent();
+            out.simulated = true;
+            out.accesses = fin.value().cache.accesses;
+            out.hits = fin.value().cache.hits;
+            out.misses = fin.value().cache.misses;
+            out.hitWarmOrig = orig.value().cache.hitRateWarm();
+            out.hitWarmFinal = fin.value().cache.hitRateWarm();
+        }
+
+        out.loops = attempt.compound.totalLoops;
+        for (const NestReport &nr : attempt.compound.nests)
+            out.nests.push_back(
+                {nr.depth, nestStrategyName(nr), nr.rolledBack});
+    });
+
+    out.attempts = lr.attempts;
+    out.failures = lr.failures;
+    out.iterations = lr.iterationsUsed;
+    out.maxIrNodes = lr.maxIrNodesSeen;
+    out.backoffMs = lr.backoffMs;
+
+    if (lr.ok) {
+        out.rung = lr.rung;
+        out.status = lr.failures.empty() && lr.rung == Rung::FullCompound
+                         ? BatchStatus::Ok
+                         : BatchStatus::Degraded;
+    } else {
+        const AttemptFailure &last = lr.failures.back();
+        out.status = last.kind == "timeout" ? BatchStatus::Timeout
+                                            : BatchStatus::PanicContained;
+        out.diag = last.detail;
+    }
+}
+
+/** One program, fully isolated; never throws. */
+ProgramOutcome
+runOne(const BatchInput &in, const BatchOptions &opts)
+{
+    ProgramOutcome out;
+    out.name = in.name;
+    const double t0 = nowMs();
+
+    ProgramContext pctx(in.name);
+    obs::TraceScope span("batch", "program");
+    span.arg("program", in.name);
+    obs::ScopedTimer timer(
+        obs::statsRegistry().histogram("batch.program_time_us"));
+
+    try {
+        // Loading and validation run under their own budget so a stall
+        // or a pathological input cannot hang the worker.
+        Result<Program> loaded = [&] {
+            CancelToken token(opts.budget);
+            BudgetScope scope(&token);
+            return in.load();
+        }();
+        if (!loaded.ok()) {
+            out.status = BatchStatus::Diag;
+            out.diag = loaded.diag().str();
+        } else {
+            const Program &prog = loaded.value();
+            std::vector<Diag> errs = [&] {
+                CancelToken token(opts.budget);
+                BudgetScope scope(&token);
+                return validateProgram(prog);
+            }();
+            if (!errs.empty()) {
+                out.status = BatchStatus::Diag;
+                out.diag = errs.front().str();
+            } else {
+                runPipeline(prog, opts, out);
+            }
+        }
+    } catch (const InputError &ie) {
+        out.status = BatchStatus::Diag;
+        out.diag = ie.diag.str();
+    } catch (const CancelledError &c) {
+        // Cancellation during load/validate (ladder attempts catch
+        // their own).
+        out.status = BatchStatus::Timeout;
+        out.diag = c.str();
+    } catch (const std::exception &e) {
+        out.status = BatchStatus::PanicContained;
+        out.diag = e.what();
+    } catch (...) {
+        out.status = BatchStatus::PanicContained;
+        out.diag = "unknown exception";
+    }
+
+    out.faultHits = drainFaultHits();
+    out.timeMs = nowMs() - t0;
+
+    if (span.active()) {
+        span.arg("status", batchStatusName(out.status));
+        span.arg("rung", rungName(out.rung));
+        span.arg("attempts", out.attempts);
+    }
+    return out;
+}
+
+const char *
+statusCounterName(BatchStatus s)
+{
+    switch (s) {
+      case BatchStatus::Ok:
+        return "batch.ok";
+      case BatchStatus::Degraded:
+        return "batch.degraded";
+      case BatchStatus::Diag:
+        return "batch.diag";
+      case BatchStatus::Timeout:
+        return "batch.timeout";
+      case BatchStatus::PanicContained:
+        return "batch.panic_contained";
+    }
+    return "batch.unknown";
+}
+
+} // namespace
+
+const char *
+batchStatusName(BatchStatus s)
+{
+    switch (s) {
+      case BatchStatus::Ok:
+        return "ok";
+      case BatchStatus::Degraded:
+        return "degraded";
+      case BatchStatus::Diag:
+        return "diag";
+      case BatchStatus::Timeout:
+        return "timeout";
+      case BatchStatus::PanicContained:
+        return "panic-contained";
+    }
+    return "?";
+}
+
+int
+BatchReport::countWithStatus(BatchStatus s) const
+{
+    int n = 0;
+    for (const ProgramOutcome &p : programs)
+        if (p.status == s)
+            ++n;
+    return n;
+}
+
+int
+BatchReport::containedCount() const
+{
+    int n = 0;
+    for (const ProgramOutcome &p : programs)
+        if (p.contained())
+            ++n;
+    return n;
+}
+
+std::string
+BatchReport::toJson() const
+{
+    std::ostringstream os;
+    os << "{\"programs\":[";
+    bool firstProg = true;
+    for (const ProgramOutcome &p : programs) {
+        if (!firstProg)
+            os << ",";
+        firstProg = false;
+        os << "{\"name\":" << jstr(p.name)
+           << ",\"status\":" << jstr(batchStatusName(p.status))
+           << ",\"rung\":" << jstr(rungName(p.rung))
+           << ",\"attempts\":" << p.attempts
+           << ",\"time_ms\":" << jnum(p.timeMs)
+           << ",\"iterations\":" << p.iterations
+           << ",\"max_ir_nodes\":" << p.maxIrNodes
+           << ",\"backoff_ms\":" << p.backoffMs << ",\"loops\":"
+           << p.loops;
+
+        os << ",\"incidents\":[";
+        bool first = true;
+        for (const AttemptFailure &f : p.failures) {
+            if (!first)
+                os << ",";
+            first = false;
+            os << "{\"rung\":" << jstr(rungName(f.rung))
+               << ",\"kind\":" << jstr(f.kind)
+               << ",\"detail\":" << jstr(f.detail) << "}";
+        }
+        os << "]";
+
+        os << ",\"fault_hits\":{";
+        first = true;
+        for (const auto &[site, hitCount] : p.faultHits) {
+            if (!first)
+                os << ",";
+            first = false;
+            os << jstr(site) << ":" << hitCount;
+        }
+        os << "}";
+
+        os << ",\"nests\":[";
+        first = true;
+        for (const NestOutcome &n : p.nests) {
+            if (!first)
+                os << ",";
+            first = false;
+            os << "{\"depth\":" << n.depth
+               << ",\"strategy\":" << jstr(n.strategy)
+               << ",\"rolled_back\":"
+               << (n.rolledBack ? "true" : "false") << "}";
+        }
+        os << "]";
+
+        if (!p.diag.empty())
+            os << ",\"diag\":" << jstr(p.diag);
+        if (p.simulated) {
+            os << ",\"sim\":{\"accesses\":" << p.accesses
+               << ",\"hits\":" << p.hits << ",\"misses\":" << p.misses
+               << ",\"hit_warm_orig\":" << jnum(p.hitWarmOrig)
+               << ",\"hit_warm_final\":" << jnum(p.hitWarmFinal) << "}";
+        }
+        os << "}";
+    }
+    os << "],\"summary\":{\"total\":" << programs.size();
+    for (BatchStatus s :
+         {BatchStatus::Ok, BatchStatus::Degraded, BatchStatus::Diag,
+          BatchStatus::Timeout, BatchStatus::PanicContained}) {
+        std::string key = batchStatusName(s);
+        std::replace(key.begin(), key.end(), '-', '_');
+        os << "," << jstr(key) << ":" << countWithStatus(s);
+    }
+    os << ",\"contained\":" << containedCount()
+       << ",\"total_ms\":" << jnum(totalMs) << "}}";
+    return os.str();
+}
+
+std::vector<BatchInput>
+kernelInputs(int64_t n)
+{
+    std::vector<BatchInput> out;
+    auto add = [&](const char *name, std::function<Program()> make) {
+        out.push_back({name, [make = std::move(make)]() {
+                           return Result<Program>(make());
+                       }});
+    };
+    add("matmul-ijk", [n] { return makeMatmul("IJK", n); });
+    add("matmul-ikj", [n] { return makeMatmul("IKJ", n); });
+    add("matmul-jki", [n] { return makeMatmul("JKI", n); });
+    add("cholesky", [n] { return makeCholeskyKIJ(n); });
+    add("adi", [n] { return makeAdiScalarized(n); });
+    add("erlebacher", [n] { return makeErlebacherDistributed(n); });
+    add("gmtry", [n] { return makeGmtry(n); });
+    add("simple", [n] { return makeSimpleHydro(n); });
+    add("vpenta", [n] { return makeVpenta(n); });
+    add("jacobi", [n] { return makeJacobiBadOrder(n); });
+    return out;
+}
+
+std::vector<BatchInput>
+corpusInputs(int64_t extent)
+{
+    std::vector<BatchInput> out;
+    for (const CorpusSpec &spec : corpusSpecs()) {
+        out.push_back({spec.name, [spec, extent]() {
+                           return Result<Program>(
+                               buildCorpusProgram(spec, extent));
+                       }});
+    }
+    return out;
+}
+
+BatchInput
+fileInput(const std::string &path)
+{
+    std::string name = std::filesystem::path(path).stem().string();
+    if (name.empty())
+        name = path;
+    return {name, [path]() -> Result<Program> {
+                std::ifstream in(path);
+                if (!in) {
+                    return Result<Program>::err(Diag::error(
+                        "batch.read", "cannot open '" + path + "'"));
+                }
+                std::ostringstream buf;
+                buf << in.rdbuf();
+                ParseError err;
+                std::optional<Program> prog =
+                    parseProgram(buf.str(), &err);
+                if (!prog) {
+                    return Result<Program>::err(
+                        Diag::error("parse.error",
+                                    path + ": " + err.message, err.line,
+                                    err.col));
+                }
+                return Result<Program>(std::move(*prog));
+            }};
+}
+
+std::vector<BatchInput>
+directoryInputs(const std::string &dir)
+{
+    std::vector<std::string> paths;
+    std::error_code ec;
+    for (const auto &entry :
+         std::filesystem::directory_iterator(dir, ec)) {
+        if (entry.is_regular_file() &&
+            entry.path().extension() == ".mem")
+            paths.push_back(entry.path().string());
+    }
+    std::sort(paths.begin(), paths.end());
+    std::vector<BatchInput> out;
+    for (const std::string &p : paths)
+        out.push_back(fileInput(p));
+    return out;
+}
+
+BatchReport
+runBatch(const std::vector<BatchInput> &inputs, const BatchOptions &opts)
+{
+    BatchReport report;
+    report.programs.resize(inputs.size());
+    const double t0 = nowMs();
+
+    obs::TraceScope span("batch", "run");
+    span.arg("programs", static_cast<int64_t>(inputs.size()));
+    span.arg("jobs", opts.jobs);
+
+    setFaultAccounting(true);
+
+    std::atomic<size_t> next{0};
+    auto work = [&]() {
+        for (;;) {
+            size_t i = next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= inputs.size())
+                break;
+            try {
+                report.programs[i] = runOne(inputs[i], opts);
+            } catch (...) {
+                // runOne contains everything; this is the last-ditch
+                // belt so a bug in the harness itself cannot kill the
+                // pool either.
+                report.programs[i] = ProgramOutcome{};
+                report.programs[i].name = inputs[i].name;
+                report.programs[i].status = BatchStatus::PanicContained;
+                report.programs[i].diag =
+                    "exception escaped program isolation";
+            }
+        }
+    };
+
+    int jobs = std::max(
+        1, std::min<int>(opts.jobs,
+                         static_cast<int>(std::max<size_t>(
+                             inputs.size(), 1))));
+    std::vector<std::thread> pool;
+    for (int j = 1; j < jobs; ++j)
+        pool.emplace_back(work);
+    work();
+    for (std::thread &t : pool)
+        t.join();
+
+    setFaultAccounting(false);
+
+    report.totalMs = nowMs() - t0;
+    obs::counter("batch.programs") += inputs.size();
+    for (const ProgramOutcome &p : report.programs) {
+        ++obs::counter(statusCounterName(p.status));
+        obs::counter("batch.attempts") +=
+            static_cast<uint64_t>(std::max(p.attempts, 0));
+    }
+    if (span.active()) {
+        span.arg("ok", report.countWithStatus(BatchStatus::Ok));
+        span.arg("contained", report.containedCount());
+    }
+    return report;
+}
+
+} // namespace harness
+} // namespace memoria

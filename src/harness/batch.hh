@@ -1,0 +1,181 @@
+/**
+ * @file
+ * The crash-isolating batch driver behind `memoria batch`.
+ *
+ * Runs the full pipeline — load/parse, validate, Compound (with
+ * verification), cache simulation — over many programs on a small
+ * worker pool, with per-program isolation: each program runs under a
+ * fault-attribution `ProgramContext`, descends the degradation ladder
+ * (harness/ladder.hh) under per-attempt budgets, and every failure mode
+ * is contained to that program's report entry. One hostile input, one
+ * injected fault, or one pathological nest cannot take down the batch.
+ *
+ * Per-program status:
+ *
+ *   ok               full pipeline completed on the top rung
+ *   degraded         a lower rung completed (report says which)
+ *   diag             the *input* is bad (parse/validate/execution Diag);
+ *                    no rung can fix it, so the ladder is not descended
+ *   timeout          even the identity rung exceeded its budget
+ *   panic-contained  an unexpected exception escaped the pipeline and
+ *                    was caught at the isolation boundary
+ *
+ * The report renders as one JSON object (docs/ROBUSTNESS.md describes
+ * the schema) and feeds the obs stats registry (`batch.*` counters).
+ */
+
+#ifndef MEMORIA_HARNESS_BATCH_HH
+#define MEMORIA_HARNESS_BATCH_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "check/diag.hh"
+#include "harness/ladder.hh"
+#include "ir/program.hh"
+
+namespace memoria {
+namespace harness {
+
+/** Terminal state of one program in the batch. */
+enum class BatchStatus
+{
+    Ok,
+    Degraded,
+    Diag,
+    Timeout,
+    PanicContained,
+};
+
+/** Printable name ("ok", "degraded", "diag", "timeout",
+ *  "panic-contained"). */
+const char *batchStatusName(BatchStatus s);
+
+/**
+ * One unit of work. `load` runs inside the program's isolation
+ * boundary, so a throwing or Diag-reporting loader (a file that fails
+ * to parse, say) is contained like any other per-program failure.
+ */
+struct BatchInput
+{
+    std::string name;
+    std::function<Result<Program>()> load;
+};
+
+/** Knobs for one batch run. */
+struct BatchOptions
+{
+    /** Per-attempt limits (fresh deadline per ladder rung). */
+    Budget budget;
+
+    /** Worker threads. */
+    int jobs = 1;
+
+    /** Simulate survivors against the i860 cache configuration and
+     *  report warm hit rates. Part of each ladder attempt, so a
+     *  faulting or overlong simulation also degrades/contains. */
+    bool simulate = true;
+
+    /** Ladder backoff after faults (see LadderOptions). */
+    int backoffBaseMs = 5;
+    int backoffCapMs = 40;
+
+    ModelParams params;
+};
+
+/** Per-nest outcome on the rung that completed. */
+struct NestOutcome
+{
+    int depth = 0;
+    std::string strategy;  ///< nestStrategyName of the final attempt
+    bool rolledBack = false;
+};
+
+/** Everything the batch learned about one program. */
+struct ProgramOutcome
+{
+    std::string name;
+    BatchStatus status = BatchStatus::Ok;
+
+    /** Rung that completed (meaningful for Ok/Degraded). */
+    Rung rung = Rung::FullCompound;
+
+    int attempts = 0;
+    std::vector<AttemptFailure> failures;
+
+    /** The diagnostic, for status Diag / PanicContained. */
+    std::string diag;
+
+    double timeMs = 0.0;
+    uint64_t iterations = 0;     ///< interpreter iterations, all attempts
+    uint64_t maxIrNodes = 0;     ///< largest node count seen
+    int64_t backoffMs = 0;
+
+    /** Fault-site hits attributed to this program. */
+    std::map<std::string, uint64_t> faultHits;
+
+    /** Structure of the completed attempt (empty on identity rung). */
+    int loops = 0;
+    std::vector<NestOutcome> nests;
+
+    /** Simulation results (valid when simulated). */
+    bool simulated = false;
+    uint64_t accesses = 0;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    double hitWarmOrig = 0.0;
+    double hitWarmFinal = 0.0;
+
+    /** Contained failure of any kind (sweeps count these). */
+    bool
+    contained() const
+    {
+        return status != BatchStatus::Ok || !failures.empty();
+    }
+};
+
+/** The whole batch. */
+struct BatchReport
+{
+    std::vector<ProgramOutcome> programs;
+    double totalMs = 0.0;
+
+    int countWithStatus(BatchStatus s) const;
+
+    /** Programs with a contained failure or degradation. */
+    int containedCount() const;
+
+    /** Everything finished on the top rung. */
+    bool
+    allOk() const
+    {
+        return containedCount() == 0;
+    }
+
+    /** Render the whole report as one JSON object. */
+    std::string toJson() const;
+};
+
+/** The built-in kernels, by name (matmul-ijk, cholesky, adi, ...). */
+std::vector<BatchInput> kernelInputs(int64_t n = 24);
+
+/** The 35-program synthetic corpus. */
+std::vector<BatchInput> corpusInputs(int64_t extent = 16);
+
+/** A `.mem` source file; parse failures surface as per-program Diags. */
+BatchInput fileInput(const std::string &path);
+
+/** Every `.mem` file under `dir`, sorted; empty when none. */
+std::vector<BatchInput> directoryInputs(const std::string &dir);
+
+/** Run the batch; never throws for per-program failures. */
+BatchReport runBatch(const std::vector<BatchInput> &inputs,
+                     const BatchOptions &opts);
+
+} // namespace harness
+} // namespace memoria
+
+#endif // MEMORIA_HARNESS_BATCH_HH

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * The degradation ladder: progressively simpler pipeline configurations
+ * tried under a per-attempt budget until one completes.
+ *
+ * When the full Compound pipeline times out or faults on a program, the
+ * ladder does not fail the program — it descends one rung to a cheaper,
+ * more conservative configuration and tries again with a fresh budget:
+ *
+ *   rung 0  full-compound   permutation + fuse-all + distribution + fusion
+ *   rung 1  no-fusion       the final profit-driven fusion pass disabled
+ *   rung 2  permute-only    fuse-all and distribution also disabled
+ *   rung 3  identity        no transformation at all; analysis/simulation
+ *                           of the verbatim program
+ *
+ * Every rung runs with verification on, so a rung that completes has
+ * passed IR validation and the differential-equivalence oracle — the
+ * ladder trades optimization strength for reliability, never semantics.
+ *
+ * Faults (unexpected exceptions, e.g. an injected fault) are treated as
+ * potentially transient: the ladder sleeps a capped exponential backoff
+ * before the next attempt. Deadline/budget cancellations descend
+ * immediately — retrying the same work against the same limit cannot
+ * help, and a cheaper rung might fit.
+ */
+
+#ifndef MEMORIA_HARNESS_LADDER_HH
+#define MEMORIA_HARNESS_LADDER_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "driver/memoria.hh"
+#include "harness/budget.hh"
+
+namespace memoria {
+namespace harness {
+
+/** The ladder's rungs, strongest first. */
+enum class Rung
+{
+    FullCompound = 0,
+    NoFusion = 1,
+    PermuteOnly = 2,
+    Identity = 3,
+};
+
+constexpr int kNumRungs = 4;
+
+/** Printable name ("full-compound", "no-fusion", ...). */
+const char *rungName(Rung r);
+
+/** The pipeline configuration one rung runs. */
+PipelineOptions rungPipeline(Rung r);
+
+/** One failed attempt, for the batch report. */
+struct AttemptFailure
+{
+    Rung rung = Rung::FullCompound;
+
+    /** "timeout" (budget cancellation) or "fault" (exception). */
+    std::string kind;
+
+    /** Human-readable cause: cancel site or exception message. */
+    std::string detail;
+};
+
+/** Knobs for one ladder run. */
+struct LadderOptions
+{
+    /** Per-attempt limits; each rung gets a fresh CancelToken (and
+     *  therefore a fresh deadline). */
+    Budget budget;
+
+    /** Start below the top (used by tests to pin a configuration). */
+    Rung startRung = Rung::FullCompound;
+
+    /** Capped exponential backoff before retrying after a *fault*
+     *  (base * 2^(attempt-1), clamped to cap); 0 disables sleeping. */
+    int backoffBaseMs = 5;
+    int backoffCapMs = 40;
+};
+
+/** What a whole ladder run produced. */
+struct LadderOutcome
+{
+    /** Some rung completed. */
+    bool ok = false;
+
+    /** The rung that completed (valid when ok). */
+    Rung rung = Rung::FullCompound;
+
+    /** Attempts made, successful one included. */
+    int attempts = 0;
+
+    /** Every attempt that did not complete. */
+    std::vector<AttemptFailure> failures;
+
+    /** Interpreter iterations across all attempts. */
+    uint64_t iterationsUsed = 0;
+
+    /** Largest IR node count any attempt saw. */
+    uint64_t maxIrNodesSeen = 0;
+
+    /** Milliseconds slept in backoff. */
+    int64_t backoffMs = 0;
+};
+
+/** What the attempt callback receives. */
+struct AttemptContext
+{
+    Rung rung;
+    PipelineOptions pipeline;  ///< configuration for this rung
+    CancelToken &token;        ///< already installed for the thread
+    int attempt;               ///< 1-based
+};
+
+/**
+ * One pipeline attempt. Runs with `ctx.token` installed as the current
+ * thread's budget scope; should throw CancelledError (via polls) on
+ * budget exhaustion and any exception on failure. Exceptions that are
+ * neither CancelledError nor std::exception propagate to runLadder's
+ * caller — the batch driver uses that for input-level diagnostics that
+ * no amount of descending can fix.
+ */
+using AttemptFn = std::function<void(AttemptContext &)>;
+
+/** Descend the ladder until an attempt completes or the rungs run out. */
+LadderOutcome runLadder(const LadderOptions &opts, const AttemptFn &fn);
+
+} // namespace harness
+} // namespace memoria
+
+#endif // MEMORIA_HARNESS_LADDER_HH

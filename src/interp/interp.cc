@@ -3,6 +3,8 @@
 #include <cmath>
 #include <cstring>
 
+#include "harness/budget.hh"
+#include "harness/fault.hh"
 #include "support/logging.hh"
 #include "support/stats.hh"
 #include "support/trace.hh"
@@ -10,6 +12,12 @@
 namespace memoria {
 
 namespace {
+
+harness::FaultSite gInterpFault("interp.run", /*supportsDiag=*/true);
+
+/** Poll the budget token every this many loop iterations; a power of
+ *  two so the hot-loop check is one AND plus a branch. */
+constexpr uint64_t kPollStride = 4096;
 
 /** Deterministic small integer-valued initial data. Using integers in a
  *  narrow range keeps floating-point arithmetic exact, so reordered
@@ -262,14 +270,16 @@ Interpreter::execNode(const Node &n, MemoryListener *listener)
     int64_t ub = evalAffine(n.ub);
     if (n.step > 0) {
         for (int64_t v = lb; v <= ub; v += n.step) {
-            ++stats_.loopIterations;
+            if ((++stats_.loopIterations & (kPollStride - 1)) == 0)
+                harness::chargeIterations(kPollStride, "interp.loop");
             env_[n.var] = v;
             for (const auto &kid : n.body)
                 execNode(*kid, listener);
         }
     } else {
         for (int64_t v = lb; v >= ub; v += n.step) {
-            ++stats_.loopIterations;
+            if ((++stats_.loopIterations & (kPollStride - 1)) == 0)
+                harness::chargeIterations(kPollStride, "interp.loop");
             env_[n.var] = v;
             for (const auto &kid : n.body)
                 execNode(*kid, listener);
@@ -285,6 +295,10 @@ Interpreter::run(MemoryListener *listener)
     span.arg("program", prog_.name);
 
     ran_ = true;
+    if (std::optional<Diag> injected = gInterpFault.fire()) {
+        ++obs::counter("interp.faults");
+        return Status::err(*injected);
+    }
     if (allocError_) {
         ++obs::counter("interp.faults");
         return Status::err(*allocError_);
@@ -353,6 +367,16 @@ RunResult
 runWithCache(const Program &prog, const CacheConfig &config,
              const MachineModel &machine)
 {
+    Result<RunResult> r = tryRunWithCache(prog, config, machine);
+    MEMORIA_ASSERT(r.ok(), "runWithCache on faulting program: "
+                               << r.diag().str());
+    return r.value();
+}
+
+Result<RunResult>
+tryRunWithCache(const Program &prog, const CacheConfig &config,
+                const MachineModel &machine)
+{
     obs::TraceScope span("interp", "run_with_cache");
     span.arg("program", prog.name);
     span.arg("cache", config.name);
@@ -360,9 +384,11 @@ runWithCache(const Program &prog, const CacheConfig &config,
     Interpreter interp(prog);
     Cache cache(config);
     Status st = interp.run(&cache);
-    MEMORIA_ASSERT(st.ok(),
-                   "runWithCache on faulting program: "
-                       << st.diag().str());
+    if (!st.ok()) {
+        if (span.active())
+            span.arg("fault", st.diag().str());
+        return Result<RunResult>::err(st.diag());
+    }
     cache.publishStats();
 
     RunResult r;

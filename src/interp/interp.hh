@@ -119,9 +119,16 @@ struct RunResult
     uint64_t checksum = 0;
 };
 
-/** Run a program against one cache configuration. */
+/** Run a program against one cache configuration. Panics on a program
+ *  fault; use tryRunWithCache for untrusted programs. */
 RunResult runWithCache(const Program &prog, const CacheConfig &config,
                        const MachineModel &machine = MachineModel{});
+
+/** Checked variant: a faulting program reports a Diag instead. The
+ *  batch driver uses this so one bad program cannot abort the pool. */
+Result<RunResult> tryRunWithCache(
+    const Program &prog, const CacheConfig &config,
+    const MachineModel &machine = MachineModel{});
 
 /** Run without a cache, for semantics checks only. Panics on a
  *  program fault; use tryRunChecksum for untrusted programs. */

@@ -50,6 +50,7 @@ ScopedTimer::~ScopedTimer()
 Counter &
 StatsRegistry::counter(const std::string &name)
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     auto &slot = counters_[name];
     if (!slot)
         slot = std::make_unique<Counter>();
@@ -59,6 +60,7 @@ StatsRegistry::counter(const std::string &name)
 Gauge &
 StatsRegistry::gauge(const std::string &name)
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     auto &slot = gauges_[name];
     if (!slot)
         slot = std::make_unique<Gauge>();
@@ -68,6 +70,7 @@ StatsRegistry::gauge(const std::string &name)
 Histogram &
 StatsRegistry::histogram(const std::string &name)
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     auto &slot = histograms_[name];
     if (!slot)
         slot = std::make_unique<Histogram>();
@@ -77,6 +80,7 @@ StatsRegistry::histogram(const std::string &name)
 void
 StatsRegistry::dumpText(std::ostream &out) const
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     size_t width = 0;
     for (const auto &[name, c] : counters_)
         width = std::max(width, name.size());
@@ -103,6 +107,7 @@ StatsRegistry::dumpText(std::ostream &out) const
 void
 StatsRegistry::dumpJson(std::ostream &out) const
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     out << "{\"counters\":{";
     bool first = true;
     for (const auto &[name, c] : counters_) {
@@ -136,6 +141,7 @@ StatsRegistry::dumpJson(std::ostream &out) const
 void
 StatsRegistry::resetValues()
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     for (auto &[name, c] : counters_)
         c->reset();
     for (auto &[name, g] : gauges_)

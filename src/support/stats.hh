@@ -23,60 +23,73 @@
 #ifndef MEMORIA_SUPPORT_STATS_HH
 #define MEMORIA_SUPPORT_STATS_HH
 
+#include <atomic>
 #include <cstdint>
 #include <iosfwd>
 #include <limits>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 
 namespace memoria {
 namespace obs {
 
-/** Monotonically increasing event count. */
+/**
+ * Monotonically increasing event count.
+ *
+ * Increments are relaxed atomics so batch-mode worker threads can bump
+ * shared counters concurrently; per-value totals are exact, but a dump
+ * taken while workers run is a snapshot, not a consistent cut.
+ */
 class Counter
 {
   public:
     Counter &
     operator+=(uint64_t delta)
     {
-        value_ += delta;
+        value_.fetch_add(delta, std::memory_order_relaxed);
         return *this;
     }
 
     Counter &
     operator++()
     {
-        ++value_;
+        value_.fetch_add(1, std::memory_order_relaxed);
         return *this;
     }
 
-    uint64_t value() const { return value_; }
-    void reset() { value_ = 0; }
+    uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+    void reset() { value_.store(0, std::memory_order_relaxed); }
 
   private:
-    uint64_t value_ = 0;
+    std::atomic<uint64_t> value_{0};
 };
 
 /** Last-written level (e.g. a configuration or a final ratio). */
 class Gauge
 {
   public:
-    void set(double v) { value_ = v; }
-    double value() const { return value_; }
-    void reset() { value_ = 0.0; }
+    void set(double v) { value_.store(v, std::memory_order_relaxed); }
+    double value() const { return value_.load(std::memory_order_relaxed); }
+    void reset() { value_.store(0.0, std::memory_order_relaxed); }
 
   private:
-    double value_ = 0.0;
+    std::atomic<double> value_{0.0};
 };
 
-/** Count/sum/min/max/mean over sampled values (e.g. timings in us). */
+/**
+ * Count/sum/min/max/mean over sampled values (e.g. timings in us).
+ * Samples update four fields together, so this one takes a mutex
+ * rather than going atomic field-by-field.
+ */
 class Histogram
 {
   public:
     void
     sample(double v)
     {
+        std::lock_guard<std::mutex> lock(mutex_);
         ++count_;
         sum_ += v;
         if (v < min_)
@@ -85,15 +98,45 @@ class Histogram
             max_ = v;
     }
 
-    uint64_t count() const { return count_; }
-    double sum() const { return sum_; }
-    double min() const { return count_ ? min_ : 0.0; }
-    double max() const { return count_ ? max_ : 0.0; }
-    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    uint64_t
+    count() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return count_;
+    }
+
+    double
+    sum() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return sum_;
+    }
+
+    double
+    min() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return count_ ? min_ : 0.0;
+    }
+
+    double
+    max() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return count_ ? max_ : 0.0;
+    }
+
+    double
+    mean() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return count_ ? sum_ / count_ : 0.0;
+    }
 
     void
     reset()
     {
+        std::lock_guard<std::mutex> lock(mutex_);
         count_ = 0;
         sum_ = 0.0;
         min_ = std::numeric_limits<double>::infinity();
@@ -101,6 +144,7 @@ class Histogram
     }
 
   private:
+    mutable std::mutex mutex_;
     uint64_t count_ = 0;
     double sum_ = 0.0;
     double min_ = std::numeric_limits<double>::infinity();
@@ -122,7 +166,12 @@ class ScopedTimer
     double startUs_;
 };
 
-/** Name-keyed store of all statistics; one instance per process. */
+/**
+ * Name-keyed store of all statistics; one instance per process.
+ * Find-or-create is mutex-guarded so worker threads can register
+ * lazily; the unique_ptr indirection keeps returned references stable
+ * across later insertions.
+ */
 class StatsRegistry
 {
   public:
@@ -143,10 +192,12 @@ class StatsRegistry
     bool
     empty() const
     {
+        std::lock_guard<std::mutex> lock(mutex_);
         return counters_.empty() && gauges_.empty() && histograms_.empty();
     }
 
   private:
+    mutable std::mutex mutex_;
     std::map<std::string, std::unique_ptr<Counter>> counters_;
     std::map<std::string, std::unique_ptr<Gauge>> gauges_;
     std::map<std::string, std::unique_ptr<Histogram>> histograms_;

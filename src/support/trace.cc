@@ -1,7 +1,9 @@
 #include "support/trace.hh"
 
+#include <atomic>
 #include <fstream>
 #include <iostream>
+#include <mutex>
 #include <sstream>
 
 #include "support/logging.hh"
@@ -18,8 +20,15 @@ namespace {
 /** Owner of the installed sink; detail::sinkPtr aliases it. */
 std::unique_ptr<TraceSink> ownedSink;
 
-uint64_t nextSeq = 0;
-int spanDepth = 0;
+/** Process-wide ordering of records across threads. */
+std::atomic<uint64_t> nextSeq{0};
+
+/** Span nesting is a per-thread notion: batch workers each carry their
+ *  own depth, so one worker's spans never indent another's records. */
+thread_local int spanDepth = 0;
+
+/** Sinks are not required to be thread-safe; emission is serialized. */
+std::mutex emitMutex;
 
 /** JSON string escaping per RFC 8259. */
 std::string
@@ -84,8 +93,11 @@ renderDouble(double v)
 void
 emit(TraceEvent &&e)
 {
-    e.seq = nextSeq++;
-    detail::sinkPtr->event(e);
+    e.seq = nextSeq.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(emitMutex);
+    // Re-check under the lock: setTraceSink may have raced us.
+    if (detail::sinkPtr)
+        detail::sinkPtr->event(e);
 }
 
 const char *
@@ -194,11 +206,12 @@ JsonLinesSink::flush()
 void
 setTraceSink(std::unique_ptr<TraceSink> sink)
 {
+    std::lock_guard<std::mutex> lock(emitMutex);
     if (ownedSink)
         ownedSink->flush();
     ownedSink = std::move(sink);
     detail::sinkPtr = ownedSink.get();
-    nextSeq = 0;
+    nextSeq.store(0, std::memory_order_relaxed);
     spanDepth = 0;
 }
 
@@ -211,6 +224,7 @@ traceSink()
 void
 flushTrace()
 {
+    std::lock_guard<std::mutex> lock(emitMutex);
     if (detail::sinkPtr)
         detail::sinkPtr->flush();
 }

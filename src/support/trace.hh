@@ -14,8 +14,11 @@
  * JSON-lines writer, or an in-memory recording sink for tests. Hot
  * paths must guard payload construction with `tracingEnabled()`.
  *
- * The tracer is deliberately single-threaded, like the pipeline itself;
- * see docs/OBSERVABILITY.md for the event schema.
+ * Emission is safe from multiple threads (the batch driver's worker
+ * pool traces concurrently): records get a process-wide atomic sequence
+ * number, span depth is per-thread, and sink calls are serialized by a
+ * mutex — sinks themselves need no locking. See docs/OBSERVABILITY.md
+ * for the event schema.
  */
 
 #ifndef MEMORIA_SUPPORT_TRACE_HH

@@ -12,6 +12,22 @@
  *   memoria reuse <program> [N]        reuse-distance profile
  *   memoria trace <program> [N]        Compound decision provenance
  *   memoria fuzz [--seed N] [--count K]  differential pipeline fuzzing
+ *   memoria batch [programs...]        resilient batch pipeline
+ *
+ * `memoria batch` runs the whole pipeline over many programs with
+ * per-program crash isolation, budgets, and the degradation ladder
+ * (docs/ROBUSTNESS.md):
+ *
+ *   --all                  kernels + 35-program corpus + examples/*.mem
+ *   --stdin                read program names / file paths from stdin
+ *   --jobs N               worker threads (default: up to 4)
+ *   --deadline-ms N        wall-clock budget per ladder attempt
+ *   --max-iterations N     interpreter iteration budget per attempt
+ *   --max-ir-nodes N       IR node budget per program version
+ *   --json                 print the machine-readable batch report
+ *   --fault SPEC           arm one fault site: site[:action[:N]][@prog]
+ *   --fault-sweep          arm every site in turn; verify containment
+ *   --list-faults          print the registered fault-site catalog
  *
  * Global flags (accepted anywhere on the command line):
  *
@@ -21,6 +37,12 @@
  *   --stats=json           dump the stats registry as JSON at exit
  *   -v / -q                raise / silence log verbosity
  *                          (also: MEMORIA_LOG_LEVEL=quiet|warn|info|debug)
+ *   --help                 print usage and exit 0
+ *
+ * Exit codes: 0 = success, 1 = pipeline failure (bad input program,
+ * fuzzing or sweep found failures), 2 = usage error. A `batch` run that
+ * *contains* per-program failures still exits 0 — containment is the
+ * command's contract; parse the JSON report for per-program status.
  *
  * <program> is a kernel name (matmul-ijk, matmul-jki, cholesky, adi,
  * erlebacher, gmtry, simple, vpenta, jacobi), a corpus program name
@@ -36,6 +58,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <fstream>
@@ -44,6 +67,8 @@
 #include "cachesim/reuse.hh"
 #include "driver/fuzzcheck.hh"
 #include "frontend/parser.hh"
+#include "harness/batch.hh"
+#include "harness/fault.hh"
 #include "support/logging.hh"
 #include "support/stats.hh"
 #include "support/trace.hh"
@@ -78,15 +103,34 @@ kernels()
     return table;
 }
 
-Program
+/** Corpus programs need extent >= 8 to exercise their nests; smaller
+ *  requests are clamped, with a warning so the surprise is visible. */
+int64_t
+clampCorpusExtent(const std::string &name, int64_t n)
+{
+    if (n < 8) {
+        warn("corpus program '" + name + "': requested size " +
+             std::to_string(n) + " clamped to 8");
+        return 8;
+    }
+    return n;
+}
+
+/**
+ * Resolve a program by name: kernel, corpus program, or source file.
+ * Failures come back as a Diag — the CLI reports them and exits 1
+ * instead of aborting mid-pipeline.
+ */
+Result<Program>
 resolve(const std::string &name, int64_t n)
 {
     auto it = kernels().find(name);
     if (it != kernels().end())
-        return it->second(n);
+        return Result<Program>(it->second(n));
     for (const auto &spec : corpusSpecs())
         if (spec.name == name)
-            return buildCorpusProgram(spec, std::max<int64_t>(n, 8));
+            return Result<Program>(
+                buildCorpusProgram(spec, clampCorpusExtent(name, n)));
 
     // Otherwise treat the name as a source file in the loop-nest
     // language (see src/frontend/parser.hh).
@@ -97,11 +141,33 @@ resolve(const std::string &name, int64_t n)
         ParseError err;
         auto p = parseProgram(buf.str(), &err);
         if (!p)
-            fatal(name + ": " + err.str());
-        return std::move(*p);
+            return Result<Program>::err(Diag::error(
+                "parse.error", name + ": " + err.str()));
+        return Result<Program>(std::move(*p));
     }
-    fatal("unknown program or file '" + name +
-          "'; try `memoria list`");
+    return Result<Program>::err(
+        Diag::error("cli.unknown_program",
+                    "unknown program or file '" + name +
+                        "'; try `memoria list`"));
+}
+
+/** Same resolution for one batch input; loading stays lazy so failures
+ *  are contained inside the batch isolation boundary. */
+harness::BatchInput
+resolveBatchInput(const std::string &name)
+{
+    auto it = kernels().find(name);
+    if (it != kernels().end())
+        return {name, [make = it->second]() {
+                    return Result<Program>(make(24));
+                }};
+    for (const auto &spec : corpusSpecs())
+        if (spec.name == name)
+            return {name, [spec]() {
+                        return Result<Program>(
+                            buildCorpusProgram(spec, 16));
+                    }};
+    return harness::fileInput(name);
 }
 
 int
@@ -269,6 +335,8 @@ cmdFuzz(uint64_t seed, int count)
 struct Options
 {
     std::vector<std::string> positional;
+    std::string error;         ///< usage error; non-empty = exit 2
+    bool help = false;         ///< --help
     std::string traceFile;     ///< --trace=<file.jsonl>
     bool traceText = false;    ///< bare --trace
     bool statsText = false;    ///< --stats
@@ -277,45 +345,101 @@ struct Options
     bool quiet = false;
     uint64_t fuzzSeed = 1;     ///< fuzz: --seed
     int fuzzCount = 100;       ///< fuzz: --count
+
+    // batch
+    bool batchAll = false;        ///< --all
+    bool batchStdin = false;      ///< --stdin
+    int jobs = 0;                 ///< --jobs (0 = auto)
+    int64_t deadlineMs = 0;       ///< --deadline-ms
+    int64_t maxIterations = 0;    ///< --max-iterations
+    int64_t maxIrNodes = 0;       ///< --max-ir-nodes
+    bool jsonOut = false;         ///< --json
+    std::string faultSpec;        ///< --fault SPEC
+    bool faultSweep = false;      ///< --fault-sweep
+    bool listFaults = false;      ///< --list-faults
 };
 
 Options
 parseArgs(int argc, char **argv)
 {
     Options opts;
-    for (int i = 1; i < argc; ++i) {
+
+    // Flags taking a value, as "--flag V" or "--flag=V".
+    const std::map<std::string, std::function<void(const std::string &)>>
+        valued = {
+            {"--seed",
+             [&](const std::string &v) {
+                 opts.fuzzSeed =
+                     static_cast<uint64_t>(std::atoll(v.c_str()));
+             }},
+            {"--count",
+             [&](const std::string &v) {
+                 opts.fuzzCount = std::atoi(v.c_str());
+             }},
+            {"--jobs",
+             [&](const std::string &v) {
+                 opts.jobs = std::atoi(v.c_str());
+             }},
+            {"--deadline-ms",
+             [&](const std::string &v) {
+                 opts.deadlineMs = std::atoll(v.c_str());
+             }},
+            {"--max-iterations",
+             [&](const std::string &v) {
+                 opts.maxIterations = std::atoll(v.c_str());
+             }},
+            {"--max-ir-nodes",
+             [&](const std::string &v) {
+                 opts.maxIrNodes = std::atoll(v.c_str());
+             }},
+            {"--fault",
+             [&](const std::string &v) { opts.faultSpec = v; }},
+        };
+
+    for (int i = 1; i < argc && opts.error.empty(); ++i) {
         std::string arg = argv[i];
-        if (arg == "--trace") {
+        auto eq = arg.find('=');
+        std::string head =
+            eq == std::string::npos ? arg : arg.substr(0, eq);
+        auto valuedIt = valued.find(head);
+
+        if (arg == "--help" || arg == "-h") {
+            opts.help = true;
+        } else if (arg == "--trace") {
             opts.traceText = true;
-        } else if (arg.rfind("--trace=", 0) == 0) {
+        } else if (head == "--trace") {
             opts.traceFile = arg.substr(8);
             if (opts.traceFile.empty())
-                fatal("--trace= needs a file name");
+                opts.error = "--trace= needs a file name";
         } else if (arg == "--stats") {
             opts.statsText = true;
         } else if (arg == "--stats=json") {
             opts.statsJson = true;
-        } else if (arg == "--seed" || arg == "--count") {
-            if (i + 1 >= argc)
-                fatal(arg + " needs a value");
-            std::string v = argv[++i];
-            if (arg == "--seed")
-                opts.fuzzSeed =
-                    static_cast<uint64_t>(std::atoll(v.c_str()));
-            else
-                opts.fuzzCount = std::atoi(v.c_str());
-        } else if (arg.rfind("--seed=", 0) == 0) {
-            opts.fuzzSeed =
-                static_cast<uint64_t>(std::atoll(arg.c_str() + 7));
-        } else if (arg.rfind("--count=", 0) == 0) {
-            opts.fuzzCount = std::atoi(arg.c_str() + 8);
+        } else if (arg == "--all") {
+            opts.batchAll = true;
+        } else if (arg == "--stdin") {
+            opts.batchStdin = true;
+        } else if (arg == "--json") {
+            opts.jsonOut = true;
+        } else if (arg == "--fault-sweep") {
+            opts.faultSweep = true;
+        } else if (arg == "--list-faults") {
+            opts.listFaults = true;
+        } else if (valuedIt != valued.end()) {
+            if (eq != std::string::npos) {
+                valuedIt->second(arg.substr(eq + 1));
+            } else if (i + 1 < argc) {
+                valuedIt->second(argv[++i]);
+            } else {
+                opts.error = arg + " needs a value";
+            }
         } else if (arg == "-v") {
             ++opts.verbosity;
         } else if (arg == "-q") {
             opts.quiet = true;
         } else if (!arg.empty() && arg[0] == '-' && arg.size() > 1 &&
                    !isdigit(static_cast<unsigned char>(arg[1]))) {
-            fatal("unknown flag '" + arg + "'");
+            opts.error = "unknown flag '" + arg + "'";
         } else {
             opts.positional.push_back(std::move(arg));
         }
@@ -335,19 +459,232 @@ applyVerbosity(const Options &opts)
     setLogLevel(static_cast<LogLevel>(level));
 }
 
+const char *
+usageText()
+{
+    return
+        "usage: memoria "
+        "<list|print|analyze|optimize|simulate|reuse|trace> "
+        "[program] [N] [--trace[=file.jsonl]] [--stats[=json]] "
+        "[-v] [-q]\n"
+        "       memoria fuzz [--seed N] [--count K]\n"
+        "       memoria batch [programs...] [--all] [--stdin] "
+        "[--jobs N]\n"
+        "               [--deadline-ms N] [--max-iterations N] "
+        "[--max-ir-nodes N]\n"
+        "               [--json] [--fault SPEC] [--fault-sweep] "
+        "[--list-faults]\n"
+        "       memoria --help\n"
+        "exit codes: 0 ok, 1 pipeline failure, 2 usage error\n";
+}
+
+void
+printBatchSummary(const harness::BatchReport &rep)
+{
+    TextTable t({"program", "status", "rung", "attempts", "time ms",
+                 "hit% orig->final"});
+    for (const harness::ProgramOutcome &p : rep.programs) {
+        std::string hit = p.simulated
+                              ? TextTable::num(p.hitWarmOrig, 1) +
+                                    " -> " +
+                                    TextTable::num(p.hitWarmFinal, 1)
+                              : "-";
+        t.addRow({p.name, harness::batchStatusName(p.status),
+                  harness::rungName(p.rung), std::to_string(p.attempts),
+                  TextTable::num(p.timeMs, 1), hit});
+    }
+    std::cout << t.str();
+    std::cout << "batch: " << rep.programs.size() << " programs  ok: "
+              << rep.countWithStatus(harness::BatchStatus::Ok)
+              << "  degraded: "
+              << rep.countWithStatus(harness::BatchStatus::Degraded)
+              << "  diag: "
+              << rep.countWithStatus(harness::BatchStatus::Diag)
+              << "  timeout: "
+              << rep.countWithStatus(harness::BatchStatus::Timeout)
+              << "  panic-contained: "
+              << rep.countWithStatus(
+                     harness::BatchStatus::PanicContained)
+              << "  (" << TextTable::num(rep.totalMs, 0) << " ms)\n";
+}
+
+/**
+ * Arm every registered fault site in turn against the program that hits
+ * it, rerun the batch, and verify the injected failure was contained to
+ * exactly that program. Returns 0 when every armed site was contained.
+ */
+int
+runFaultSweep(const std::vector<harness::BatchInput> &inputs,
+              const harness::BatchOptions &bopts)
+{
+    harness::clearFault();
+    harness::BatchReport clean = harness::runBatch(inputs, bopts);
+
+    int armed = 0, skipped = 0, failed = 0;
+    for (const std::string &site : harness::faultSites()) {
+        // Pick the first program (stable input order) that actually
+        // reaches this site, so arming it is guaranteed to fire.
+        const harness::ProgramOutcome *target = nullptr;
+        for (const harness::ProgramOutcome &p : clean.programs) {
+            auto hit = p.faultHits.find(site);
+            if (hit != p.faultHits.end() && hit->second > 0) {
+                target = &p;
+                break;
+            }
+        }
+        if (!target) {
+            ++skipped;
+            std::cout << "sweep: " << site
+                      << ": never reached by any input, skipped\n";
+            continue;
+        }
+
+        harness::FaultSpec spec;
+        spec.site = site;
+        spec.action = harness::FaultAction::Throw;
+        spec.onHit = 1;
+        spec.program = target->name;
+        harness::armFault(spec);
+        harness::BatchReport rep = harness::runBatch(inputs, bopts);
+        bool fired = harness::armedFaultFired();
+        harness::clearFault();
+        ++armed;
+
+        std::string why;
+        if (!fired)
+            why = "armed fault never fired";
+        for (size_t i = 0;
+             why.empty() && i < rep.programs.size(); ++i) {
+            const harness::ProgramOutcome &p = rep.programs[i];
+            const harness::ProgramOutcome &base = clean.programs[i];
+            if (p.name == target->name) {
+                if (!p.contained())
+                    why = "injected fault not contained (status " +
+                          std::string(
+                              harness::batchStatusName(p.status)) +
+                          ")";
+            } else if (p.status != base.status || p.rung != base.rung) {
+                why = "bystander '" + p.name + "' changed: " +
+                      harness::batchStatusName(base.status) + "/" +
+                      harness::rungName(base.rung) + " -> " +
+                      harness::batchStatusName(p.status) + "/" +
+                      harness::rungName(p.rung);
+            }
+        }
+
+        if (why.empty()) {
+            std::cout << "sweep: " << spec.str() << ": contained\n";
+        } else {
+            ++failed;
+            std::cout << "sweep: " << spec.str() << ": FAILED — "
+                      << why << "\n";
+        }
+    }
+
+    std::cout << "sweep: " << armed << " sites armed, " << skipped
+              << " skipped, " << failed << " failures\n";
+    return failed == 0 ? 0 : 1;
+}
+
+int
+cmdBatch(const Options &opts)
+{
+    if (opts.listFaults) {
+        for (const std::string &site : harness::faultSites())
+            std::cout << site
+                      << (harness::faultSiteSupportsDiag(site)
+                              ? " (diag)"
+                              : "")
+                      << "\n";
+        return 0;
+    }
+
+    harness::BatchOptions bopts;
+    bopts.budget.deadlineMs = std::max<int64_t>(opts.deadlineMs, 0);
+    bopts.budget.maxInterpIterations =
+        opts.maxIterations > 0
+            ? static_cast<uint64_t>(opts.maxIterations)
+            : 0;
+    bopts.budget.maxIrNodes =
+        opts.maxIrNodes > 0 ? static_cast<uint64_t>(opts.maxIrNodes)
+                            : 0;
+    bopts.jobs =
+        opts.jobs > 0
+            ? opts.jobs
+            : std::clamp<int>(
+                  static_cast<int>(std::thread::hardware_concurrency()),
+                  1, 4);
+
+    std::vector<harness::BatchInput> inputs;
+    if (opts.batchAll) {
+        inputs = harness::kernelInputs();
+        for (harness::BatchInput &in : harness::corpusInputs())
+            inputs.push_back(std::move(in));
+        for (harness::BatchInput &in :
+             harness::directoryInputs("examples"))
+            inputs.push_back(std::move(in));
+    }
+    if (opts.batchStdin) {
+        std::string line;
+        while (std::getline(std::cin, line)) {
+            while (!line.empty() &&
+                   isspace(static_cast<unsigned char>(line.back())))
+                line.pop_back();
+            if (!line.empty() && line[0] != '#')
+                inputs.push_back(resolveBatchInput(line));
+        }
+    }
+    for (size_t i = 1; i < opts.positional.size(); ++i)
+        inputs.push_back(resolveBatchInput(opts.positional[i]));
+
+    if (inputs.empty()) {
+        std::cerr << "memoria batch: no inputs; use --all, --stdin, "
+                     "or program names\n";
+        return 2;
+    }
+
+    if (opts.faultSweep)
+        return runFaultSweep(inputs, bopts);
+
+    if (!opts.faultSpec.empty()) {
+        Result<harness::FaultSpec> spec =
+            harness::parseFaultSpec(opts.faultSpec);
+        if (!spec.ok()) {
+            std::cerr << "memoria batch: " << spec.diag().str() << "\n";
+            return 2;
+        }
+        harness::armFault(spec.value());
+    }
+
+    harness::BatchReport rep = harness::runBatch(inputs, bopts);
+    harness::clearFault();
+
+    if (opts.jsonOut)
+        std::cout << rep.toJson() << "\n";
+    else
+        printBatchSummary(rep);
+
+    // Containment is the contract: per-program failures are reported,
+    // not escalated to the exit code.
+    return 0;
+}
+
 int
 run(int argc, char **argv)
 {
     Options opts = parseArgs(argc, argv);
+    if (!opts.error.empty()) {
+        std::cerr << "memoria: " << opts.error << "\n" << usageText();
+        return 2;
+    }
     applyVerbosity(opts);
 
+    if (opts.help) {
+        std::cout << usageText();
+        return 0;
+    }
     if (opts.positional.empty()) {
-        std::cerr
-            << "usage: memoria "
-               "<list|print|analyze|optimize|simulate|reuse|trace> "
-               "[program] [N] [--trace[=file.jsonl]] [--stats[=json]] "
-               "[-v] [-q]\n"
-               "       memoria fuzz [--seed N] [--count K]\n";
+        std::cerr << usageText();
         return 2;
     }
 
@@ -361,33 +698,43 @@ run(int argc, char **argv)
     int rc = 2;
     if (cmd == "list") {
         rc = cmdList();
+    } else if (cmd == "batch") {
+        rc = cmdBatch(opts);
     } else if (cmd == "fuzz") {
-        if (opts.fuzzCount <= 0)
-            fatal("--count must be positive");
-        rc = cmdFuzz(opts.fuzzSeed, opts.fuzzCount);
+        if (opts.fuzzCount <= 0) {
+            std::cerr << "memoria: --count must be positive\n";
+            rc = 2;
+        } else {
+            rc = cmdFuzz(opts.fuzzSeed, opts.fuzzCount);
+        }
     } else if (opts.positional.size() < 2) {
         std::cerr << "missing program name; try `memoria list`\n";
     } else {
         int64_t n = opts.positional.size() > 2
                         ? std::atoll(opts.positional[2].c_str())
                         : 48;
-        Program prog = resolve(opts.positional[1], n);
-
-        if (cmd == "print") {
-            std::cout << printProgram(prog);
-            rc = 0;
-        } else if (cmd == "analyze") {
-            rc = cmdAnalyze(std::move(prog));
-        } else if (cmd == "optimize") {
-            rc = cmdOptimize(std::move(prog));
-        } else if (cmd == "simulate") {
-            rc = cmdSimulate(std::move(prog));
-        } else if (cmd == "reuse") {
-            rc = cmdReuse(std::move(prog));
-        } else if (cmd == "trace") {
-            rc = cmdTrace(std::move(prog));
+        Result<Program> resolved = resolve(opts.positional[1], n);
+        if (!resolved.ok()) {
+            std::cerr << "memoria: " << resolved.diag().str() << "\n";
+            rc = 1;
         } else {
-            std::cerr << "unknown command '" << cmd << "'\n";
+            Program prog = std::move(resolved.value());
+            if (cmd == "print") {
+                std::cout << printProgram(prog);
+                rc = 0;
+            } else if (cmd == "analyze") {
+                rc = cmdAnalyze(std::move(prog));
+            } else if (cmd == "optimize") {
+                rc = cmdOptimize(std::move(prog));
+            } else if (cmd == "simulate") {
+                rc = cmdSimulate(std::move(prog));
+            } else if (cmd == "reuse") {
+                rc = cmdReuse(std::move(prog));
+            } else if (cmd == "trace") {
+                rc = cmdTrace(std::move(prog));
+            } else {
+                std::cerr << "unknown command '" << cmd << "'\n";
+            }
         }
     }
 

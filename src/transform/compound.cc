@@ -4,6 +4,8 @@
 
 #include "check/equiv.hh"
 #include "check/validate.hh"
+#include "harness/budget.hh"
+#include "harness/fault.hh"
 #include "model/loopcost.hh"
 #include "support/logging.hh"
 #include "support/stats.hh"
@@ -13,6 +15,8 @@
 namespace memoria {
 
 namespace {
+
+harness::FaultSite gCompoundFault("transform.compound");
 
 std::function<void(std::vector<NodePtr> &, size_t, size_t)>
     gSabotageHook;
@@ -110,9 +114,12 @@ verifyAgainst(const Program &ref, const Program &cand)
 size_t
 optimizeStructure(const Program &prog, std::vector<NodePtr> &ownerBody,
                   size_t index, const std::vector<Node *> &enclosing,
-                  const ModelParams &params, CompoundResult &result,
+                  const ModelParams &params,
+                  const CompoundOptions &opts, CompoundResult &result,
                   NestReport *rep, bool isTop = true)
 {
+    harness::poll("compound.structure");
+
     Node *root = ownerBody[index].get();
 
     // Step 1: permutation of the perfect chain.
@@ -149,7 +156,8 @@ optimizeStructure(const Program &prog, std::vector<NodePtr> &ownerBody,
             innerAllLoops = innerAllLoops && kid->isLoop();
 
         bool fusionEnabled = false;
-        if (innerAllLoops && deepest->body.size() > 1) {
+        if (opts.enableFuseAll && innerAllLoops &&
+            deepest->body.size() > 1) {
             NodePtr snapshot = cloneNode(*root);
             std::vector<Node *> enc = enclosing;
             for (size_t i = 0; i + 1 < chain.size(); ++i)
@@ -175,7 +183,7 @@ optimizeStructure(const Program &prog, std::vector<NodePtr> &ownerBody,
         }
 
         // Step 3: distribution at the deepest enabling level.
-        if (!fusionEnabled) {
+        if (opts.enableDistribution && !fusionEnabled) {
             DistributeResult dr = distributeForMemoryOrder(
                 prog, ownerBody, index, enclosing, params);
             if (dr.distributed) {
@@ -208,7 +216,8 @@ optimizeStructure(const Program &prog, std::vector<NodePtr> &ownerBody,
             if (deepest->body[k]->isLoop() &&
                 loopDepth(*deepest->body[k]) >= 2) {
                 k += optimizeStructure(prog, deepest->body, k, enc,
-                                       params, result, rep, false);
+                                       params, opts, result, rep,
+                                       false);
             } else {
                 ++k;
             }
@@ -221,9 +230,12 @@ optimizeStructure(const Program &prog, std::vector<NodePtr> &ownerBody,
 size_t
 optimizeNest(const Program &prog, std::vector<NodePtr> &ownerBody,
              size_t index, const std::vector<Node *> &enclosing,
-             const ModelParams &params, CompoundResult &result,
-             bool verify)
+             const ModelParams &params, const CompoundOptions &opts,
+             CompoundResult &result)
 {
+    const bool verify = opts.verify;
+    harness::poll("compound.nest");
+
     Node *root = ownerBody[index].get();
     NestReport rep;
     rep.depth = loopDepth(*root);
@@ -247,7 +259,7 @@ optimizeNest(const Program &prog, std::vector<NodePtr> &ownerBody,
         snapshot = cloneNode(*root);
 
     size_t slots = optimizeStructure(prog, ownerBody, index, enclosing,
-                                     params, result, &rep);
+                                     params, opts, result, &rep);
 
     if (gSabotageHook)
         gSabotageHook(ownerBody, index, slots);
@@ -343,6 +355,9 @@ compoundTransform(Program &prog, const ModelParams &params,
 {
     CompoundResult result;
 
+    gCompoundFault.fireNoDiag();
+    harness::poll("compound.program");
+
     obs::TraceScope span("pass.compound", "program");
     span.arg("program", prog.name);
     obs::ScopedTimer timer(
@@ -361,8 +376,8 @@ compoundTransform(Program &prog, const ModelParams &params,
             continue;
         }
         ++result.totalNests;
-        index += optimizeNest(prog, prog.body, index, {}, params, result,
-                              opts.verify);
+        index += optimizeNest(prog, prog.body, index, {}, params, opts,
+                              result);
     }
 
     // Final pass: fuse adjacent compatible nests (and, through the

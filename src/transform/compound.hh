@@ -97,6 +97,16 @@ struct CompoundOptions
      * transformation — it only converts a miscompile into a no-op.
      */
     bool verify = true;
+
+    /**
+     * Enable the FuseAll step (Section 4.3.2: fuse inner loops to
+     * create a permutable perfect nest). The degradation ladder
+     * (harness/ladder.hh) turns this off on its lower rungs.
+     */
+    bool enableFuseAll = true;
+
+    /** Enable the distribution step (Section 4.4); see enableFuseAll. */
+    bool enableDistribution = true;
 };
 
 /** Run Compound on a whole program in place. */

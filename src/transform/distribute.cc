@@ -6,6 +6,8 @@
 
 #include "dependence/graph.hh"
 #include "dependence/legality.hh"
+#include "harness/budget.hh"
+#include "harness/fault.hh"
 #include "model/loopcost.hh"
 #include "support/logging.hh"
 #include "support/stats.hh"
@@ -15,6 +17,8 @@
 namespace memoria {
 
 namespace {
+
+harness::FaultSite gDistributeFault("transform.distribute");
 
 /** A loop found at a given level, with the path from the trial root. */
 struct LevelLoop
@@ -164,6 +168,9 @@ distributeForMemoryOrder(const Program &prog,
                          const std::vector<Node *> &enclosing,
                          const ModelParams &params)
 {
+    gDistributeFault.fireNoDiag();
+    harness::poll("transform.distribute");
+
     DistributeResult result;
     Node *root = ownerBody[index].get();
     if (!root->isLoop())

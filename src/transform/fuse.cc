@@ -3,12 +3,18 @@
 #include <set>
 
 #include "dependence/legality.hh"
+#include "harness/budget.hh"
+#include "harness/fault.hh"
 #include "model/loopcost.hh"
 #include "support/logging.hh"
 #include "support/stats.hh"
 #include "support/trace.hh"
 
 namespace memoria {
+
+namespace {
+harness::FaultSite gFuseFault("transform.fuse");
+} // namespace
 
 bool
 headersCompatible(const Node &a, const Node &b)
@@ -162,6 +168,9 @@ fuseSiblings(const Program &prog, std::vector<NodePtr> &siblings,
              const ModelParams &params, bool requireProfit,
              bool countStats)
 {
+    gFuseFault.fireNoDiag();
+    harness::poll("transform.fuse");
+
     FuseStats stats;
 
     // Candidate counting (Table 2, column C): nests that belong to at

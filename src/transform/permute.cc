@@ -4,12 +4,18 @@
 #include <numeric>
 
 #include "dependence/legality.hh"
+#include "harness/budget.hh"
+#include "harness/fault.hh"
 #include "support/logging.hh"
 #include "support/stats.hh"
 #include "support/trace.hh"
 #include "transform/reverse.hh"
 
 namespace memoria {
+
+namespace {
+harness::FaultSite gPermuteFault("transform.permute");
+} // namespace
 
 const char *
 permuteFailName(PermuteFail f)
@@ -240,6 +246,9 @@ PermuteResult
 permuteToMemoryOrder(const NestAnalysis &analysis, Node *chainRoot,
                      bool allowReversal)
 {
+    gPermuteFault.fireNoDiag();
+    harness::poll("transform.permute");
+
     PermuteResult result;
 
     std::vector<Node *> chain = perfectChain(chainRoot);
