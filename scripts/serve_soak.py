@@ -1,0 +1,219 @@
+#!/usr/bin/env python3
+"""Soak-test `memoria serve` over the stdio transport.
+
+Drives a mixed corpus of requests (valid work, heavy programs under
+tiny deadlines, malformed lines, fault-armed requests, health probes)
+at a small server, then SIGTERMs it, and asserts the robustness
+contract end to end:
+
+  * exactly one terminal response per request — nothing lost, nothing
+    duplicated, even for requests shed by backpressure;
+  * the process exits 0 on SIGTERM (graceful drain);
+  * at least one well-formed minimized incident bundle was written for
+    the fault-armed failures.
+
+Usage: scripts/serve_soak.py [path-to-memoria] [request-count]
+"""
+
+import json
+import os
+import shutil
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from collections import Counter
+
+BIN = sys.argv[1] if len(sys.argv) > 1 else "./build/src/tools/memoria"
+COUNT = int(sys.argv[2]) if len(sys.argv) > 2 else 200
+
+SMALL = (
+    "PROGRAM t\n"
+    "  PARAMETER N = 8\n"
+    "  REAL*8 A(N,N)\n"
+    "  DO I = 1, N\n"
+    "    DO J = 1, N\n"
+    "      A(I,J) = A(I,J) + 1.0\n"
+    "    ENDDO\n"
+    "  ENDDO\n"
+    "END\n"
+)
+HEAVY = (
+    "PROGRAM heavy\n"
+    "  PARAMETER N = 64\n"
+    "  REAL*8 A(N,N)\n"
+    "  REAL*8 B(N,N)\n"
+    "  DO I = 1, N\n"
+    "    DO J = 1, N\n"
+    "      DO K = 1, N\n"
+    "        A(I,J) = A(I,J) + B(J,K)\n"
+    "      ENDDO\n"
+    "    ENDDO\n"
+    "  ENDDO\n"
+    "END\n"
+)
+
+
+def fail(msg):
+    print(f"soak: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    incidents = tempfile.mkdtemp(prefix="memoria-soak-incidents-")
+    proc = subprocess.Popen(
+        [
+            BIN, "serve",
+            "--jobs", "2",
+            "--queue", "8",
+            "--deadline-ms", "2000",
+            "--allow-faults",
+            "--incidents-dir", incidents,
+        ],
+        stdin=subprocess.PIPE,
+        stdout=subprocess.PIPE,
+        stderr=sys.stderr,
+        text=True,
+    )
+
+    lines = []
+    def reader():
+        # Line-at-a-time; survives EINTR inside Python's buffered read.
+        for line in proc.stdout:
+            line = line.strip()
+            if line:
+                lines.append(line)
+
+    thread = threading.Thread(target=reader, daemon=True)
+    thread.start()
+
+    def send_raw(text):
+        proc.stdin.write(text + "\n")
+        proc.stdin.flush()
+
+    def send(obj):
+        send_raw(json.dumps(obj))
+
+    def wait_responses(n, timeout=120.0):
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline and len(lines) < n:
+            time.sleep(0.02)
+        return len(lines) >= n
+
+    try:
+        # --- Phase 1: the mixed corpus, sent flat out so the bounded
+        # queue sheds some of it (overloaded is a terminal response
+        # too).
+        sent_ids = []
+        malformed = 0
+        for i in range(COUNT):
+            rid = f"req-{i}"
+            slot = i % 10
+            if slot == 3:
+                send_raw("this line is not a request")
+                malformed += 1
+            elif slot == 5:
+                send({"id": rid, "kind": "simulate",
+                      "program": HEAVY, "deadline_ms": 1})
+                sent_ids.append(rid)
+            elif slot == 9:
+                send({"id": rid, "kind": "health"})
+                sent_ids.append(rid)
+            else:
+                kind = ("analyze", "compound", "simulate")[slot % 3]
+                send({"id": rid, "kind": kind, "program": SMALL})
+                sent_ids.append(rid)
+
+        expected = len(sent_ids) + malformed
+        if not wait_responses(expected):
+            fail(f"expected {expected} responses, got {len(lines)}")
+
+        # --- Phase 2: guarantee at least one accepted fault-armed
+        # request (phase 1 may shed arbitrarily many), pacing one at a
+        # time so admission cannot fail for long.
+        incident_dir = None
+        for attempt in range(20):
+            rid = f"fault-{attempt}"
+            send({"id": rid, "kind": "compound", "program": SMALL,
+                  "fault": "transform.permute:throw:1"})
+            sent_ids.append(rid)
+            expected += 1
+            if not wait_responses(expected):
+                fail(f"no response for fault request {rid}")
+            resp = next(
+                (json.loads(l) for l in lines
+                 if json.loads(l).get("id") == rid), None)
+            if resp and resp.get("type") == "result":
+                incident_dir = resp.get("incident_dir")
+                break
+            time.sleep(0.05)  # shed: back off and retry
+        if not incident_dir:
+            fail("no fault-armed request produced an incident bundle")
+
+        # --- Exactly one terminal response per request.
+        by_id = Counter()
+        for line in lines:
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError:
+                fail(f"response is not JSON: {line!r}")
+            by_id[obj.get("id", "")] += 1
+        for rid in sent_ids:
+            if by_id[rid] != 1:
+                fail(f"request {rid} got {by_id[rid]} responses")
+        if by_id[""] != malformed:
+            fail(f"{malformed} malformed lines but {by_id['']} "
+                 "id-less error responses")
+
+        # --- Graceful drain: SIGTERM exits 0.
+        proc.send_signal(signal.SIGTERM)
+        try:
+            rc = proc.wait(timeout=60)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            fail("server did not exit within 60s of SIGTERM")
+        if rc != 0:
+            fail(f"server exited {rc} on SIGTERM, want 0")
+
+        # --- At least one well-formed minimized bundle.
+        good_bundles = 0
+        for entry in sorted(os.listdir(incidents)):
+            bundle = os.path.join(incidents, entry)
+            meta_path = os.path.join(bundle, "incident.json")
+            if not os.path.isfile(meta_path):
+                continue
+            with open(meta_path) as fh:
+                meta = json.load(fh)
+            red = meta.get("reduction", {})
+            files = meta.get("files", {})
+            if (red.get("reproduced")
+                    and "minimized" in files
+                    and os.path.isfile(os.path.join(bundle,
+                                                    files["original"]))
+                    and os.path.isfile(os.path.join(bundle,
+                                                    files["minimized"]))
+                    and red.get("final_nodes", 1 << 30)
+                        <= red.get("orig_nodes", 0)):
+                good_bundles += 1
+        if good_bundles < 1:
+            fail(f"no well-formed minimized bundle under {incidents}")
+
+        results = sum(
+            1 for l in lines if json.loads(l).get("type") == "result")
+        shed = sum(
+            1 for l in lines
+            if json.loads(l).get("type") == "overloaded")
+        print(f"soak ok: {len(sent_ids) + malformed} requests, "
+              f"{len(lines)} responses ({results} results, {shed} "
+              f"shed), exit 0 on SIGTERM, {good_bundles} minimized "
+              f"bundle(s)")
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+        shutil.rmtree(incidents, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    main()

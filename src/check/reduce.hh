@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Delta-debugging program reducer (ddmin).
+ *
+ * Given a program and a *failure predicate* — "does this program still
+ * exhibit the failure?" — the reducer searches for a small sub-program
+ * that the predicate still accepts, in the spirit of Zeller &
+ * Hildebrandt's ddmin. Every contained failure in the toolkit (a
+ * verify rollback, a contained panic, a timeout, a fuzz disagreement)
+ * can be turned into a minimized, replayable reproducer instead of a
+ * log line; harness/incident.hh packages the result as an incident
+ * bundle.
+ *
+ * Reduction passes, run to a global fixpoint:
+ *
+ *  1. **ddmin over statements** — remove chunks of statements (halving
+ *     granularity, complement-first, exactly ddmin), pruning loops left
+ *     empty;
+ *  2. **loop unwrapping** — replace a loop by its body with the loop
+ *     variable substituted by the lower bound (one iteration), which
+ *     shrinks depth without touching statements;
+ *  3. **subscript simplification** — rewrite opaque subscripts to the
+ *     constant 1 and drop constant shifts from affine subscripts;
+ *  4. **RHS simplification** — replace statement right-hand sides by
+ *     the constant 1.
+ *
+ * A final single-statement pass proves 1-minimality with respect to
+ * statement removal (removing any one remaining statement makes the
+ * predicate reject). The search is fully deterministic: same program,
+ * same predicate behavior, same result.
+ *
+ * The predicate must be *pure* from the reducer's point of view (no
+ * lasting side effects) and should contain its own failures; anything
+ * it throws is treated as "predicate rejected". Budgets bound the
+ * search: a deadline and a predicate-evaluation cap, whichever trips
+ * first, stop the reduction at the best program found so far (which is
+ * always one the predicate accepted).
+ */
+
+#ifndef MEMORIA_CHECK_REDUCE_HH
+#define MEMORIA_CHECK_REDUCE_HH
+
+#include <cstdint>
+#include <functional>
+
+#include "ir/program.hh"
+
+namespace memoria {
+
+/** "Does this candidate still exhibit the failure?" */
+using FailurePredicate = std::function<bool(const Program &)>;
+
+/** Search limits and pass toggles. */
+struct ReduceOptions
+{
+    /** Wall-clock limit for the whole reduction (0 = unlimited). */
+    int64_t deadlineMs = 10000;
+
+    /** Maximum predicate evaluations (0 = unlimited). */
+    int maxChecks = 2000;
+
+    bool unwrapLoops = true;
+    bool simplifySubscripts = true;
+    bool simplifyRhs = true;
+};
+
+/** What the reduction achieved. */
+struct ReduceResult
+{
+    /** Smallest program found that still fails. */
+    Program program;
+
+    int checks = 0;     ///< predicate evaluations spent
+    int rounds = 0;     ///< fixpoint rounds completed
+
+    size_t origNodes = 0;   ///< IR nodes (loops + statements) before
+    size_t finalNodes = 0;  ///< ... and after
+
+    /** The input itself was accepted by the predicate; when false,
+     *  nothing was reduced (flaky or state-dependent failure). */
+    bool inputFailed = false;
+
+    /** Single-statement minimality proven (pass completed clean). */
+    bool oneMinimal = false;
+
+    /** A budget tripped before the search finished. */
+    bool budgetExhausted = false;
+};
+
+/** Loops + statements in the program (the validator's node metric). */
+size_t countIrNodes(const Program &prog);
+
+/**
+ * Minimize `input` with respect to `pred`. `pred(input)` must be true;
+ * if it is not, the input is returned unchanged with checks == 1.
+ */
+ReduceResult reduceProgram(const Program &input,
+                           const FailurePredicate &pred,
+                           const ReduceOptions &opts = {});
+
+} // namespace memoria
+
+#endif // MEMORIA_CHECK_REDUCE_HH

@@ -19,11 +19,14 @@ namespace {
 constexpr size_t kMaxMessages = 10;
 
 void
-record(FuzzReport &rep, uint64_t seed, const std::string &what)
+record(FuzzReport &rep, uint64_t seed, const std::string &kind,
+       const std::string &what)
 {
     if (rep.messages.size() < kMaxMessages)
         rep.messages.push_back("seed " + std::to_string(seed) + ": " +
                                what);
+    if (rep.failures.size() < kMaxMessages)
+        rep.failures.push_back({seed, kind, what});
 }
 
 /** Steps 1–4 for one seed. */
@@ -39,8 +42,9 @@ fuzzOne(uint64_t seed, const FuzzOptions &opts, FuzzReport &rep)
     std::vector<Diag> diags = validateProgram(prog);
     if (!diags.empty()) {
         ++rep.validateFailures;
-        record(rep, seed, "generated program fails validation: " +
-                              diags.front().str());
+        record(rep, seed, "validate-gen",
+               "generated program fails validation: " +
+                   diags.front().str());
         return;
     }
 
@@ -51,21 +55,22 @@ fuzzOne(uint64_t seed, const FuzzOptions &opts, FuzzReport &rep)
     auto reparsed = parseProgram(text, &perr);
     if (!reparsed) {
         ++rep.roundTripFailures;
-        record(rep, seed,
+        record(rep, seed, "round-trip",
                "printed program does not parse: " + perr.str());
         return;
     }
     std::string text2 = printProgram(*reparsed);
     if (text2 != text) {
         ++rep.roundTripFailures;
-        record(rep, seed, "print -> parse -> print is not a fixpoint");
+        record(rep, seed, "round-trip",
+               "print -> parse -> print is not a fixpoint");
         return;
     }
     Result<uint64_t> sumOrig = tryRunChecksum(prog);
     Result<uint64_t> sumBack = tryRunChecksum(*reparsed);
     if (!sumOrig.ok() || !sumBack.ok()) {
         ++rep.roundTripFailures;
-        record(rep, seed,
+        record(rep, seed, "round-trip",
                "interpretation faulted: " +
                    (!sumOrig.ok() ? sumOrig.diag() : sumBack.diag())
                        .str());
@@ -73,8 +78,8 @@ fuzzOne(uint64_t seed, const FuzzOptions &opts, FuzzReport &rep)
     }
     if (sumOrig.value() != sumBack.value()) {
         ++rep.roundTripFailures;
-        record(rep, seed, "reparsed program computes a different "
-                          "checksum");
+        record(rep, seed, "round-trip",
+               "reparsed program computes a different checksum");
         return;
     }
 
@@ -88,8 +93,9 @@ fuzzOne(uint64_t seed, const FuzzOptions &opts, FuzzReport &rep)
     diags = validateProgram(transformed);
     if (!diags.empty()) {
         ++rep.validateFailures;
-        record(rep, seed, "transformed program fails validation: " +
-                              diags.front().str());
+        record(rep, seed, "validate-opt",
+               "transformed program fails validation: " +
+                   diags.front().str());
         return;
     }
 
@@ -97,12 +103,56 @@ fuzzOne(uint64_t seed, const FuzzOptions &opts, FuzzReport &rep)
     EquivResult eq = checkEquivalence(prog, transformed);
     if (!eq.equivalent) {
         ++rep.equivFailures;
-        record(rep, seed, "transformed program is not equivalent: " +
-                              eq.detail);
+        record(rep, seed, "equivalence",
+               "transformed program is not equivalent: " + eq.detail);
     }
 }
 
 } // namespace
+
+FailurePredicate
+fuzzFailurePredicate(const std::string &kind)
+{
+    if (kind == "validate-gen")
+        return [](const Program &p) {
+            return !validateProgram(p).empty();
+        };
+    if (kind == "round-trip")
+        return [](const Program &p) {
+            std::string text = printProgram(p);
+            ParseError perr;
+            auto reparsed = parseProgram(text, &perr);
+            if (!reparsed)
+                return true;
+            if (printProgram(*reparsed) != text)
+                return true;
+            Result<uint64_t> a = tryRunChecksum(p);
+            Result<uint64_t> b = tryRunChecksum(*reparsed);
+            if (!a.ok() || !b.ok())
+                return true;
+            return a.value() != b.value();
+        };
+    if (kind == "validate-opt")
+        return [](const Program &p) {
+            Program t = p.clone();
+            ModelParams params;
+            CompoundOptions copts;
+            compoundTransform(t, params, copts);
+            return !validateProgram(t).empty();
+        };
+    // "equivalence" (and the fallback for unknown kinds).
+    return [](const Program &p) {
+        Program t = p.clone();
+        ModelParams params;
+        CompoundOptions copts;
+        compoundTransform(t, params, copts);
+        // A candidate that trips a *different* check is not the same
+        // failure; reject it so reduction stays on signature.
+        if (!validateProgram(t).empty())
+            return false;
+        return !checkEquivalence(p, t).equivalent;
+    };
+}
 
 FuzzReport
 runFuzzCampaign(uint64_t seed, int count, const FuzzOptions &opts)

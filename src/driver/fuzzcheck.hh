@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "check/fuzz.hh"
+#include "check/reduce.hh"
 
 namespace memoria {
 
@@ -42,6 +43,21 @@ struct FuzzReport
     /** First few failure descriptions, each with its seed. */
     std::vector<std::string> messages;
 
+    /**
+     * Structured record per failing round (same cap as `messages`).
+     * Generation is a pure function of the seed, so `seed` plus the
+     * campaign's FuzzOptions regenerates the failing program exactly;
+     * `kind` names the broken property (fuzzFailurePredicate re-checks
+     * it), which is what incident bundling minimizes against.
+     */
+    struct Failure
+    {
+        uint64_t seed = 0;
+        std::string kind;    ///< validate-gen|round-trip|validate-opt|equivalence
+        std::string detail;
+    };
+    std::vector<Failure> failures;
+
     bool
     ok() const
     {
@@ -53,6 +69,15 @@ struct FuzzReport
 /** Run `count` rounds starting at `seed` (round k uses seed + k). */
 FuzzReport runFuzzCampaign(uint64_t seed, int count,
                            const FuzzOptions &opts = {});
+
+/**
+ * A predicate accepting programs that still break the named property
+ * (a FuzzReport::Failure::kind). Used to minimize fuzz failures into
+ * incident bundles: the reduced program must fail the *same* check,
+ * not merely some check. Unknown kinds fall back to the equivalence
+ * check.
+ */
+FailurePredicate fuzzFailurePredicate(const std::string &kind);
 
 } // namespace memoria
 

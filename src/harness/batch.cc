@@ -10,6 +10,7 @@
 
 #include "check/validate.hh"
 #include "frontend/parser.hh"
+#include "ir/printer.hh"
 #include "harness/fault.hh"
 #include "suite/corpus.hh"
 #include "suite/kernels.hh"
@@ -99,6 +100,7 @@ runPipeline(const Program &prog, const BatchOptions &opts,
 {
     LadderOptions lopts;
     lopts.budget = opts.budget;
+    lopts.startRung = opts.startRung;
     lopts.backoffBaseMs = opts.backoffBaseMs;
     lopts.backoffCapMs = opts.backoffCapMs;
 
@@ -159,9 +161,28 @@ runPipeline(const Program &prog, const BatchOptions &opts,
     }
 }
 
-/** One program, fully isolated; never throws. */
+const char *
+statusCounterName(BatchStatus s)
+{
+    switch (s) {
+      case BatchStatus::Ok:
+        return "batch.ok";
+      case BatchStatus::Degraded:
+        return "batch.degraded";
+      case BatchStatus::Diag:
+        return "batch.diag";
+      case BatchStatus::Timeout:
+        return "batch.timeout";
+      case BatchStatus::PanicContained:
+        return "batch.panic_contained";
+    }
+    return "batch.unknown";
+}
+
+} // namespace
+
 ProgramOutcome
-runOne(const BatchInput &in, const BatchOptions &opts)
+runIsolated(const BatchInput &in, const BatchOptions &opts)
 {
     ProgramOutcome out;
     out.name = in.name;
@@ -186,6 +207,8 @@ runOne(const BatchInput &in, const BatchOptions &opts)
             out.diag = loaded.diag().str();
         } else {
             const Program &prog = loaded.value();
+            if (opts.captureSource)
+                out.source = printProgram(prog);
             std::vector<Diag> errs = [&] {
                 CancelToken token(opts.budget);
                 BudgetScope scope(&token);
@@ -224,26 +247,6 @@ runOne(const BatchInput &in, const BatchOptions &opts)
     }
     return out;
 }
-
-const char *
-statusCounterName(BatchStatus s)
-{
-    switch (s) {
-      case BatchStatus::Ok:
-        return "batch.ok";
-      case BatchStatus::Degraded:
-        return "batch.degraded";
-      case BatchStatus::Diag:
-        return "batch.diag";
-      case BatchStatus::Timeout:
-        return "batch.timeout";
-      case BatchStatus::PanicContained:
-        return "batch.panic_contained";
-    }
-    return "batch.unknown";
-}
-
-} // namespace
 
 const char *
 batchStatusName(BatchStatus s)
@@ -423,6 +426,21 @@ fileInput(const std::string &path)
             }};
 }
 
+BatchInput
+namedInput(std::string name, std::string source)
+{
+    return {std::move(name),
+            [source = std::move(source)]() -> Result<Program> {
+                ParseError err;
+                std::optional<Program> prog = parseProgram(source, &err);
+                if (!prog) {
+                    return Result<Program>::err(Diag::error(
+                        "parse.error", err.message, err.line, err.col));
+                }
+                return Result<Program>(std::move(*prog));
+            }};
+}
+
 std::vector<BatchInput>
 directoryInputs(const std::string &dir)
 {
@@ -461,9 +479,9 @@ runBatch(const std::vector<BatchInput> &inputs, const BatchOptions &opts)
             if (i >= inputs.size())
                 break;
             try {
-                report.programs[i] = runOne(inputs[i], opts);
+                report.programs[i] = runIsolated(inputs[i], opts);
             } catch (...) {
-                // runOne contains everything; this is the last-ditch
+                // runIsolated contains everything; this is the last-ditch
                 // belt so a bug in the harness itself cannot kill the
                 // pool either.
                 report.programs[i] = ProgramOutcome{};

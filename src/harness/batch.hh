@@ -83,6 +83,21 @@ struct BatchOptions
     int backoffBaseMs = 5;
     int backoffCapMs = 40;
 
+    /**
+     * First rung to attempt. The serve layer lowers this when a
+     * circuit breaker on the optimize stage is open, so degraded
+     * service skips the configurations that have been failing.
+     */
+    Rung startRung = Rung::FullCompound;
+
+    /**
+     * Capture the pretty-printed source of the loaded program into
+     * `ProgramOutcome::source`. Incident bundling needs the original
+     * text to minimize against; off by default because sweeps over
+     * hundreds of programs do not.
+     */
+    bool captureSource = false;
+
     ModelParams params;
 };
 
@@ -116,6 +131,10 @@ struct ProgramOutcome
 
     /** Fault-site hits attributed to this program. */
     std::map<std::string, uint64_t> faultHits;
+
+    /** Pretty-printed source of the loaded program (only when
+     *  BatchOptions::captureSource; empty when the load itself failed). */
+    std::string source;
 
     /** Structure of the completed attempt (empty on identity rung). */
     int loops = 0;
@@ -170,6 +189,19 @@ BatchInput fileInput(const std::string &path);
 
 /** Every `.mem` file under `dir`, sorted; empty when none. */
 std::vector<BatchInput> directoryInputs(const std::string &dir);
+
+/** In-memory `.mem` source under an explicit name; parse failures
+ *  surface as per-program Diags like fileInput's. */
+BatchInput namedInput(std::string name, std::string source);
+
+/**
+ * Run one input through the full isolation boundary — ProgramContext,
+ * budget-scoped load/validate, the degradation ladder — and never
+ * throw. This is the unit `runBatch` schedules onto its pool; the
+ * serve layer and the delta-debugging reducer call it directly for
+ * single requests and candidate re-runs.
+ */
+ProgramOutcome runIsolated(const BatchInput &in, const BatchOptions &opts);
 
 /** Run the batch; never throws for per-program failures. */
 BatchReport runBatch(const std::vector<BatchInput> &inputs,

@@ -294,15 +294,14 @@ drainFaultHits()
 }
 
 ProgramContext::ProgramContext(std::string name)
+    : prev_(std::move(tlsProgram))
 {
-    MEMORIA_ASSERT(tlsProgram.empty(),
-                   "nested harness::ProgramContext for " << name);
     tlsProgram = std::move(name);
 }
 
 ProgramContext::~ProgramContext()
 {
-    tlsProgram.clear();
+    tlsProgram = std::move(prev_);
 }
 
 const std::string &

@@ -155,7 +155,10 @@ void setFaultAccounting(bool on);
 std::map<std::string, uint64_t> drainFaultHits();
 
 /** RAII: name the program the current thread is processing, for the
- *  FaultSpec program filter and hit attribution. */
+ *  FaultSpec program filter and hit attribution. Contexts stack: a
+ *  nested context (e.g. a reduction predicate re-running the isolated
+ *  pipeline from inside a worker) shadows the outer name and restores
+ *  it on destruction. */
 class ProgramContext
 {
   public:
@@ -164,6 +167,9 @@ class ProgramContext
 
     ProgramContext(const ProgramContext &) = delete;
     ProgramContext &operator=(const ProgramContext &) = delete;
+
+  private:
+    std::string prev_;
 };
 
 /** The current thread's program name ("" outside any context). */

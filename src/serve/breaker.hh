@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Per-pipeline-stage circuit breakers for the compile service.
+ *
+ * The serve worker classifies every request failure (a contained panic
+ * or a budget timeout — client-input Diags are *not* service failures)
+ * into one of three pipeline stages:
+ *
+ *   load       parse + validate        (diag text parse./validate.)
+ *   optimize   Compound + verification (the default attribution)
+ *   simulate   interpreter + cache sim (diag text interp./cachesim.)
+ *
+ * Each stage has a breaker with the classic three states:
+ *
+ *   Closed    all requests pass; N *consecutive* failures trip it
+ *   Open      the stage is presumed broken; requests avoid it (load:
+ *             reject with retry-after; optimize: descend to the
+ *             identity rung; simulate: skip simulation) until a
+ *             cooldown elapses
+ *   HalfOpen  one probe request runs the stage for real; success
+ *             closes the breaker, failure re-opens it with a fresh
+ *             cooldown
+ *
+ * State transitions increment obs counters
+ * (`serve.breaker.<stage>.trips` / `.resets` / `.rejected`) and the
+ * snapshot — exposed through `health`/`stats` responses — records the
+ * last failure detail, which for injected faults names the
+ * harness::fault site that tripped the stage.
+ */
+
+#ifndef MEMORIA_SERVE_BREAKER_HH
+#define MEMORIA_SERVE_BREAKER_HH
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "harness/batch.hh"
+
+namespace memoria {
+namespace serve {
+
+/** The pipeline stages breakers protect. */
+enum class Stage
+{
+    Load = 0,
+    Optimize = 1,
+    Simulate = 2,
+};
+
+constexpr int kNumStages = 3;
+
+/** Printable name ("load", "optimize", "simulate"). */
+const char *stageName(Stage s);
+
+/** Which stage a failed outcome's failure belongs to. Only meaningful
+ *  for Timeout / PanicContained outcomes. */
+Stage classifyFailure(const harness::ProgramOutcome &out);
+
+/** Trip/cooldown knobs, shared by all stages. */
+struct BreakerOptions
+{
+    /** Consecutive failures that trip a Closed breaker. */
+    int failureThreshold = 3;
+
+    /** Time an Open breaker waits before letting one probe through. */
+    int64_t cooldownMs = 2000;
+};
+
+/** One stage's breaker. Thread-safe; workers share it. */
+class CircuitBreaker
+{
+  public:
+    enum class State { Closed, Open, HalfOpen };
+
+    static const char *stateName(State s);
+
+    CircuitBreaker(std::string name, BreakerOptions opts);
+
+    /**
+     * May a request use this stage right now? Open → false until the
+     * cooldown elapses, then the *first* caller becomes the half-open
+     * probe (true) while everyone else keeps getting false until the
+     * probe reports back.
+     */
+    bool allow();
+
+    /** The stage ran to completion for a request. */
+    void onSuccess();
+
+    /** The stage failed a request (panic/timeout attributed to it). */
+    void onFailure(const std::string &detail);
+
+    /** Point-in-time view, for health/stats responses and tests. */
+    struct Snapshot
+    {
+        State state = State::Closed;
+        int consecutiveFailures = 0;
+        uint64_t failures = 0;   ///< total failures recorded
+        uint64_t successes = 0;  ///< total successes recorded
+        uint64_t trips = 0;      ///< Closed/HalfOpen -> Open transitions
+        uint64_t resets = 0;     ///< HalfOpen -> Closed transitions
+        uint64_t rejected = 0;   ///< allow() == false
+        std::string lastFailure; ///< detail of the most recent failure
+    };
+
+    Snapshot snapshot() const;
+
+  private:
+    mutable std::mutex mutex_;
+    std::string name_;
+    BreakerOptions opts_;
+    State state_ = State::Closed;
+    bool probeInFlight_ = false;
+    int64_t openedAtMs_ = 0;  ///< steady-clock ms at the last trip
+    Snapshot stats_;
+};
+
+} // namespace serve
+} // namespace memoria
+
+#endif // MEMORIA_SERVE_BREAKER_HH

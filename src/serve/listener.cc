@@ -1,0 +1,260 @@
+#include "serve/listener.hh"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <iostream>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "support/logging.hh"
+#include "support/signals.hh"
+
+namespace memoria {
+namespace serve {
+
+namespace {
+
+/** write() the whole buffer, riding out EINTR and short writes. */
+void
+writeAll(int fd, const std::string &data)
+{
+    size_t off = 0;
+    while (off < data.size()) {
+        ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return;  // client gone (EPIPE etc.); drop the response
+        }
+        off += static_cast<size_t>(n);
+    }
+}
+
+/**
+ * One client connection. The fd closes when the last holder lets go —
+ * the reader thread and any in-flight respond callbacks each hold a
+ * shared_ptr, so a response racing a disconnect still has a valid fd.
+ */
+struct Conn
+{
+    explicit Conn(int fd) : fd(fd) {}
+    ~Conn() { ::close(fd); }
+
+    Conn(const Conn &) = delete;
+    Conn &operator=(const Conn &) = delete;
+
+    void
+    send(const std::string &line)
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        writeAll(fd, line + "\n");
+    }
+
+    int fd;
+    std::mutex mutex;
+};
+
+/** Feed a line-delimited stream to the server. Returns on EOF, read
+ *  error, or drain request. */
+void
+pumpLines(Server &server, int fd,
+          const std::function<void(const std::string &)> &respond)
+{
+    std::string buffer;
+    char chunk[4096];
+    for (;;) {
+        if (signals::drainRequested())
+            break;
+        ssize_t n = ::read(fd, chunk, sizeof(chunk));
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;  // signal; loop re-checks drainRequested
+            break;
+        }
+        if (n == 0)
+            break;  // EOF
+        buffer.append(chunk, static_cast<size_t>(n));
+        size_t pos;
+        while ((pos = buffer.find('\n')) != std::string::npos) {
+            std::string line = buffer.substr(0, pos);
+            buffer.erase(0, pos + 1);
+            server.handleLine(line, respond);
+        }
+    }
+    // A final unterminated line is still a request.
+    if (!buffer.empty())
+        server.handleLine(buffer, respond);
+}
+
+int
+makeTcpListener(const std::string &host, int port, int &boundPort)
+{
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        return -1;
+    int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<uint16_t>(port));
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+        ::close(fd);
+        return -1;
+    }
+    if (::bind(fd, reinterpret_cast<sockaddr *>(&addr), sizeof(addr)) <
+            0 ||
+        ::listen(fd, 64) < 0) {
+        ::close(fd);
+        return -1;
+    }
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    boundPort = port;
+    if (::getsockname(fd, reinterpret_cast<sockaddr *>(&bound), &len) ==
+        0)
+        boundPort = ntohs(bound.sin_port);
+    return fd;
+}
+
+int
+makeUnixListener(const std::string &path)
+{
+    sockaddr_un addr{};
+    if (path.size() >= sizeof(addr.sun_path))
+        return -1;
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0)
+        return -1;
+    ::unlink(path.c_str());
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+    if (::bind(fd, reinterpret_cast<sockaddr *>(&addr), sizeof(addr)) <
+            0 ||
+        ::listen(fd, 64) < 0) {
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+} // namespace
+
+int
+runStdio(Server &server)
+{
+    std::mutex outMutex;
+    auto respond = [&outMutex](const std::string &line) {
+        std::lock_guard<std::mutex> lock(outMutex);
+        std::cout << line << "\n";
+        std::cout.flush();
+    };
+    server.start();
+    pumpLines(server, STDIN_FILENO, respond);
+    server.drain();
+    return 0;
+}
+
+int
+runListener(Server &server, const TransportOptions &topts)
+{
+    // A response racing a disconnect must not kill the process.
+    ::signal(SIGPIPE, SIG_IGN);
+
+    std::vector<pollfd> listeners;
+    int tcpFd = -1, unixFd = -1;
+    if (topts.port >= 0) {
+        int boundPort = 0;
+        tcpFd = makeTcpListener(topts.host, topts.port, boundPort);
+        if (tcpFd < 0) {
+            warn("serve: cannot listen on " + topts.host + ":" +
+                  std::to_string(topts.port));
+            return 1;
+        }
+        listeners.push_back({tcpFd, POLLIN, 0});
+        // Announce on stdout so scripted clients can discover the
+        // ephemeral port without racing the bind.
+        std::cout << "listening tcp " << topts.host << ":" << boundPort
+                  << std::endl;
+    }
+    if (!topts.unixPath.empty()) {
+        unixFd = makeUnixListener(topts.unixPath);
+        if (unixFd < 0) {
+            if (tcpFd >= 0)
+                ::close(tcpFd);
+            warn("serve: cannot listen on unix socket '" +
+                  topts.unixPath + "'");
+            return 1;
+        }
+        listeners.push_back({unixFd, POLLIN, 0});
+        std::cout << "listening unix " << topts.unixPath << std::endl;
+    }
+    if (listeners.empty()) {
+        warn("serve: no socket transport configured");
+        return 1;
+    }
+
+    server.start();
+
+    std::mutex connsMutex;
+    std::vector<std::weak_ptr<Conn>> conns;
+    std::vector<std::thread> readers;
+
+    while (!signals::drainRequested()) {
+        int rc = ::poll(listeners.data(), listeners.size(), 200);
+        if (rc < 0) {
+            if (errno == EINTR)
+                continue;
+            break;
+        }
+        if (rc == 0)
+            continue;
+        for (pollfd &p : listeners) {
+            if (!(p.revents & POLLIN))
+                continue;
+            int cfd = ::accept(p.fd, nullptr, nullptr);
+            if (cfd < 0)
+                continue;
+            auto conn = std::make_shared<Conn>(cfd);
+            std::lock_guard<std::mutex> lock(connsMutex);
+            conns.push_back(conn);
+            readers.emplace_back([&server, conn] {
+                pumpLines(server, conn->fd,
+                          [conn](const std::string &line) {
+                              conn->send(line);
+                          });
+            });
+        }
+    }
+
+    for (pollfd &p : listeners)
+        ::close(p.fd);
+
+    // Drain first so every accepted request's response is written
+    // while the connections are still alive, then wake the readers.
+    server.drain();
+    {
+        std::lock_guard<std::mutex> lock(connsMutex);
+        for (std::weak_ptr<Conn> &w : conns)
+            if (std::shared_ptr<Conn> c = w.lock())
+                ::shutdown(c->fd, SHUT_RD);
+        for (std::thread &t : readers)
+            if (t.joinable())
+                t.join();
+    }
+    if (!topts.unixPath.empty())
+        ::unlink(topts.unixPath.c_str());
+    return 0;
+}
+
+} // namespace serve
+} // namespace memoria

@@ -1,0 +1,168 @@
+#include "serve/protocol.hh"
+
+#include "support/json.hh"
+
+namespace memoria {
+namespace serve {
+
+namespace {
+
+Result<Request>
+badRequest(const std::string &why)
+{
+    return Result<Request>::err(Diag::error("serve.request", why));
+}
+
+} // namespace
+
+const char *
+requestKindName(RequestKind k)
+{
+    switch (k) {
+      case RequestKind::Analyze:
+        return "analyze";
+      case RequestKind::Compound:
+        return "compound";
+      case RequestKind::Simulate:
+        return "simulate";
+      case RequestKind::Health:
+        return "health";
+      case RequestKind::Stats:
+        return "stats";
+    }
+    return "?";
+}
+
+bool
+isWorkKind(RequestKind k)
+{
+    return k == RequestKind::Analyze || k == RequestKind::Compound ||
+           k == RequestKind::Simulate;
+}
+
+Result<Request>
+parseRequest(const std::string &line, size_t maxBytes)
+{
+    if (maxBytes > 0 && line.size() > maxBytes) {
+        return badRequest("request line exceeds " +
+                          std::to_string(maxBytes) + " bytes");
+    }
+
+    json::ParseOptions popts;
+    popts.maxBytes = maxBytes;
+    Result<json::Value> parsed = json::parse(line, popts);
+    if (!parsed.ok())
+        return badRequest(parsed.diag().str());
+    const json::Value &v = parsed.value();
+    if (!v.isObject())
+        return badRequest("request must be a JSON object");
+
+    Request req;
+    req.id = v.getString("id");
+
+    std::string kind = v.getString("kind", "compound");
+    if (kind == "analyze")
+        req.kind = RequestKind::Analyze;
+    else if (kind == "compound")
+        req.kind = RequestKind::Compound;
+    else if (kind == "simulate")
+        req.kind = RequestKind::Simulate;
+    else if (kind == "health")
+        req.kind = RequestKind::Health;
+    else if (kind == "stats")
+        req.kind = RequestKind::Stats;
+    else
+        return badRequest("unknown kind '" + kind + "'");
+
+    req.program = v.getString("program");
+    if (isWorkKind(req.kind) && req.program.empty())
+        return badRequest("kind '" + kind + "' requires \"program\"");
+
+    req.deadlineMs = v.getInt("deadline_ms", 0);
+    if (req.deadlineMs < 0)
+        return badRequest("deadline_ms must be >= 0");
+    if (const json::Value *sim = v.get("simulate"); sim && sim->isBool())
+        req.simulate = sim->asBool();
+    req.fault = v.getString("fault");
+    return req;
+}
+
+std::string
+resultResponse(const std::string &id, const harness::ProgramOutcome &out,
+               bool degradedByBreaker, const std::string &incidentDir)
+{
+    json::Value r = json::Value::object();
+    r.set("id", json::Value::string(id));
+    r.set("type", json::Value::string("result"));
+    r.set("status",
+          json::Value::string(harness::batchStatusName(out.status)));
+    r.set("rung", json::Value::string(harness::rungName(out.rung)));
+    r.set("attempts", json::Value::number(int64_t{out.attempts}));
+    r.set("time_ms", json::Value::number(out.timeMs));
+    r.set("loops", json::Value::number(int64_t{out.loops}));
+    if (!out.diag.empty())
+        r.set("diag", json::Value::string(out.diag));
+    if (degradedByBreaker)
+        r.set("degraded_by_breaker", json::Value::boolean(true));
+    if (!out.failures.empty()) {
+        json::Value fails = json::Value::array();
+        for (const harness::AttemptFailure &f : out.failures) {
+            json::Value fo = json::Value::object();
+            fo.set("rung", json::Value::string(harness::rungName(f.rung)));
+            fo.set("kind", json::Value::string(f.kind));
+            fo.set("detail", json::Value::string(f.detail));
+            fails.push(std::move(fo));
+        }
+        r.set("failures", std::move(fails));
+    }
+    if (out.simulated) {
+        json::Value sim = json::Value::object();
+        sim.set("accesses",
+                json::Value::number(static_cast<int64_t>(out.accesses)));
+        sim.set("hits",
+                json::Value::number(static_cast<int64_t>(out.hits)));
+        sim.set("misses",
+                json::Value::number(static_cast<int64_t>(out.misses)));
+        sim.set("hit_warm_orig", json::Value::number(out.hitWarmOrig));
+        sim.set("hit_warm_final", json::Value::number(out.hitWarmFinal));
+        r.set("sim", std::move(sim));
+    }
+    if (!incidentDir.empty())
+        r.set("incident_dir", json::Value::string(incidentDir));
+    return r.dump();
+}
+
+std::string
+errorResponse(const std::string &id, const std::string &code,
+              const std::string &message)
+{
+    json::Value r = json::Value::object();
+    r.set("id", json::Value::string(id));
+    r.set("type", json::Value::string("error"));
+    r.set("code", json::Value::string(code));
+    r.set("message", json::Value::string(message));
+    return r.dump();
+}
+
+std::string
+overloadedResponse(const std::string &id, int64_t retryAfterMs)
+{
+    json::Value r = json::Value::object();
+    r.set("id", json::Value::string(id));
+    r.set("type", json::Value::string("overloaded"));
+    r.set("retry_after_ms", json::Value::number(retryAfterMs));
+    return r.dump();
+}
+
+std::string
+cancelledResponse(const std::string &id, const std::string &reason)
+{
+    json::Value r = json::Value::object();
+    r.set("id", json::Value::string(id));
+    r.set("type", json::Value::string("cancelled"));
+    r.set("reason", json::Value::string(reason));
+    return r.dump();
+}
+
+} // namespace serve
+} // namespace memoria

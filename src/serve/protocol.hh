@@ -1,0 +1,105 @@
+/**
+ * @file
+ * The JSON-lines request/response protocol `memoria serve` speaks.
+ *
+ * One request per line, one *terminal* response per request, on stdin/
+ * stdout or over a TCP/Unix-socket connection (serve/listener.hh). A
+ * request is a JSON object:
+ *
+ *     {"id":"r1","kind":"compound","program":"PROGRAM P\n...","
+ *      deadline_ms":2000,"simulate":true,"fault":"site:throw:1"}
+ *
+ *   id           echoed verbatim in the response ("" when omitted)
+ *   kind         analyze | compound | simulate | health | stats
+ *   program      `.mem` source text (work kinds only)
+ *   deadline_ms  per-request budget override, clamped by the server
+ *   simulate     force simulation on/off (default: kind == simulate)
+ *   fault        fault-injection spec for this request — test hook,
+ *                honored only when the server runs with --allow-faults
+ *
+ * Terminal response types (field "type"):
+ *
+ *   result      the pipeline ran; carries status/rung/sim/incident_dir
+ *   error       the request is unusable (bad JSON, unknown kind, load
+ *               breaker open); carries code + message
+ *   overloaded  admission queue full; carries retry_after_ms
+ *   cancelled   accepted but not run (server drained first)
+ *   health      liveness/breaker/queue snapshot
+ *   stats       the full obs stats registry + breaker snapshots
+ *
+ * Every line the server emits is a single JSON object; clients never
+ * need to handle partial or multi-line frames.
+ */
+
+#ifndef MEMORIA_SERVE_PROTOCOL_HH
+#define MEMORIA_SERVE_PROTOCOL_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "check/diag.hh"
+#include "harness/batch.hh"
+
+namespace memoria {
+namespace serve {
+
+/** What a request asks for. */
+enum class RequestKind
+{
+    Analyze,   ///< load + validate + identity-rung analysis, no sim
+    Compound,  ///< full degradation ladder, no simulation by default
+    Simulate,  ///< full ladder + cache simulation
+    Health,    ///< liveness snapshot, answered inline
+    Stats,     ///< obs registry dump, answered inline
+};
+
+/** Printable name ("analyze", "compound", ...). */
+const char *requestKindName(RequestKind k);
+
+/** One parsed request. */
+struct Request
+{
+    std::string id;
+    RequestKind kind = RequestKind::Compound;
+    std::string program;
+    int64_t deadlineMs = 0;            ///< 0 = server default
+    std::optional<bool> simulate;      ///< override kind's default
+    std::string fault;                 ///< fault spec ("" = none)
+};
+
+/**
+ * Parse one request line. Returns a Diag ("serve.request") for
+ * malformed JSON, a non-object, an unknown kind, or a missing program
+ * on a work kind.
+ */
+Result<Request> parseRequest(const std::string &line,
+                             size_t maxBytes = 4u << 20);
+
+/** True when the kind runs the pipeline (needs queue admission). */
+bool isWorkKind(RequestKind k);
+
+// --- Response builders: each returns one JSON line, newline excluded.
+
+/** "result" from a finished pipeline outcome. */
+std::string resultResponse(const std::string &id,
+                           const harness::ProgramOutcome &out,
+                           bool degradedByBreaker,
+                           const std::string &incidentDir);
+
+/** "error" with a stable dotted code. */
+std::string errorResponse(const std::string &id, const std::string &code,
+                          const std::string &message);
+
+/** "overloaded" load-shed response. */
+std::string overloadedResponse(const std::string &id,
+                               int64_t retryAfterMs);
+
+/** "cancelled" (accepted, then drained before running). */
+std::string cancelledResponse(const std::string &id,
+                              const std::string &reason);
+
+} // namespace serve
+} // namespace memoria
+
+#endif // MEMORIA_SERVE_PROTOCOL_HH

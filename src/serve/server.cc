@@ -1,0 +1,411 @@
+#include "serve/server.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <sstream>
+
+#include "harness/fault.hh"
+#include "support/json.hh"
+#include "support/stats.hh"
+#include "support/trace.hh"
+#include "support/version.hh"
+
+namespace memoria {
+namespace serve {
+
+namespace {
+
+int64_t
+nowMs()
+{
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+json::Value
+breakerJson(const CircuitBreaker::Snapshot &s)
+{
+    json::Value b = json::Value::object();
+    b.set("state",
+          json::Value::string(CircuitBreaker::stateName(s.state)));
+    b.set("consecutive_failures",
+          json::Value::number(int64_t{s.consecutiveFailures}));
+    b.set("failures",
+          json::Value::number(static_cast<int64_t>(s.failures)));
+    b.set("successes",
+          json::Value::number(static_cast<int64_t>(s.successes)));
+    b.set("trips", json::Value::number(static_cast<int64_t>(s.trips)));
+    b.set("resets", json::Value::number(static_cast<int64_t>(s.resets)));
+    b.set("rejected",
+          json::Value::number(static_cast<int64_t>(s.rejected)));
+    if (!s.lastFailure.empty())
+        b.set("last_failure", json::Value::string(s.lastFailure));
+    return b;
+}
+
+} // namespace
+
+Server::Server(ServeOptions opts) : opts_(std::move(opts))
+{
+    for (int i = 0; i < kNumStages; ++i)
+        breakers_[i] = std::make_unique<CircuitBreaker>(
+            stageName(Stage(i)), opts_.breaker);
+    startedAtMs_ = nowMs();
+}
+
+Server::~Server()
+{
+    drain();
+}
+
+void
+Server::start()
+{
+    harness::setFaultAccounting(true);
+    int jobs = std::max(1, opts_.jobs);
+    workers_.reserve(jobs);
+    for (int i = 0; i < jobs; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+    obs::traceEvent("serve", "start",
+                    {{"jobs", int64_t{jobs}},
+                     {"queue_capacity",
+                      static_cast<int64_t>(opts_.queueCapacity)}});
+}
+
+void
+Server::handleLine(const std::string &line, const Respond &respond)
+{
+    // Blank lines are keep-alive noise, not requests.
+    if (line.find_first_not_of(" \t\r\n") == std::string::npos)
+        return;
+
+    ++received_;
+    Result<Request> parsed = parseRequest(line, opts_.maxRequestBytes);
+    if (!parsed.ok()) {
+        ++errors_;
+        ++obs::counter("serve.request_errors");
+        respond(errorResponse("", "serve.request", parsed.diag().str()));
+        return;
+    }
+    const Request &req = parsed.value();
+
+    // Introspection bypasses the queue: it must work under saturation.
+    if (req.kind == RequestKind::Health) {
+        respond(healthLine(req.id));
+        return;
+    }
+    if (req.kind == RequestKind::Stats) {
+        respond(statsLine(req.id));
+        return;
+    }
+
+    {
+        std::lock_guard<std::mutex> lock(queueMutex_);
+        if (draining_.load()) {
+            ++cancelled_;
+            respond(cancelledResponse(req.id, "server draining"));
+            return;
+        }
+        if (queue_.size() >= opts_.queueCapacity) {
+            ++shed_;
+            ++obs::counter("serve.shed");
+            respond(overloadedResponse(req.id, opts_.retryAfterMs));
+            return;
+        }
+        queue_.push_back(Job{req, respond});
+        ++accepted_;
+        ++obs::counter("serve.accepted");
+    }
+    queueCv_.notify_one();
+}
+
+void
+Server::workerLoop()
+{
+    for (;;) {
+        Job job;
+        {
+            std::unique_lock<std::mutex> lock(queueMutex_);
+            queueCv_.wait(lock,
+                          [&] { return stop_ || !queue_.empty(); });
+            if (queue_.empty()) {
+                if (stop_)
+                    return;
+                continue;
+            }
+            job = std::move(queue_.front());
+            queue_.pop_front();
+
+            // Past the drain deadline, stranded queue entries are
+            // answered rather than run — exactly one terminal response
+            // either way.
+            if (draining_.load() &&
+                nowMs() > drainDeadlineAt_.load()) {
+                lock.unlock();
+                ++cancelled_;
+                job.respond(cancelledResponse(
+                    job.req.id, "drain deadline exceeded"));
+                continue;
+            }
+        }
+        try {
+            process(job);
+        } catch (...) {
+            // process() contains everything below it; this is the
+            // belt-and-braces boundary for bugs in serve itself.
+            ++errors_;
+            try {
+                job.respond(errorResponse(
+                    job.req.id, "serve.internal",
+                    "request processing failed unexpectedly"));
+            } catch (...) {
+                // A throwing transport callback has lost its client;
+                // nothing useful left to do for this request.
+            }
+        }
+    }
+}
+
+void
+Server::process(const Job &job)
+{
+    const Request &req = job.req;
+    obs::TraceScope span("serve", "request");
+    span.arg("id", req.id);
+    span.arg("kind", requestKindName(req.kind));
+    obs::ScopedTimer timer(obs::histogram("serve.request_time_us"));
+
+    harness::BatchOptions bopts;
+    bopts.budget = opts_.budget;
+    if (req.deadlineMs > 0)
+        bopts.budget.deadlineMs =
+            std::min(req.deadlineMs, opts_.maxDeadlineMs);
+    bopts.params = opts_.params;
+    bopts.simulate =
+        req.simulate.value_or(req.kind == RequestKind::Simulate);
+    if (req.kind == RequestKind::Analyze) {
+        bopts.simulate = false;
+        bopts.startRung = harness::Rung::Identity;
+    }
+    bopts.captureSource = opts_.writeIncidents;
+
+    // --- Breaker gating. Load is checked first and alone, so an
+    // early reject cannot strand a half-open probe on another stage.
+    if (!breakers_[int(Stage::Load)]->allow()) {
+        ++errors_;
+        job.respond(errorResponse(
+            req.id, "serve.unavailable",
+            "load stage circuit breaker open; retry in " +
+                std::to_string(opts_.breaker.cooldownMs) + "ms"));
+        return;
+    }
+    bool degraded = false;
+    bool optimizeEngaged = req.kind != RequestKind::Analyze;
+    if (optimizeEngaged && !breakers_[int(Stage::Optimize)]->allow()) {
+        bopts.startRung = harness::Rung::Identity;
+        optimizeEngaged = false;
+        degraded = true;
+    }
+    bool simulateEngaged = bopts.simulate;
+    if (simulateEngaged && !breakers_[int(Stage::Simulate)]->allow()) {
+        bopts.simulate = false;
+        simulateEngaged = false;
+        degraded = true;
+    }
+
+    // Unique per-request name: the fault-plan program filter and the
+    // incident bundle key off it, and ids may repeat across clients.
+    uint64_t seq = ++seq_;
+    std::string name =
+        "req-" + (req.id.empty() ? std::to_string(seq) : req.id) + "#" +
+        std::to_string(seq);
+
+    std::optional<harness::FaultSpec> fault;
+    if (!req.fault.empty()) {
+        if (!opts_.allowFaultRequests) {
+            ++errors_;
+            job.respond(errorResponse(
+                req.id, "serve.fault_disabled",
+                "per-request fault injection requires --allow-faults"));
+            return;
+        }
+        Result<harness::FaultSpec> spec =
+            harness::parseFaultSpec(req.fault);
+        if (!spec.ok()) {
+            ++errors_;
+            job.respond(errorResponse(req.id, "serve.fault_spec",
+                                      spec.diag().str()));
+            return;
+        }
+        fault = spec.value();
+        fault->program = name;
+    }
+
+    harness::ProgramOutcome out;
+    {
+        // Fault-armed requests serialize: the fault plan is process-
+        // global, and only the filter keeps it from firing elsewhere.
+        std::unique_lock<std::mutex> flock(faultMutex_, std::defer_lock);
+        if (fault) {
+            flock.lock();
+            harness::armFault(*fault);
+        }
+        out = harness::runIsolated(harness::namedInput(name, req.program),
+                                   bopts);
+        if (fault)
+            harness::clearFault();
+    }
+
+    // --- Breaker bookkeeping. Client-input Diags are not service
+    // failures; only contained panics and timeouts count.
+    bool failed = out.status == harness::BatchStatus::Timeout ||
+                  out.status == harness::BatchStatus::PanicContained;
+    if (failed) {
+        Stage stage = classifyFailure(out);
+        breakers_[int(stage)]->onFailure(out.diag);
+        if (stage == Stage::Optimize || stage == Stage::Simulate)
+            breakers_[int(Stage::Load)]->onSuccess();
+        if (stage == Stage::Simulate && optimizeEngaged)
+            breakers_[int(Stage::Optimize)]->onSuccess();
+    } else if (out.status == harness::BatchStatus::Diag) {
+        // The load stage worked: it correctly diagnosed bad input.
+        breakers_[int(Stage::Load)]->onSuccess();
+    } else {
+        breakers_[int(Stage::Load)]->onSuccess();
+        if (optimizeEngaged)
+            breakers_[int(Stage::Optimize)]->onSuccess();
+        if (simulateEngaged && out.simulated)
+            breakers_[int(Stage::Simulate)]->onSuccess();
+    }
+
+    // --- Incident capture: minimize panics/timeouts (and degraded
+    // outcomes that contained failures) into replayable bundles.
+    std::string incidentDir;
+    bool incidentWorthy =
+        failed || (out.status == harness::BatchStatus::Degraded &&
+                   !out.failures.empty());
+    if (opts_.writeIncidents && incidentWorthy && !out.source.empty()) {
+        std::lock_guard<std::mutex> flock(faultMutex_);
+        Result<std::string> written =
+            incident::captureOutcome(out, bopts, opts_.incidents, fault);
+        harness::clearFault();
+        if (written.ok())
+            incidentDir = written.value();
+        else
+            obs::traceEvent("serve", "incident_skip",
+                            {{"id", req.id},
+                             {"why", written.diag().str()}});
+    }
+
+    ++completed_;
+    ++obs::counter(std::string("serve.result.") +
+                   harness::batchStatusName(out.status));
+    if (span.active()) {
+        span.arg("status", harness::batchStatusName(out.status));
+        span.arg("rung", harness::rungName(out.rung));
+    }
+    job.respond(resultResponse(req.id, out, degraded, incidentDir));
+}
+
+void
+Server::drain()
+{
+    {
+        std::lock_guard<std::mutex> lock(queueMutex_);
+        if (!draining_.exchange(true)) {
+            drainDeadlineAt_.store(nowMs() + opts_.drainDeadlineMs);
+            obs::traceEvent(
+                "serve", "drain",
+                {{"queued", static_cast<int64_t>(queue_.size())}});
+        }
+        stop_ = true;
+    }
+    queueCv_.notify_all();
+    for (std::thread &t : workers_)
+        if (t.joinable())
+            t.join();
+    obs::flushTrace();
+}
+
+Server::RequestCounters
+Server::requestCounters() const
+{
+    RequestCounters c;
+    c.received = received_.load();
+    c.accepted = accepted_.load();
+    c.completed = completed_.load();
+    c.shed = shed_.load();
+    c.cancelled = cancelled_.load();
+    c.errors = errors_.load();
+    return c;
+}
+
+size_t
+Server::queueDepth() const
+{
+    std::lock_guard<std::mutex> lock(queueMutex_);
+    return queue_.size();
+}
+
+std::string
+Server::healthLine(const std::string &id) const
+{
+    RequestCounters c = requestCounters();
+    json::Value r = json::Value::object();
+    r.set("id", json::Value::string(id));
+    r.set("type", json::Value::string("health"));
+    r.set("status", json::Value::string(draining_.load() ? "draining"
+                                                          : "ok"));
+    r.set("version", json::Value::string(versionLine()));
+    r.set("uptime_ms", json::Value::number(nowMs() - startedAtMs_));
+    r.set("jobs", json::Value::number(
+                      int64_t{std::max(1, opts_.jobs)}));
+    r.set("queue_depth",
+          json::Value::number(static_cast<int64_t>(queueDepth())));
+    r.set("queue_capacity",
+          json::Value::number(
+              static_cast<int64_t>(opts_.queueCapacity)));
+
+    json::Value reqs = json::Value::object();
+    reqs.set("received",
+             json::Value::number(static_cast<int64_t>(c.received)));
+    reqs.set("accepted",
+             json::Value::number(static_cast<int64_t>(c.accepted)));
+    reqs.set("completed",
+             json::Value::number(static_cast<int64_t>(c.completed)));
+    reqs.set("shed", json::Value::number(static_cast<int64_t>(c.shed)));
+    reqs.set("cancelled",
+             json::Value::number(static_cast<int64_t>(c.cancelled)));
+    reqs.set("errors",
+             json::Value::number(static_cast<int64_t>(c.errors)));
+    r.set("requests", std::move(reqs));
+
+    json::Value brs = json::Value::object();
+    for (int i = 0; i < kNumStages; ++i)
+        brs.set(stageName(Stage(i)),
+                breakerJson(breakers_[i]->snapshot()));
+    r.set("breakers", std::move(brs));
+    return r.dump();
+}
+
+std::string
+Server::statsLine(const std::string &id) const
+{
+    json::Value brs = json::Value::object();
+    for (int i = 0; i < kNumStages; ++i)
+        brs.set(stageName(Stage(i)),
+                breakerJson(breakers_[i]->snapshot()));
+
+    std::ostringstream registry;
+    obs::statsRegistry().dumpJson(registry);
+
+    // The registry dump is already a JSON object; splice it verbatim.
+    std::string out = "{\"id\":" + json::quote(id) +
+                      ",\"type\":\"stats\",\"breakers\":" + brs.dump() +
+                      ",\"registry\":" + registry.str() + "}";
+    return out;
+}
+
+} // namespace serve
+} // namespace memoria

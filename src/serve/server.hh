@@ -1,0 +1,185 @@
+/**
+ * @file
+ * The long-running compile service behind `memoria serve`.
+ *
+ * A `Server` is transport-agnostic: transports (serve/listener.hh —
+ * stdin/stdout, TCP, Unix socket) feed it request lines together with a
+ * `Respond` callback, and the server guarantees **exactly one terminal
+ * response per request**, whatever happens:
+ *
+ *  - `health`/`stats` requests are answered inline, bypassing the
+ *    queue, so introspection works even when the service is saturated;
+ *  - work requests pass through a bounded admission queue. A full
+ *    queue sheds the request immediately with an `overloaded` response
+ *    carrying `retry_after_ms` — clients get backpressure, not
+ *    unbounded latency;
+ *  - admitted requests run on a worker pool, each request inside the
+ *    full isolation boundary (`harness::runIsolated`): fault-
+ *    attribution context, per-request budget deadline, degradation
+ *    ladder, crash containment;
+ *  - per-stage circuit breakers (serve/breaker.hh) observe panic/
+ *    timeout outcomes. An open `load` breaker rejects requests with an
+ *    `error`; open `optimize`/`simulate` breakers degrade service
+ *    (identity rung / no simulation) instead of failing it;
+ *  - panic and timeout outcomes are minimized into incident bundles
+ *    (harness/incident.hh) and the bundle path rides in the response;
+ *  - `drain()` stops admission, lets in-flight work finish, answers
+ *    queued-but-unstarted requests with `cancelled` once the drain
+ *    deadline passes, joins the pool, and flushes the trace sink.
+ *
+ * The graceful-shutdown story: transports watch `signals::
+ * drainRequested()` (SIGTERM/SIGINT), stop reading, and call `drain()`
+ * — so a TERM'd server exits 0 with every accepted request answered.
+ */
+
+#ifndef MEMORIA_SERVE_SERVER_HH
+#define MEMORIA_SERVE_SERVER_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "harness/incident.hh"
+#include "harness/batch.hh"
+#include "serve/breaker.hh"
+#include "serve/protocol.hh"
+
+namespace memoria {
+namespace serve {
+
+/** Service configuration. */
+struct ServeOptions
+{
+    /** Worker threads executing requests. */
+    int jobs = 2;
+
+    /** Admission-queue bound; beyond it requests are shed. */
+    size_t queueCapacity = 16;
+
+    /** Suggested client backoff in `overloaded` responses. */
+    int64_t retryAfterMs = 50;
+
+    /** Default per-request budget (requests may lower, never raise
+     *  past maxDeadlineMs). */
+    harness::Budget budget{2000, 1u << 20, 50u << 20};
+
+    /** Clamp for client-supplied deadline_ms. */
+    int64_t maxDeadlineMs = 30000;
+
+    /** After drain starts, queued requests still unstarted past this
+     *  deadline are answered `cancelled` instead of run. */
+    int64_t drainDeadlineMs = 5000;
+
+    /** Request-line size bound. */
+    size_t maxRequestBytes = 4u << 20;
+
+    /** Honor the per-request "fault" injection hook (tests/soak). */
+    bool allowFaultRequests = false;
+
+    /** Minimize failures into incident bundles. */
+    bool writeIncidents = true;
+    incident::IncidentPolicy incidents;
+
+    BreakerOptions breaker;
+    ModelParams params;
+};
+
+/** The service. Construct, `start()`, feed lines, `drain()`. */
+class Server
+{
+  public:
+    /** Delivers one response line (no trailing newline) to the
+     *  request's client. Must be thread-safe; workers call it. */
+    using Respond = std::function<void(const std::string &)>;
+
+    explicit Server(ServeOptions opts);
+    ~Server();
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /** Spawn the worker pool. */
+    void start();
+
+    /**
+     * Handle one request line. Blank lines are ignored; everything
+     * else gets exactly one terminal response through `respond`,
+     * either inline (parse errors, health/stats, shed, draining) or
+     * later from a worker.
+     */
+    void handleLine(const std::string &line, const Respond &respond);
+
+    /**
+     * Graceful shutdown: stop admitting, finish in-flight work,
+     * cancel what the drain deadline strands, join workers, flush
+     * observability sinks. Idempotent.
+     */
+    void drain();
+
+    bool draining() const { return draining_.load(); }
+
+    // --- Introspection (health/stats responses and tests) ---
+
+    struct RequestCounters
+    {
+        uint64_t received = 0;   ///< lines that parsed as requests
+        uint64_t accepted = 0;   ///< admitted to the queue
+        uint64_t completed = 0;  ///< answered with `result`
+        uint64_t shed = 0;       ///< answered with `overloaded`
+        uint64_t cancelled = 0;  ///< answered with `cancelled`
+        uint64_t errors = 0;     ///< answered with `error`
+    };
+
+    RequestCounters requestCounters() const;
+    size_t queueDepth() const;
+    CircuitBreaker &breaker(Stage s) { return *breakers_[int(s)]; }
+
+    /** The `health` response body (also used by transports' tests). */
+    std::string healthLine(const std::string &id) const;
+
+    /** The `stats` response body: breakers + the obs registry dump. */
+    std::string statsLine(const std::string &id) const;
+
+  private:
+    struct Job
+    {
+        Request req;
+        Respond respond;
+    };
+
+    void workerLoop();
+    void process(const Job &job);
+
+    ServeOptions opts_;
+    std::unique_ptr<CircuitBreaker> breakers_[kNumStages];
+
+    mutable std::mutex queueMutex_;
+    std::condition_variable queueCv_;
+    std::deque<Job> queue_;
+    bool stop_ = false;
+    std::atomic<bool> draining_{false};
+    std::atomic<int64_t> drainDeadlineAt_{0};
+    std::vector<std::thread> workers_;
+
+    /** Serializes fault-armed execution and incident reduction (both
+     *  manipulate the process-global fault plan). */
+    std::mutex faultMutex_;
+
+    std::atomic<uint64_t> seq_{0};
+    int64_t startedAtMs_ = 0;
+
+    std::atomic<uint64_t> received_{0}, accepted_{0}, completed_{0},
+        shed_{0}, cancelled_{0}, errors_{0};
+};
+
+} // namespace serve
+} // namespace memoria
+
+#endif // MEMORIA_SERVE_SERVER_HH

@@ -174,10 +174,10 @@ JsonLinesSink::~JsonLinesSink()
     out_->flush();
 }
 
-void
-JsonLinesSink::event(const TraceEvent &e)
+std::string
+renderTraceJson(const TraceEvent &e)
 {
-    std::ostream &out = *out_;
+    std::ostringstream out;
     out << "{\"type\":" << jsonEscape(typeName(e.type))
         << ",\"seq\":" << e.seq << ",\"cat\":" << jsonEscape(e.category)
         << ",\"name\":" << jsonEscape(e.name) << ",\"depth\":" << e.depth;
@@ -194,7 +194,14 @@ JsonLinesSink::event(const TraceEvent &e)
         }
         out << "}";
     }
-    out << "}\n";
+    out << "}";
+    return out.str();
+}
+
+void
+JsonLinesSink::event(const TraceEvent &e)
+{
+    *out_ << renderTraceJson(e) << "\n";
 }
 
 void
@@ -227,6 +234,64 @@ flushTrace()
     std::lock_guard<std::mutex> lock(emitMutex);
     if (detail::sinkPtr)
         detail::sinkPtr->flush();
+}
+
+bool
+tryFlushTrace()
+{
+    std::unique_lock<std::mutex> lock(emitMutex, std::try_to_lock);
+    if (!lock.owns_lock())
+        return false;
+    if (detail::sinkPtr)
+        detail::sinkPtr->flush();
+    return true;
+}
+
+namespace {
+/** Most recently constructed ring; cleared by its own destructor. */
+std::atomic<RingSink *> gRing{nullptr};
+} // namespace
+
+RingSink::RingSink(size_t capacity) : capacity_(capacity ? capacity : 1)
+{
+    gRing.store(this, std::memory_order_release);
+}
+
+RingSink::~RingSink()
+{
+    RingSink *self = this;
+    gRing.compare_exchange_strong(self, nullptr);
+}
+
+void
+RingSink::event(const TraceEvent &e)
+{
+    std::string line = renderTraceJson(e);
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (lines_.size() < capacity_) {
+        lines_.push_back(std::move(line));
+    } else {
+        lines_[next_] = std::move(line);
+        next_ = (next_ + 1) % capacity_;
+    }
+}
+
+std::vector<std::string>
+RingSink::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::string> out;
+    out.reserve(lines_.size());
+    // next_ is the oldest slot once the ring has wrapped.
+    for (size_t i = 0; i < lines_.size(); ++i)
+        out.push_back(lines_[(next_ + i) % lines_.size()]);
+    return out;
+}
+
+RingSink *
+RingSink::instance()
+{
+    return gRing.load(std::memory_order_acquire);
 }
 
 void

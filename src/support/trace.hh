@@ -29,6 +29,7 @@
 #include <initializer_list>
 #include <iosfwd>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <type_traits>
 #include <utility>
@@ -145,6 +146,69 @@ class RecordingSink : public TraceSink
     std::vector<TraceEvent> events;
 };
 
+/**
+ * Keeps the last `capacity` records as rendered JSON lines — the
+ * "flight recorder" behind incident bundles (harness/incident.hh):
+ * when a contained failure is captured, the bundle includes the tail
+ * of recent trace activity even when no file sink was requested.
+ *
+ * The most recently constructed RingSink is reachable via
+ * `RingSink::instance()`; it may be a direct sink or one leg of a
+ * TeeSink. snapshot() is thread-safe.
+ */
+class RingSink : public TraceSink
+{
+  public:
+    explicit RingSink(size_t capacity = 256);
+    ~RingSink() override;
+
+    void event(const TraceEvent &e) override;
+
+    /** Oldest-first copy of the buffered lines. */
+    std::vector<std::string> snapshot() const;
+
+    /** The live ring, or nullptr when none is installed. */
+    static RingSink *instance();
+
+  private:
+    mutable std::mutex mutex_;
+    size_t capacity_;
+    size_t next_ = 0;
+    std::vector<std::string> lines_;  ///< circular once full
+};
+
+/** Forwards every record to two child sinks (file + ring, say). */
+class TeeSink : public TraceSink
+{
+  public:
+    TeeSink(std::unique_ptr<TraceSink> a, std::unique_ptr<TraceSink> b)
+        : a_(std::move(a)), b_(std::move(b))
+    {
+    }
+
+    void
+    event(const TraceEvent &e) override
+    {
+        if (a_)
+            a_->event(e);
+        if (b_)
+            b_->event(e);
+    }
+
+    void
+    flush() override
+    {
+        if (a_)
+            a_->flush();
+        if (b_)
+            b_->flush();
+    }
+
+  private:
+    std::unique_ptr<TraceSink> a_;
+    std::unique_ptr<TraceSink> b_;
+};
+
 namespace detail {
 /** Raw sink pointer, read on every trace check — null means disabled. */
 extern TraceSink *sinkPtr;
@@ -168,6 +232,16 @@ TraceSink *traceSink();
 
 /** Flush the installed sink, if any; safe to call from fatal/panic. */
 void flushTrace();
+
+/**
+ * Best-effort flush for signal handlers: uses try_lock so a handler
+ * that interrupted an in-progress emit skips the flush instead of
+ * deadlocking. Returns false when the lock was contended.
+ */
+bool tryFlushTrace();
+
+/** Render one record as the JSON-lines sink would (no newline). */
+std::string renderTraceJson(const TraceEvent &e);
 
 /**
  * Emit a point event. Callers on hot paths should guard with

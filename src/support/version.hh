@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Build identity, stamped at configure time.
+ *
+ * CMake configures version.cc.in with the semantic version, the git
+ * hash of the checkout (`git rev-parse --short HEAD`, "unknown" when
+ * built outside a checkout), the build type, and whether the sanitizer
+ * option was on. `memoria --version` prints this; incident bundles and
+ * the serve `health` response embed it so a reproducer names the exact
+ * build that produced it.
+ */
+
+#ifndef MEMORIA_SUPPORT_VERSION_HH
+#define MEMORIA_SUPPORT_VERSION_HH
+
+#include <string>
+
+namespace memoria {
+
+/** The stamped build identity. */
+struct BuildInfo
+{
+    const char *version;    ///< semantic version, e.g. "0.5.0"
+    const char *gitHash;    ///< short commit hash or "unknown"
+    const char *buildType;  ///< CMAKE_BUILD_TYPE at configure time
+    bool sanitizers;        ///< MEMORIA_SANITIZE was ON
+};
+
+/** The build this binary came from. */
+const BuildInfo &buildInfo();
+
+/** One-line rendering: "memoria 0.5.0 (git abc1234, Release, sanitizers off)". */
+std::string versionLine();
+
+} // namespace memoria
+
+#endif // MEMORIA_SUPPORT_VERSION_HH

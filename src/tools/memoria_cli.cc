@@ -13,6 +13,9 @@
  *   memoria trace <program> [N]        Compound decision provenance
  *   memoria fuzz [--seed N] [--count K]  differential pipeline fuzzing
  *   memoria batch [programs...]        resilient batch pipeline
+ *   memoria serve [--port N] [--socket P]  long-running compile service
+ *   memoria reduce <bundle|file>       re-minimize a failure offline
+ *   memoria version                    build identity
  *
  * `memoria batch` runs the whole pipeline over many programs with
  * per-program crash isolation, budgets, and the degradation ladder
@@ -28,6 +31,31 @@
  *   --fault SPEC           arm one fault site: site[:action[:N]][@prog]
  *   --fault-sweep          arm every site in turn; verify containment
  *   --list-faults          print the registered fault-site catalog
+ *   --incidents            minimize contained failures into bundles
+ *
+ * `memoria serve` reads JSON-lines requests from stdin (or serves TCP /
+ * Unix-socket clients with --port / --socket) and answers each with
+ * exactly one JSON response; see docs/SERVING.md:
+ *
+ *   --jobs N --queue N     worker pool size, admission-queue bound
+ *   --deadline-ms N        default per-request budget
+ *   --max-deadline-ms N    clamp on client-supplied deadlines
+ *   --drain-deadline-ms N  grace for queued work during shutdown
+ *   --port N               TCP (0 picks an ephemeral port)
+ *   --host H               TCP bind address (default 127.0.0.1)
+ *   --socket PATH          Unix-domain socket
+ *   --allow-faults         honor per-request fault-injection hooks
+ *   --no-incidents         don't write incident bundles
+ *   --incidents-dir DIR    bundle root (default artifacts/incidents)
+ *
+ * `memoria reduce` re-minimizes an incident bundle directory (using its
+ * recorded failure signature and fault plan) or a bare .mem file (the
+ * signature is whatever contained failure the pipeline exhibits),
+ * with offline-sized budgets (--deadline-ms, --max-checks).
+ *
+ * `memoria fuzz` failures are minimized into incident bundles under
+ * artifacts/incidents/ (each regenerable from its seed alone); disable
+ * with --no-incidents.
  *
  * Global flags (accepted anywhere on the command line):
  *
@@ -53,10 +81,12 @@
 #include <algorithm>
 #include <cctype>
 #include <cstdlib>
+#include <filesystem>
 #include <functional>
 #include <iostream>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -69,9 +99,14 @@
 #include "frontend/parser.hh"
 #include "harness/batch.hh"
 #include "harness/fault.hh"
+#include "harness/incident.hh"
+#include "serve/listener.hh"
+#include "support/json.hh"
 #include "support/logging.hh"
+#include "support/signals.hh"
 #include "support/stats.hh"
 #include "support/trace.hh"
+#include "support/version.hh"
 #include "driver/memoria.hh"
 #include "ir/printer.hh"
 #include "model/loopcost.hh"
@@ -310,26 +345,6 @@ cmdTrace(Program prog)
     return 0;
 }
 
-/** Differential fuzzing over the whole pipeline; see
- *  driver/fuzzcheck.hh for the per-round protocol. */
-int
-cmdFuzz(uint64_t seed, int count)
-{
-    FuzzReport rep = runFuzzCampaign(seed, count);
-    std::cout << "fuzz: " << rep.programs << " programs (seed " << seed
-              << ")  validate failures: " << rep.validateFailures
-              << "  round-trip failures: " << rep.roundTripFailures
-              << "  equivalence failures: " << rep.equivFailures
-              << "  guard rollbacks: " << rep.rollbacks << "\n";
-    for (const std::string &msg : rep.messages)
-        std::cout << "  " << msg << "\n";
-    if (!rep.ok()) {
-        std::cout << "FUZZING FOUND FAILURES\n";
-        return 1;
-    }
-    std::cout << "all checks passed\n";
-    return 0;
-}
 
 /** Global flags pulled out of argv before command dispatch. */
 struct Options
@@ -337,6 +352,7 @@ struct Options
     std::vector<std::string> positional;
     std::string error;         ///< usage error; non-empty = exit 2
     bool help = false;         ///< --help
+    bool version = false;      ///< --version
     std::string traceFile;     ///< --trace=<file.jsonl>
     bool traceText = false;    ///< bare --trace
     bool statsText = false;    ///< --stats
@@ -357,6 +373,22 @@ struct Options
     std::string faultSpec;        ///< --fault SPEC
     bool faultSweep = false;      ///< --fault-sweep
     bool listFaults = false;      ///< --list-faults
+
+    // incidents (batch/fuzz/serve/reduce)
+    bool incidents = false;       ///< batch: --incidents
+    bool noIncidents = false;     ///< fuzz/serve: --no-incidents
+    std::string incidentsDir;     ///< --incidents-dir DIR
+    int maxChecks = 0;            ///< reduce: --max-checks
+
+    // serve
+    int queueCapacity = 0;        ///< --queue
+    int64_t maxDeadlineMs = 0;    ///< --max-deadline-ms
+    int64_t drainDeadlineMs = 0;  ///< --drain-deadline-ms
+    int64_t retryAfterMs = 0;     ///< --retry-after-ms
+    int port = -1;                ///< --port (-1 off, 0 ephemeral)
+    std::string host = "127.0.0.1";  ///< --host
+    std::string socketPath;       ///< --socket PATH
+    bool allowFaults = false;     ///< --allow-faults
 };
 
 Options
@@ -394,6 +426,36 @@ parseArgs(int argc, char **argv)
              }},
             {"--fault",
              [&](const std::string &v) { opts.faultSpec = v; }},
+            {"--incidents-dir",
+             [&](const std::string &v) { opts.incidentsDir = v; }},
+            {"--max-checks",
+             [&](const std::string &v) {
+                 opts.maxChecks = std::atoi(v.c_str());
+             }},
+            {"--queue",
+             [&](const std::string &v) {
+                 opts.queueCapacity = std::atoi(v.c_str());
+             }},
+            {"--max-deadline-ms",
+             [&](const std::string &v) {
+                 opts.maxDeadlineMs = std::atoll(v.c_str());
+             }},
+            {"--drain-deadline-ms",
+             [&](const std::string &v) {
+                 opts.drainDeadlineMs = std::atoll(v.c_str());
+             }},
+            {"--retry-after-ms",
+             [&](const std::string &v) {
+                 opts.retryAfterMs = std::atoll(v.c_str());
+             }},
+            {"--port",
+             [&](const std::string &v) {
+                 opts.port = std::atoi(v.c_str());
+             }},
+            {"--host",
+             [&](const std::string &v) { opts.host = v; }},
+            {"--socket",
+             [&](const std::string &v) { opts.socketPath = v; }},
         };
 
     for (int i = 1; i < argc && opts.error.empty(); ++i) {
@@ -405,6 +467,14 @@ parseArgs(int argc, char **argv)
 
         if (arg == "--help" || arg == "-h") {
             opts.help = true;
+        } else if (arg == "--version") {
+            opts.version = true;
+        } else if (arg == "--incidents") {
+            opts.incidents = true;
+        } else if (arg == "--no-incidents") {
+            opts.noIncidents = true;
+        } else if (arg == "--allow-faults") {
+            opts.allowFaults = true;
         } else if (arg == "--trace") {
             opts.traceText = true;
         } else if (head == "--trace") {
@@ -467,13 +537,21 @@ usageText()
         "<list|print|analyze|optimize|simulate|reuse|trace> "
         "[program] [N] [--trace[=file.jsonl]] [--stats[=json]] "
         "[-v] [-q]\n"
-        "       memoria fuzz [--seed N] [--count K]\n"
+        "       memoria fuzz [--seed N] [--count K] [--no-incidents]\n"
         "       memoria batch [programs...] [--all] [--stdin] "
         "[--jobs N]\n"
         "               [--deadline-ms N] [--max-iterations N] "
         "[--max-ir-nodes N]\n"
         "               [--json] [--fault SPEC] [--fault-sweep] "
         "[--list-faults]\n"
+        "               [--incidents] [--incidents-dir DIR]\n"
+        "       memoria serve [--jobs N] [--queue N] [--deadline-ms N]"
+        " [--port N]\n"
+        "               [--host H] [--socket PATH] [--allow-faults]"
+        " [--no-incidents]\n"
+        "       memoria reduce <bundle-dir|file.mem> [--deadline-ms N]"
+        " [--max-checks N]\n"
+        "       memoria version | --version\n"
         "       memoria --help\n"
         "exit codes: 0 ok, 1 pipeline failure, 2 usage error\n";
 }
@@ -586,6 +664,59 @@ runFaultSweep(const std::vector<harness::BatchInput> &inputs,
     return failed == 0 ? 0 : 1;
 }
 
+/** Differential fuzzing over the whole pipeline; see
+ *  driver/fuzzcheck.hh for the per-round protocol. Failures are
+ *  minimized into incident bundles unless --no-incidents. */
+int
+cmdFuzz(const Options &opts)
+{
+    uint64_t seed = opts.fuzzSeed;
+    FuzzReport rep = runFuzzCampaign(seed, opts.fuzzCount);
+    std::cout << "fuzz: " << rep.programs << " programs (seed " << seed
+              << ")  validate failures: " << rep.validateFailures
+              << "  round-trip failures: " << rep.roundTripFailures
+              << "  equivalence failures: " << rep.equivFailures
+              << "  guard rollbacks: " << rep.rollbacks << "\n";
+    for (const std::string &msg : rep.messages)
+        std::cout << "  " << msg << "\n";
+    if (rep.ok()) {
+        std::cout << "all checks passed\n";
+        return 0;
+    }
+
+    if (!opts.noIncidents) {
+        incident::IncidentPolicy policy;
+        if (!opts.incidentsDir.empty())
+            policy.dir = opts.incidentsDir;
+        int written = 0;
+        for (const FuzzReport::Failure &f : rep.failures) {
+            if (written >= policy.maxIncidents)
+                break;
+            // Generation is pure in the seed, so this is the exact
+            // failing program the campaign saw.
+            Program prog = fuzzProgram(f.seed);
+            incident::Incident inc;
+            inc.name = "fuzz-" + std::to_string(f.seed);
+            inc.kind = f.kind;
+            inc.detail = f.detail;
+            inc.source = printProgram(prog);
+            inc.seed = f.seed;
+            Result<std::string> bundle = incident::captureIncident(
+                std::move(inc), prog, fuzzFailurePredicate(f.kind),
+                policy);
+            if (bundle.ok()) {
+                std::cout << "  incident: " << bundle.value() << "\n";
+                ++written;
+            } else {
+                warn("fuzz: " + bundle.diag().str());
+            }
+        }
+    }
+
+    std::cout << "FUZZING FOUND FAILURES\n";
+    return 1;
+}
+
 int
 cmdBatch(const Options &opts)
 {
@@ -614,6 +745,8 @@ cmdBatch(const Options &opts)
             : std::clamp<int>(
                   static_cast<int>(std::thread::hardware_concurrency()),
                   1, 4);
+    // Incident bundling re-runs failures against their original text.
+    bopts.captureSource = opts.incidents;
 
     std::vector<harness::BatchInput> inputs;
     if (opts.batchAll) {
@@ -657,15 +790,253 @@ cmdBatch(const Options &opts)
     }
 
     harness::BatchReport rep = harness::runBatch(inputs, bopts);
+
+    std::vector<std::string> bundles;
+    if (opts.incidents) {
+        incident::IncidentPolicy policy;
+        if (!opts.incidentsDir.empty())
+            policy.dir = opts.incidentsDir;
+        // Runs before clearFault(): bundling re-arms the still-armed
+        // plan around each reduction so fault-induced failures
+        // reproduce.
+        bundles = incident::processBatchIncidents(rep, bopts, policy);
+    }
     harness::clearFault();
 
     if (opts.jsonOut)
         std::cout << rep.toJson() << "\n";
     else
         printBatchSummary(rep);
+    for (const std::string &b : bundles)
+        std::cout << "incident: " << b << "\n";
 
     // Containment is the contract: per-program failures are reported,
     // not escalated to the exit code.
+    return 0;
+}
+
+/** `memoria serve`: block until EOF or a drain signal; exit 0 on a
+ *  clean drain. */
+int
+cmdServe(const Options &opts)
+{
+    // Cooperative drain: SIGTERM/SIGINT set a flag the transport
+    // loops poll; a second signal escalates to flush-and-exit.
+    signals::installDrainHandler();
+
+    serve::ServeOptions sopts;
+    if (opts.jobs > 0)
+        sopts.jobs = opts.jobs;
+    if (opts.queueCapacity > 0)
+        sopts.queueCapacity =
+            static_cast<size_t>(opts.queueCapacity);
+    if (opts.deadlineMs > 0)
+        sopts.budget.deadlineMs = opts.deadlineMs;
+    if (opts.maxIterations > 0)
+        sopts.budget.maxInterpIterations =
+            static_cast<uint64_t>(opts.maxIterations);
+    if (opts.maxIrNodes > 0)
+        sopts.budget.maxIrNodes =
+            static_cast<uint64_t>(opts.maxIrNodes);
+    if (opts.maxDeadlineMs > 0)
+        sopts.maxDeadlineMs = opts.maxDeadlineMs;
+    if (opts.drainDeadlineMs > 0)
+        sopts.drainDeadlineMs = opts.drainDeadlineMs;
+    if (opts.retryAfterMs > 0)
+        sopts.retryAfterMs = opts.retryAfterMs;
+    sopts.allowFaultRequests = opts.allowFaults;
+    sopts.writeIncidents = !opts.noIncidents;
+    if (!opts.incidentsDir.empty())
+        sopts.incidents.dir = opts.incidentsDir;
+
+    serve::Server server(sopts);
+    if (opts.port >= 0 || !opts.socketPath.empty()) {
+        serve::TransportOptions topts;
+        topts.stdio = false;
+        topts.host = opts.host;
+        topts.port = opts.port;
+        topts.unixPath = opts.socketPath;
+        return serve::runListener(server, topts);
+    }
+    return serve::runStdio(server);
+}
+
+/** The dotted code prefix of a rendered Diag ("code: message"). */
+std::string
+diagCodePrefix(const std::string &detail)
+{
+    size_t end = detail.find_first_of(": ");
+    return end == std::string::npos ? detail : detail.substr(0, end);
+}
+
+std::optional<harness::BatchStatus>
+batchStatusFromName(const std::string &name)
+{
+    using harness::BatchStatus;
+    for (BatchStatus s :
+         {BatchStatus::Ok, BatchStatus::Degraded, BatchStatus::Diag,
+          BatchStatus::Timeout, BatchStatus::PanicContained})
+        if (name == harness::batchStatusName(s))
+            return s;
+    return std::nullopt;
+}
+
+/**
+ * `memoria reduce <bundle-dir>`: re-minimize a recorded incident with
+ * offline budgets, replaying its failure signature and fault plan.
+ * `memoria reduce <file.mem>`: run the pipeline once to learn how the
+ * program fails, then minimize against that signature. Either way a
+ * fresh bundle is written and its path printed.
+ */
+int
+cmdReduce(const Options &opts)
+{
+    namespace fs = std::filesystem;
+    const std::string &path = opts.positional[1];
+
+    incident::IncidentPolicy policy;
+    if (!opts.incidentsDir.empty())
+        policy.dir = opts.incidentsDir;
+    // Offline reduction affords bigger budgets than in-band capture.
+    policy.reduce.deadlineMs =
+        opts.deadlineMs > 0 ? opts.deadlineMs : 60000;
+    policy.reduce.maxChecks =
+        opts.maxChecks > 0 ? opts.maxChecks : 10000;
+
+    harness::BatchOptions bopts;
+    if (opts.maxIterations > 0)
+        bopts.budget.maxInterpIterations =
+            static_cast<uint64_t>(opts.maxIterations);
+    if (opts.maxIrNodes > 0)
+        bopts.budget.maxIrNodes =
+            static_cast<uint64_t>(opts.maxIrNodes);
+
+    auto readAll = [](const fs::path &p) -> std::optional<std::string> {
+        std::ifstream in(p);
+        if (!in)
+            return std::nullopt;
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        return buf.str();
+    };
+
+    std::error_code ec;
+    if (fs::is_directory(path, ec)) {
+        auto metaText = readAll(fs::path(path) / "incident.json");
+        if (!metaText) {
+            std::cerr << "memoria reduce: no incident.json in '"
+                      << path << "'\n";
+            return 1;
+        }
+        Result<json::Value> meta = json::parse(*metaText);
+        if (!meta.ok()) {
+            std::cerr << "memoria reduce: " << meta.diag().str()
+                      << "\n";
+            return 1;
+        }
+        std::string name = meta.value().getString("name", "anon");
+        std::string kind = meta.value().getString("kind", "");
+        std::string detail = meta.value().getString("detail", "");
+        std::string faultSpec =
+            meta.value().getString("fault_spec", "");
+        auto originalText = readAll(fs::path(path) / "original.mem");
+        if (!originalText) {
+            std::cerr << "memoria reduce: no original.mem in '"
+                      << path << "'\n";
+            return 1;
+        }
+        ParseError perr;
+        auto prog = parseProgram(*originalText, &perr);
+        if (!prog) {
+            std::cerr << "memoria reduce: original.mem does not "
+                         "parse: " << perr.str() << "\n";
+            return 1;
+        }
+
+        incident::FailureSignature sig;
+        auto status = batchStatusFromName(kind);
+        if (status && *status != harness::BatchStatus::Ok) {
+            sig.status = *status;
+            if (*status == harness::BatchStatus::Diag)
+                sig.diagCode = diagCodePrefix(detail);
+        } else if (kind == "degraded") {
+            sig.status = harness::BatchStatus::Degraded;
+        } else {
+            // Fuzz bundles record the broken property, not a batch
+            // status; re-check that property directly.
+            incident::Incident inc;
+            inc.name = name;
+            inc.kind = kind;
+            inc.detail = detail;
+            inc.source = *originalText;
+            Result<std::string> bundle = incident::captureIncident(
+                std::move(inc), *prog, fuzzFailurePredicate(kind),
+                policy);
+            if (!bundle.ok()) {
+                std::cerr << "memoria reduce: "
+                          << bundle.diag().str() << "\n";
+                return 1;
+            }
+            std::cout << "incident: " << bundle.value() << "\n";
+            return 0;
+        }
+
+        std::optional<harness::FaultSpec> fault;
+        if (!faultSpec.empty()) {
+            Result<harness::FaultSpec> spec =
+                harness::parseFaultSpec(faultSpec);
+            if (spec.ok())
+                fault = spec.value();
+            else
+                warn("reduce: ignoring unparsable fault_spec '" +
+                     faultSpec + "'");
+        }
+
+        incident::Incident inc;
+        inc.name = name;
+        inc.kind = kind;
+        inc.detail = detail;
+        inc.source = *originalText;
+        inc.faultSpec = faultSpec;
+        harness::setFaultAccounting(true);
+        Result<std::string> bundle = incident::captureIncident(
+            std::move(inc), *prog,
+            incident::pipelineFailurePredicate(name, bopts, sig,
+                                               fault),
+            policy);
+        harness::clearFault();
+        if (!bundle.ok()) {
+            std::cerr << "memoria reduce: " << bundle.diag().str()
+                      << "\n";
+            return 1;
+        }
+        std::cout << "incident: " << bundle.value() << "\n";
+        return 0;
+    }
+
+    // Bare source file: learn the failure signature by running the
+    // isolated pipeline once, then minimize against it.
+    auto text = readAll(path);
+    if (!text) {
+        std::cerr << "memoria reduce: cannot read '" << path << "'\n";
+        return 1;
+    }
+    bopts.captureSource = true;
+    std::string name = fs::path(path).stem().string();
+    harness::ProgramOutcome out = harness::runIsolated(
+        harness::namedInput(name, *text), bopts);
+    if (out.status == harness::BatchStatus::Ok) {
+        std::cout << "reduce: '" << path
+                  << "' passes the pipeline; nothing to reduce\n";
+        return 1;
+    }
+    Result<std::string> bundle =
+        incident::captureOutcome(out, bopts, policy);
+    if (!bundle.ok()) {
+        std::cerr << "memoria reduce: " << bundle.diag().str() << "\n";
+        return 1;
+    }
+    std::cout << "incident: " << bundle.value() << "\n";
     return 0;
 }
 
@@ -683,21 +1054,67 @@ run(int argc, char **argv)
         std::cout << usageText();
         return 0;
     }
+    if (opts.version) {
+        std::cout << versionLine() << "\n";
+        return 0;
+    }
     if (opts.positional.empty()) {
         std::cerr << usageText();
         return 2;
     }
 
-    if (!opts.traceFile.empty())
-        obs::setTraceSink(
-            std::make_unique<obs::JsonLinesSink>(opts.traceFile));
-    else if (opts.traceText)
-        obs::setTraceSink(std::make_unique<obs::TextSink>(std::cerr));
-
     const std::string &cmd = opts.positional[0];
+
+    std::unique_ptr<obs::TraceSink> sink;
+    if (!opts.traceFile.empty())
+        sink = std::make_unique<obs::JsonLinesSink>(opts.traceFile);
+    else if (opts.traceText)
+        sink = std::make_unique<obs::TextSink>(std::cerr);
+    // Commands that can write incident bundles keep a flight recorder
+    // so the bundles carry a trace tail (tee'd into any requested
+    // sink).
+    if (cmd == "serve" || cmd == "reduce" || cmd == "fuzz" ||
+        cmd == "batch") {
+        std::unique_ptr<obs::TraceSink> ring =
+            std::make_unique<obs::RingSink>(256);
+        if (sink)
+            sink = std::make_unique<obs::TeeSink>(std::move(sink),
+                                                  std::move(ring));
+        else
+            sink = std::move(ring);
+    }
+    if (sink)
+        obs::setTraceSink(std::move(sink));
+
+    // One-shot commands flush diagnostics and exit on SIGINT/SIGTERM;
+    // `serve` installs the cooperative drain handler instead.
+    if (cmd != "serve") {
+        signals::installFlushOnSignal();
+        if (opts.statsText || opts.statsJson)
+            signals::addFlushCallback([json = opts.statsJson] {
+                if (json)
+                    obs::statsRegistry().dumpJson(std::cerr);
+                else
+                    obs::statsRegistry().dumpText(std::cerr);
+            });
+    }
+
     int rc = 2;
     if (cmd == "list") {
         rc = cmdList();
+    } else if (cmd == "version") {
+        std::cout << versionLine() << "\n";
+        rc = 0;
+    } else if (cmd == "serve") {
+        rc = cmdServe(opts);
+    } else if (cmd == "reduce") {
+        if (opts.positional.size() < 2) {
+            std::cerr << "memoria reduce: need a bundle directory or "
+                         "source file\n";
+            rc = 2;
+        } else {
+            rc = cmdReduce(opts);
+        }
     } else if (cmd == "batch") {
         rc = cmdBatch(opts);
     } else if (cmd == "fuzz") {
@@ -705,7 +1122,7 @@ run(int argc, char **argv)
             std::cerr << "memoria: --count must be positive\n";
             rc = 2;
         } else {
-            rc = cmdFuzz(opts.fuzzSeed, opts.fuzzCount);
+            rc = cmdFuzz(opts);
         }
     } else if (opts.positional.size() < 2) {
         std::cerr << "missing program name; try `memoria list`\n";

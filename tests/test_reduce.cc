@@ -1,0 +1,248 @@
+/** Tests for the ddmin delta-debugging reducer (check/reduce.hh) and
+ *  the incident-bundle layer built on it (harness/incident.hh): the
+ *  minimized program still fails the same predicate, is 1-minimal,
+ *  respects its budgets, and reduces deterministically. */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "check/reduce.hh"
+#include "frontend/parser.hh"
+#include "harness/incident.hh"
+#include "ir/printer.hh"
+#include "support/json.hh"
+
+namespace memoria {
+namespace {
+
+Program
+parseOrDie(const std::string &src)
+{
+    ParseError err;
+    auto p = parseProgram(src, &err);
+    if (!p)
+        throw std::runtime_error("test program does not parse: " +
+                                 err.str());
+    return std::move(*p);
+}
+
+/** Three independent statements; a predicate pinned to B's statement
+ *  leaves the reducer plenty to delete. */
+const char *kThreeStatements = R"(PROGRAM t
+  PARAMETER N = 8
+  REAL*8 A(N)
+  REAL*8 B(N)
+  REAL*8 C(N)
+  DO I = 1, N
+    A(I) = A(I) + 1.0
+  ENDDO
+  DO I = 1, N
+    B(I) = B(I) + 2.0
+  ENDDO
+  DO I = 1, N
+    C(I) = C(I) + 3.0
+  ENDDO
+END
+)";
+
+/** "Still fails": the program writes to B somewhere. */
+bool
+writesB(const Program &p)
+{
+    return printProgram(p).find("B(") != std::string::npos;
+}
+
+TEST(Reduce, CountIrNodesIsPositiveAndMonotone)
+{
+    Program prog = parseOrDie(kThreeStatements);
+    size_t whole = countIrNodes(prog);
+    EXPECT_GT(whole, 0u);
+
+    ReduceResult res = reduceProgram(prog, writesB);
+    EXPECT_LT(countIrNodes(res.program), whole);
+}
+
+TEST(Reduce, MinimizedProgramStillFailsSamePredicate)
+{
+    Program prog = parseOrDie(kThreeStatements);
+    ReduceResult res = reduceProgram(prog, writesB);
+
+    EXPECT_TRUE(res.inputFailed);
+    EXPECT_TRUE(writesB(res.program));
+
+    // The unrelated statements are gone.
+    std::string out = printProgram(res.program);
+    EXPECT_EQ(out.find("A(I)"), std::string::npos) << out;
+    EXPECT_EQ(out.find("C(I)"), std::string::npos) << out;
+}
+
+TEST(Reduce, HalvesNodeCountOnSeededExample)
+{
+    Program prog = parseOrDie(kThreeStatements);
+    ReduceResult res = reduceProgram(prog, writesB);
+
+    EXPECT_EQ(res.origNodes, countIrNodes(prog));
+    EXPECT_EQ(res.finalNodes, countIrNodes(res.program));
+    EXPECT_LE(res.finalNodes * 2, res.origNodes)
+        << printProgram(res.program);
+}
+
+TEST(Reduce, ResultIsOneMinimal)
+{
+    Program prog = parseOrDie(kThreeStatements);
+    ReduceResult res = reduceProgram(prog, writesB);
+    ASSERT_TRUE(res.inputFailed);
+    EXPECT_TRUE(res.oneMinimal);
+    EXPECT_FALSE(res.budgetExhausted);
+}
+
+TEST(Reduce, DeterministicAcrossRuns)
+{
+    Program prog = parseOrDie(kThreeStatements);
+    ReduceResult a = reduceProgram(prog, writesB);
+    ReduceResult b = reduceProgram(prog, writesB);
+
+    EXPECT_EQ(printProgram(a.program), printProgram(b.program));
+    EXPECT_EQ(a.checks, b.checks);
+    EXPECT_EQ(a.rounds, b.rounds);
+    EXPECT_EQ(a.finalNodes, b.finalNodes);
+}
+
+TEST(Reduce, PassingInputComesBackUnchanged)
+{
+    Program prog = parseOrDie(kThreeStatements);
+    auto never = [](const Program &) { return false; };
+    ReduceResult res = reduceProgram(prog, never);
+
+    EXPECT_FALSE(res.inputFailed);
+    EXPECT_EQ(res.checks, 1);
+    EXPECT_EQ(printProgram(res.program), printProgram(prog));
+}
+
+TEST(Reduce, RespectsCheckBudget)
+{
+    Program prog = parseOrDie(kThreeStatements);
+    ReduceOptions opts;
+    opts.maxChecks = 1;  // the input check consumes the whole budget
+    ReduceResult res = reduceProgram(prog, writesB, opts);
+
+    EXPECT_TRUE(res.inputFailed);
+    EXPECT_TRUE(res.budgetExhausted);
+    EXPECT_FALSE(res.oneMinimal);  // not proven within budget
+    EXPECT_LE(res.checks, 2);
+    // The invariant holds even when the budget cut reduction short.
+    EXPECT_TRUE(writesB(res.program));
+}
+
+TEST(Reduce, ThrowingPredicateCountsAsPassing)
+{
+    Program prog = parseOrDie(kThreeStatements);
+    // Same acceptance set as writesB, but hostile: candidates without
+    // B throw instead of returning false.
+    auto hostile = [](const Program &p) {
+        if (!writesB(p))
+            throw std::runtime_error("candidate without B");
+        return true;
+    };
+    ReduceResult res = reduceProgram(prog, hostile);
+
+    EXPECT_TRUE(res.inputFailed);
+    EXPECT_TRUE(writesB(res.program));
+    EXPECT_LE(res.finalNodes * 2, res.origNodes);
+}
+
+TEST(Reduce, UnwrapsLoopsWhenPredicateAllows)
+{
+    Program prog = parseOrDie(kThreeStatements);
+    ReduceResult res = reduceProgram(prog, writesB);
+
+    // The surviving statement does not need its loop to keep failing,
+    // so the reducer unwraps it.
+    EXPECT_EQ(printProgram(res.program).find("DO "), std::string::npos)
+        << printProgram(res.program);
+}
+
+// ---------------------------------------------------------------------
+// Incident bundles over the reducer
+
+TEST(Incident, CaptureWritesWellFormedBundle)
+{
+    namespace fs = std::filesystem;
+    fs::path root = fs::temp_directory_path() /
+                    "memoria-test-incidents";
+    fs::remove_all(root);
+
+    Program prog = parseOrDie(kThreeStatements);
+    incident::Incident inc;
+    inc.name = "unit";
+    inc.kind = "predicate";
+    inc.detail = "writes to B";
+    inc.source = printProgram(prog);
+
+    incident::IncidentPolicy policy;
+    policy.dir = root.string();
+    Result<std::string> bundle =
+        incident::captureIncident(inc, prog, writesB, policy);
+    ASSERT_TRUE(bundle.ok()) << bundle.diag().str();
+
+    fs::path dir(bundle.value());
+    EXPECT_TRUE(fs::exists(dir / "original.mem"));
+    EXPECT_TRUE(fs::exists(dir / "minimized.mem"));
+
+    std::ifstream in(dir / "incident.json");
+    ASSERT_TRUE(in.good());
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    Result<json::Value> meta = json::parse(buf.str());
+    ASSERT_TRUE(meta.ok()) << meta.diag().str();
+    EXPECT_EQ(meta.value().getString("name"), "unit");
+    EXPECT_EQ(meta.value().getString("kind"), "predicate");
+    const json::Value *red = meta.value().get("reduction");
+    ASSERT_NE(red, nullptr);
+    EXPECT_TRUE(red->getBool("reproduced"));
+    EXPECT_LE(red->getInt("final_nodes") * 2,
+              red->getInt("orig_nodes"));
+
+    // The minimized reproducer parses and still fails the predicate.
+    std::ifstream minIn(dir / "minimized.mem");
+    std::ostringstream minBuf;
+    minBuf << minIn.rdbuf();
+    Program reduced = parseOrDie(minBuf.str());
+    EXPECT_TRUE(writesB(reduced));
+
+    fs::remove_all(root);
+}
+
+TEST(Incident, RepeatBundlesDoNotCollide)
+{
+    namespace fs = std::filesystem;
+    fs::path root = fs::temp_directory_path() /
+                    "memoria-test-incidents-collide";
+    fs::remove_all(root);
+
+    Program prog = parseOrDie(kThreeStatements);
+    incident::Incident inc;
+    inc.name = "dup";
+    inc.kind = "predicate";
+    inc.source = printProgram(prog);
+
+    incident::IncidentPolicy policy;
+    policy.dir = root.string();
+    Result<std::string> first =
+        incident::captureIncident(inc, prog, writesB, policy);
+    Result<std::string> second =
+        incident::captureIncident(inc, prog, writesB, policy);
+    ASSERT_TRUE(first.ok());
+    ASSERT_TRUE(second.ok());
+    EXPECT_NE(first.value(), second.value());
+
+    fs::remove_all(root);
+}
+
+} // namespace
+} // namespace memoria

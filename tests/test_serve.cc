@@ -1,0 +1,393 @@
+/** Tests for the compile service (src/serve/): request parsing, the
+ *  exactly-one-terminal-response invariant, admission-queue
+ *  backpressure, circuit-breaker trip → half-open → reset, breaker-
+ *  driven degraded service, and zero-loss drain. */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/breaker.hh"
+#include "serve/protocol.hh"
+#include "serve/server.hh"
+#include "support/json.hh"
+
+namespace memoria {
+namespace serve {
+namespace {
+
+const char *kSmallProgram = "PROGRAM t\n"
+                            "  PARAMETER N = 8\n"
+                            "  REAL*8 A(N,N)\n"
+                            "  DO I = 1, N\n"
+                            "    DO J = 1, N\n"
+                            "      A(I,J) = A(I,J) + 1.0\n"
+                            "    ENDDO\n"
+                            "  ENDDO\n"
+                            "END\n";
+
+const char *kHeavyProgram = "PROGRAM heavy\n"
+                            "  PARAMETER N = 64\n"
+                            "  REAL*8 A(N,N)\n"
+                            "  REAL*8 B(N,N)\n"
+                            "  DO I = 1, N\n"
+                            "    DO J = 1, N\n"
+                            "      DO K = 1, N\n"
+                            "        A(I,J) = A(I,J) + B(J,K)\n"
+                            "      ENDDO\n"
+                            "    ENDDO\n"
+                            "  ENDDO\n"
+                            "END\n";
+
+std::string
+requestLine(const std::string &id, const std::string &kind,
+            const std::string &program, int64_t deadlineMs = 0)
+{
+    std::string line = "{\"id\":" + json::quote(id) +
+                       ",\"kind\":" + json::quote(kind);
+    if (!program.empty())
+        line += ",\"program\":" + json::quote(program);
+    if (deadlineMs > 0)
+        line += ",\"deadline_ms\":" + std::to_string(deadlineMs);
+    return line + "}";
+}
+
+/** Thread-safe response collector. */
+struct Collector
+{
+    std::mutex mutex;
+    std::vector<std::string> lines;
+
+    Server::Respond
+    fn()
+    {
+        return [this](const std::string &line) {
+            std::lock_guard<std::mutex> lock(mutex);
+            lines.push_back(line);
+        };
+    }
+
+    json::Value
+    parsed(size_t i)
+    {
+        Result<json::Value> v = json::parse(lines.at(i));
+        EXPECT_TRUE(v.ok()) << lines.at(i);
+        return v.ok() ? v.value() : json::Value();
+    }
+
+    /** Count of responses with the given "type". */
+    int
+    countType(const std::string &type)
+    {
+        int n = 0;
+        for (size_t i = 0; i < lines.size(); ++i)
+            if (parsed(i).getString("type") == type)
+                ++n;
+        return n;
+    }
+};
+
+// ---------------------------------------------------------------------
+// Protocol
+
+TEST(Protocol, RejectsMalformedRequests)
+{
+    EXPECT_FALSE(parseRequest("not json").ok());
+    EXPECT_FALSE(parseRequest("[1,2]").ok());
+    EXPECT_FALSE(parseRequest("{\"kind\":\"compound\"}").ok())
+        << "work requests need a program";
+    EXPECT_FALSE(
+        parseRequest("{\"kind\":\"explode\",\"program\":\"x\"}").ok());
+    EXPECT_FALSE(parseRequest("{\"kind\":\"compound\","
+                              "\"program\":\"x\",\"deadline_ms\":-1}")
+                     .ok());
+}
+
+TEST(Protocol, ParsesWorkAndIntrospectionRequests)
+{
+    Result<Request> r =
+        parseRequest(requestLine("42", "compound", kSmallProgram, 500));
+    ASSERT_TRUE(r.ok()) << r.diag().str();
+    EXPECT_EQ(r.value().id, "42");
+    EXPECT_EQ(r.value().kind, RequestKind::Compound);
+    EXPECT_EQ(r.value().deadlineMs, 500);
+
+    Result<Request> h = parseRequest("{\"kind\":\"health\"}");
+    ASSERT_TRUE(h.ok());
+    EXPECT_EQ(h.value().kind, RequestKind::Health);
+}
+
+// ---------------------------------------------------------------------
+// Circuit breaker state machine
+
+TEST(Breaker, TripHalfOpenReset)
+{
+    BreakerOptions opts;
+    opts.failureThreshold = 2;
+    opts.cooldownMs = 40;
+    CircuitBreaker b("test", opts);
+
+    EXPECT_TRUE(b.allow());
+    b.onFailure("boom 1");
+    EXPECT_TRUE(b.allow());
+    b.onFailure("boom 2");  // threshold reached: trips open
+
+    CircuitBreaker::Snapshot snap = b.snapshot();
+    EXPECT_EQ(snap.trips, 1);
+    EXPECT_FALSE(b.allow()) << "open breaker rejects";
+    EXPECT_GE(b.snapshot().rejected, 1);
+
+    std::this_thread::sleep_for(std::chrono::milliseconds(60));
+    EXPECT_TRUE(b.allow()) << "cooldown elapsed: half-open probe";
+    EXPECT_FALSE(b.allow()) << "only one probe in flight";
+
+    b.onSuccess();  // probe succeeded: closed again
+    snap = b.snapshot();
+    EXPECT_EQ(snap.resets, 1);
+    EXPECT_TRUE(b.allow());
+}
+
+TEST(Breaker, FailedProbeReopens)
+{
+    BreakerOptions opts;
+    opts.failureThreshold = 1;
+    opts.cooldownMs = 30;
+    CircuitBreaker b("test", opts);
+
+    b.onFailure("boom");
+    EXPECT_FALSE(b.allow());
+    std::this_thread::sleep_for(std::chrono::milliseconds(40));
+    EXPECT_TRUE(b.allow());  // probe
+    b.onFailure("probe failed");
+    EXPECT_FALSE(b.allow()) << "failed probe reopens immediately";
+    EXPECT_EQ(b.snapshot().trips, 2);
+}
+
+// ---------------------------------------------------------------------
+// Server
+
+ServeOptions
+quietOptions()
+{
+    ServeOptions opts;
+    opts.jobs = 2;
+    opts.writeIncidents = false;  // unit tests don't litter artifacts/
+    return opts;
+}
+
+TEST(Serve, HealthAndStatsBypassTheQueue)
+{
+    Server server(quietOptions());  // never started: no workers
+    Collector out;
+    server.handleLine("{\"id\":\"h\",\"kind\":\"health\"}", out.fn());
+    server.handleLine("{\"id\":\"s\",\"kind\":\"stats\"}", out.fn());
+
+    ASSERT_EQ(out.lines.size(), 2u);
+    json::Value health = out.parsed(0);
+    EXPECT_EQ(health.getString("type"), "health");
+    EXPECT_EQ(health.getString("status"), "ok");
+    ASSERT_NE(health.get("breakers"), nullptr);
+    ASSERT_NE(health.get("requests"), nullptr);
+
+    json::Value stats = out.parsed(1);
+    EXPECT_EQ(stats.getString("type"), "stats");
+    EXPECT_NE(stats.get("breakers"), nullptr);
+    EXPECT_NE(stats.get("registry"), nullptr);
+}
+
+TEST(Serve, MalformedLineGetsExactlyOneError)
+{
+    Server server(quietOptions());
+    Collector out;
+    server.handleLine("this is not json", out.fn());
+    server.handleLine("", out.fn());     // blank: ignored, no response
+    server.handleLine("  \t ", out.fn());
+
+    ASSERT_EQ(out.lines.size(), 1u);
+    EXPECT_EQ(out.parsed(0).getString("type"), "error");
+    EXPECT_EQ(out.parsed(0).getString("code"), "serve.request");
+}
+
+TEST(Serve, FullQueueShedsWithRetryAfter)
+{
+    ServeOptions opts = quietOptions();
+    opts.jobs = 1;
+    opts.queueCapacity = 2;
+    opts.retryAfterMs = 123;
+    Server server(opts);  // not started: the queue only fills
+
+    Collector out;
+    for (int i = 0; i < 4; ++i)
+        server.handleLine(requestLine("q" + std::to_string(i),
+                                      "analyze", kSmallProgram),
+                          out.fn());
+
+    // Two admitted silently, two shed immediately.
+    ASSERT_EQ(out.lines.size(), 2u);
+    for (size_t i = 0; i < out.lines.size(); ++i) {
+        json::Value v = out.parsed(i);
+        EXPECT_EQ(v.getString("type"), "overloaded");
+        EXPECT_EQ(v.getInt("retry_after_ms"), 123);
+    }
+    EXPECT_EQ(server.requestCounters().shed, 2u);
+    EXPECT_EQ(server.requestCounters().accepted, 2u);
+    EXPECT_EQ(server.queueDepth(), 2u);
+
+    // Draining answers the admitted requests: nothing is lost.
+    server.start();
+    server.drain();
+    ASSERT_EQ(out.lines.size(), 4u);
+    EXPECT_EQ(out.countType("result"), 2);
+    EXPECT_EQ(server.requestCounters().completed, 2u);
+}
+
+TEST(Serve, DrainLosesNoAcceptedRequests)
+{
+    ServeOptions opts = quietOptions();
+    opts.jobs = 3;
+    opts.queueCapacity = 64;
+    Server server(opts);
+    server.start();
+
+    Collector out;
+    const int kRequests = 12;
+    for (int i = 0; i < kRequests; ++i)
+        server.handleLine(requestLine("r" + std::to_string(i),
+                                      i % 2 ? "compound" : "analyze",
+                                      kSmallProgram),
+                          out.fn());
+    server.drain();
+
+    ASSERT_EQ(out.lines.size(), static_cast<size_t>(kRequests));
+    std::map<std::string, int> perId;
+    for (int i = 0; i < kRequests; ++i) {
+        json::Value v = out.parsed(i);
+        EXPECT_EQ(v.getString("type"), "result") << out.lines[i];
+        ++perId[v.getString("id")];
+    }
+    for (const auto &[id, n] : perId)
+        EXPECT_EQ(n, 1) << "duplicate terminal response for " << id;
+    EXPECT_EQ(perId.size(), static_cast<size_t>(kRequests));
+    EXPECT_EQ(server.requestCounters().completed,
+              static_cast<uint64_t>(kRequests));
+}
+
+TEST(Serve, DrainingServerCancelsNewWork)
+{
+    Server server(quietOptions());
+    server.start();
+    server.drain();
+
+    Collector out;
+    server.handleLine(requestLine("late", "analyze", kSmallProgram),
+                      out.fn());
+    ASSERT_EQ(out.lines.size(), 1u);
+    EXPECT_EQ(out.parsed(0).getString("type"), "cancelled");
+
+    // Introspection still works on a drained server.
+    server.handleLine("{\"id\":\"h\",\"kind\":\"health\"}", out.fn());
+    ASSERT_EQ(out.lines.size(), 2u);
+    EXPECT_EQ(out.parsed(1).getString("status"), "draining");
+}
+
+TEST(Serve, RequestDeadlineTimesOutAndIsReported)
+{
+    ServeOptions opts = quietOptions();
+    opts.jobs = 1;
+    Server server(opts);
+    server.start();
+
+    Collector out;
+    server.handleLine(requestLine("t", "simulate", kHeavyProgram, 1),
+                      out.fn());
+    server.drain();
+
+    ASSERT_EQ(out.lines.size(), 1u);
+    json::Value v = out.parsed(0);
+    EXPECT_EQ(v.getString("type"), "result");
+    EXPECT_EQ(v.getString("status"), "timeout") << out.lines[0];
+    ASSERT_NE(v.get("failures"), nullptr);
+    EXPECT_FALSE(v.get("failures")->items().empty());
+}
+
+TEST(Serve, OpenOptimizeBreakerDegradesToIdentity)
+{
+    ServeOptions opts = quietOptions();
+    opts.jobs = 1;
+    opts.breaker.cooldownMs = 60000;  // stays open for the whole test
+    Server server(opts);
+
+    // Trip the optimize breaker directly (threshold defaults to 3).
+    for (int i = 0; i < opts.breaker.failureThreshold; ++i)
+        server.breaker(Stage::Optimize).onFailure("induced");
+    ASSERT_FALSE(server.breaker(Stage::Optimize).allow());
+
+    server.start();
+    Collector out;
+    server.handleLine(requestLine("d", "compound", kSmallProgram),
+                      out.fn());
+    server.drain();
+
+    ASSERT_EQ(out.lines.size(), 1u);
+    json::Value v = out.parsed(0);
+    EXPECT_EQ(v.getString("type"), "result");
+    EXPECT_TRUE(v.getBool("degraded_by_breaker")) << out.lines[0];
+    EXPECT_EQ(v.getString("rung"), "identity") << out.lines[0];
+}
+
+TEST(Serve, OpenLoadBreakerRejectsRequests)
+{
+    ServeOptions opts = quietOptions();
+    opts.jobs = 1;
+    opts.breaker.cooldownMs = 60000;  // stays open for the whole test
+    Server server(opts);
+    for (int i = 0; i < opts.breaker.failureThreshold; ++i)
+        server.breaker(Stage::Load).onFailure("induced");
+
+    server.start();
+    Collector out;
+    server.handleLine(requestLine("x", "analyze", kSmallProgram),
+                      out.fn());
+    server.drain();
+
+    ASSERT_EQ(out.lines.size(), 1u);
+    json::Value v = out.parsed(0);
+    EXPECT_EQ(v.getString("type"), "error");
+    EXPECT_EQ(v.getString("code"), "serve.unavailable");
+}
+
+TEST(Serve, MixedCorpusGetsExactlyOneResponseEach)
+{
+    ServeOptions opts = quietOptions();
+    opts.jobs = 2;
+    opts.queueCapacity = 64;
+    Server server(opts);
+    server.start();
+
+    Collector out;
+    int expected = 0;
+    for (int i = 0; i < 8; ++i) {
+        server.handleLine(requestLine("m" + std::to_string(i),
+                                      "analyze", kSmallProgram),
+                          out.fn());
+        ++expected;
+    }
+    server.handleLine("garbage", out.fn());
+    ++expected;
+    server.handleLine("{\"id\":\"h\",\"kind\":\"health\"}", out.fn());
+    ++expected;
+    server.handleLine("", out.fn());  // blank: no response expected
+    server.drain();
+
+    EXPECT_EQ(out.lines.size(), static_cast<size_t>(expected));
+}
+
+} // namespace
+} // namespace serve
+} // namespace memoria
