@@ -68,10 +68,10 @@ benchMain()
         }
     }
     std::cout << costs.str();
-    std::cout << "\nmemory order: ";
+    std::string memOrder;
     for (Node *l : na.memoryOrder())
-        std::cout << model.varName(l->var);
-    std::cout << " (paper: JKI)\n";
+        memOrder += model.varName(l->var);
+    std::cout << "\nmemory order: " << memOrder << " (paper: JKI)\n";
 
     const std::vector<std::string> orders = {"JKI", "KJI", "JIK",
                                              "IJK", "KIJ", "IKJ"};
@@ -107,6 +107,11 @@ benchMain()
     std::cout << "\nmodel ranking matches simulated-cycle ranking: "
               << (monotone ? "yes" : "approximately (see table)")
               << "\n";
+    if (memOrder != "JKI") {
+        std::cout << "FAIL: memory order is " << memOrder
+                  << ", paper expects JKI\n";
+        return 1;
+    }
     return 0;
 }
 

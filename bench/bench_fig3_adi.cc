@@ -50,8 +50,8 @@ benchMain()
     Program opt = makeAdiScalarized(128);
     compoundTransform(opt, paperModel());
     std::cout << printProgram(opt);
-    std::cout << "semantics preserved: "
-              << (runChecksum(opt) == runChecksum(dist) ? "yes" : "NO")
+    bool preserved = runChecksum(opt) == runChecksum(dist);
+    std::cout << "semantics preserved: " << (preserved ? "yes" : "NO")
               << "\n";
 
     banner("Simulated caches (N = 128)");
@@ -69,6 +69,11 @@ benchMain()
         }
     }
     std::cout << sim.str();
+    if (!preserved) {
+        std::cout << "\nFAIL: Compound changed the semantics of the "
+                     "scalarized ADI nest\n";
+        return 1;
+    }
     return 0;
 }
 

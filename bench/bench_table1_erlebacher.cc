@@ -28,11 +28,10 @@ benchMain()
     FuseStats fs = fuseSiblings(fusedP, fusedP.body, {}, paperModel(),
                                 true);
 
+    bool preserved = runChecksum(fusedP) == runChecksum(dist);
     std::cout << "fusion: " << fs.fused << " of " << fs.candidates
               << " candidate nests fused; semantics preserved: "
-              << (runChecksum(fusedP) == runChecksum(dist) ? "yes"
-                                                           : "NO")
-              << "\n";
+              << (preserved ? "yes" : "NO") << "\n";
 
     banner("Table 1: Erlebacher (simulated, N = 24)");
     TextTable t({"version", "cache", "cycles", "hit% (warm)",
@@ -58,6 +57,11 @@ benchMain()
                  "per iteration) can overflow and lose — exactly the "
                  "conflict/capacity caveat Section 5.5 reports for "
                  "Track, Dnasa7 and Wave.\n";
+    if (!preserved) {
+        std::cout << "FAIL: fusion changed the semantics of the "
+                     "distributed Erlebacher program\n";
+        return 1;
+    }
     return 0;
 }
 

@@ -9,6 +9,9 @@
  * larger inside the optimized procedures and on the smaller cache.
  */
 
+#include <utility>
+#include <vector>
+
 #include "common.hh"
 #include "suite/corpus.hh"
 
@@ -26,6 +29,12 @@ benchMain()
     CacheConfig c1 = CacheConfig::rs6000();
     CacheConfig c2 = CacheConfig::i860();
 
+    // Both configurations are fed from one interpreter pass per program
+    // version; the first program cross-checks the shared sweep against
+    // independent per-config simulations.
+    bool checkedSweep = false;
+    bool sweepOk = true;
+
     std::string group;
     for (const auto &spec : corpusSpecs()) {
         if (spec.nests == 0)
@@ -36,8 +45,21 @@ benchMain()
         }
         Program p = buildCorpusProgram(spec, 32);
         OptimizedProgram opt = optimizeProgram(p, paperModel());
-        HitRates r1 = simulateHitRates(opt, c1);
-        HitRates r2 = simulateHitRates(opt, c2);
+        std::vector<HitRates> rates = simulateHitRatesSweep(opt, {c1, c2});
+        HitRates r1 = rates[0];
+        HitRates r2 = rates[1];
+        if (!checkedSweep) {
+            checkedSweep = true;
+            for (auto pair : {std::make_pair(c1, r1),
+                              std::make_pair(c2, r2)}) {
+                HitRates direct = simulateHitRates(opt, pair.first);
+                sweepOk = sweepOk &&
+                          direct.optOrig == pair.second.optOrig &&
+                          direct.optFinal == pair.second.optFinal &&
+                          direct.wholeOrig == pair.second.wholeOrig &&
+                          direct.wholeFinal == pair.second.wholeFinal;
+            }
+        }
         t.addRow({spec.name, TextTable::num(r1.optOrig, 1),
                   TextTable::num(r1.optFinal, 1),
                   TextTable::num(r2.optOrig, 1),
@@ -52,6 +74,13 @@ benchMain()
                  "barely moved on the 64KB cache; the 8KB cache and "
                  "the optimized procedures show the real gains (e.g. "
                  "arc2d 68.3 -> 91.9 on cache2).\n";
+    std::cout << "shared-sweep vs per-config cross-check: "
+              << (sweepOk ? "identical" : "MISMATCH") << "\n";
+    if (!sweepOk) {
+        std::cout << "FAIL: multi-config sweep disagrees with "
+                     "per-config simulation\n";
+        return 1;
+    }
     return 0;
 }
 

@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Compare two BENCH.json reports and gate on regressions.
+
+Usage:
+    bench_compare.py BASELINE.json PR.json [--max-regress PCT]
+
+Work counters (accesses, interpreter passes, iterations, ...) are
+deterministic, so a counter that grows beyond the allowance is a hard
+failure — it means an algorithmic regression (e.g. the sweep fell back
+to one interpreter pass per config). Wall-clock medians are noisy on
+shared CI runners, so time regressions only emit GitHub warning
+annotations; they never fail the job.
+
+Exit status: 0 = clean or time-warnings only; 1 = counter regression,
+missing benchmark, or malformed report.
+"""
+
+import argparse
+import json
+import sys
+
+SCHEMA = "memoria-bench-v1"
+
+
+def load(path):
+    with open(path) as f:
+        report = json.load(f)
+    if report.get("schema") != SCHEMA:
+        raise SystemExit(
+            f"{path}: schema {report.get('schema')!r} != {SCHEMA!r}"
+        )
+    return report
+
+
+def index(report):
+    return {b["name"]: b for b in report.get("benchmarks", [])}
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline")
+    ap.add_argument("pr")
+    ap.add_argument(
+        "--max-regress",
+        type=float,
+        default=25.0,
+        metavar="PCT",
+        help="allowed growth in % for counters and the time-warning "
+        "threshold (default: 25)",
+    )
+    args = ap.parse_args()
+
+    base = index(load(args.baseline))
+    pr = index(load(args.pr))
+    allow = 1.0 + args.max_regress / 100.0
+
+    failures = []
+    warnings = []
+
+    for name, b in sorted(base.items()):
+        p = pr.get(name)
+        if p is None:
+            failures.append(f"benchmark '{name}' missing from PR report")
+            continue
+
+        for counter, bval in sorted(b.get("counters", {}).items()):
+            pval = p.get("counters", {}).get(counter)
+            if pval is None:
+                failures.append(f"{name}: counter '{counter}' missing")
+                continue
+            if bval > 0 and pval > bval * allow:
+                failures.append(
+                    f"{name}: counter '{counter}' regressed "
+                    f"{bval} -> {pval} "
+                    f"(+{(pval / bval - 1) * 100:.1f}%, "
+                    f"allowed +{args.max_regress:.0f}%)"
+                )
+            elif bval == 0 and pval > 0:
+                failures.append(
+                    f"{name}: counter '{counter}' regressed 0 -> {pval}"
+                )
+
+        bms = b.get("wall_ms", {}).get("median")
+        pms = p.get("wall_ms", {}).get("median")
+        if bms and pms and pms > bms * allow:
+            warnings.append(
+                f"{name}: median wall time {bms:.2f}ms -> {pms:.2f}ms "
+                f"(+{(pms / bms - 1) * 100:.1f}%) — advisory only"
+            )
+
+    for name in sorted(set(pr) - set(base)):
+        print(f"note: new benchmark '{name}' (no baseline)")
+
+    for w in warnings:
+        print(f"::warning title=bench time regression::{w}")
+        print(f"WARN: {w}")
+    for f in failures:
+        print(f"FAIL: {f}")
+
+    if failures:
+        print(f"\n{len(failures)} hard failure(s); "
+              "refresh BENCH_baseline.json only for intentional changes "
+              "(see docs/PERFORMANCE.md).")
+        return 1
+    print(f"bench compare OK: {len(base)} benchmarks, "
+          f"{len(warnings)} time warning(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

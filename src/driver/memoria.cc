@@ -241,26 +241,42 @@ optimizeProgram(const Program &input, const ModelParams &params,
 HitRates
 simulateHitRates(const OptimizedProgram &opt, const CacheConfig &config)
 {
+    return simulateHitRatesSweep(opt, {config}).front();
+}
+
+std::vector<HitRates>
+simulateHitRatesSweep(const OptimizedProgram &opt,
+                      const std::vector<CacheConfig> &configs)
+{
     obs::TraceScope span("driver", "simulate_hit_rates");
     span.arg("program", opt.original.name);
-    span.arg("cache", config.name);
+    span.arg("configs", static_cast<uint64_t>(configs.size()));
 
-    HitRates rates;
-    rates.wholeOrig =
-        runWithCache(opt.original, config).cache.hitRateWarm();
-    rates.wholeFinal =
-        runWithCache(opt.transformed, config).cache.hitRateWarm();
+    std::vector<HitRates> rates(configs.size());
+    if (configs.empty())
+        return rates;
+
+    // One interpreter pass per program version feeds every config.
+    SweepResult wholeOrig = runWithCaches(opt.original, configs);
+    SweepResult wholeFinal = runWithCaches(opt.transformed, configs);
+    for (size_t i = 0; i < configs.size(); ++i) {
+        rates[i].wholeOrig = wholeOrig.cache[i].hitRateWarm();
+        rates[i].wholeFinal = wholeFinal.cache[i].hitRateWarm();
+    }
     if (opt.anyChanged) {
-        rates.optOrig =
-            runWithCache(opt.origOpt, config).cache.hitRateWarm();
-        rates.optFinal =
-            runWithCache(opt.finalOpt, config).cache.hitRateWarm();
+        SweepResult optOrig = runWithCaches(opt.origOpt, configs);
+        SweepResult optFinal = runWithCaches(opt.finalOpt, configs);
+        for (size_t i = 0; i < configs.size(); ++i) {
+            rates[i].optOrig = optOrig.cache[i].hitRateWarm();
+            rates[i].optFinal = optFinal.cache[i].hitRateWarm();
+        }
     } else {
-        rates.optOrig = rates.optFinal = rates.wholeOrig;
+        for (HitRates &r : rates)
+            r.optOrig = r.optFinal = r.wholeOrig;
     }
     if (span.active()) {
-        span.arg("whole_orig_hit_pct", rates.wholeOrig);
-        span.arg("whole_final_hit_pct", rates.wholeFinal);
+        span.arg("whole_orig_hit_pct", rates.front().wholeOrig);
+        span.arg("whole_final_hit_pct", rates.front().wholeFinal);
     }
     return rates;
 }

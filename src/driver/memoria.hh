@@ -128,6 +128,20 @@ struct HitRates
 HitRates simulateHitRates(const OptimizedProgram &opt,
                           const CacheConfig &config);
 
+/**
+ * Simulate one optimized program against several cache configurations
+ * in a single sweep (interp::runWithCaches): each program version —
+ * whole original, whole transformed, and the optimized-nests
+ * sub-programs when any nest changed — is interpreted **once** and its
+ * access stream feeds every configuration in lockstep. Returns one
+ * HitRates per configuration, in order. Counters match independent
+ * simulateHitRates calls exactly; only the interpreter passes (the
+ * expensive part, ×N configs before) are shared.
+ */
+std::vector<HitRates> simulateHitRatesSweep(
+    const OptimizedProgram &opt,
+    const std::vector<CacheConfig> &configs);
+
 /** Simulated performance (Tables 1 and 3). */
 struct Performance
 {

@@ -104,36 +104,53 @@ runPipeline(const Program &prog, const BatchOptions &opts,
     lopts.backoffBaseMs = opts.backoffBaseMs;
     lopts.backoffCapMs = opts.backoffCapMs;
 
-    const CacheConfig cacheCfg = CacheConfig::i860();
+    std::vector<CacheConfig> cacheCfgs = opts.cacheConfigs;
+    if (cacheCfgs.empty())
+        cacheCfgs.push_back(CacheConfig::i860());
 
     LadderOutcome lr = runLadder(lopts, [&](AttemptContext &ctx) {
         out.simulated = false;
+        out.sims.clear();
         out.nests.clear();
 
         OptimizedProgram attempt =
             optimizeProgram(prog, opts.params, ctx.pipeline);
 
         if (opts.simulate) {
-            // The reference faulting is an input problem — no rung can
-            // fix it, so bypass the ladder entirely.
-            Result<RunResult> orig =
-                tryRunWithCache(attempt.original, cacheCfg);
+            // One interpreter pass per program version feeds every
+            // configuration (cachesim/sweep.hh). The reference
+            // faulting is an input problem — no rung can fix it, so
+            // bypass the ladder entirely.
+            Result<SweepResult> orig =
+                tryRunWithCaches(attempt.original, cacheCfgs);
             if (!orig.ok())
                 throw InputError{orig.diag()};
-            Result<RunResult> fin =
-                tryRunWithCache(attempt.transformed, cacheCfg);
+            Result<SweepResult> fin =
+                tryRunWithCaches(attempt.transformed, cacheCfgs);
             if (!fin.ok())
                 throw std::runtime_error(
                     "transformed program faulted in simulation: " +
                     fin.diag().str());
 
-            fin.value().cache.checkConsistent();
             out.simulated = true;
-            out.accesses = fin.value().cache.accesses;
-            out.hits = fin.value().cache.hits;
-            out.misses = fin.value().cache.misses;
-            out.hitWarmOrig = orig.value().cache.hitRateWarm();
-            out.hitWarmFinal = fin.value().cache.hitRateWarm();
+            for (size_t i = 0; i < cacheCfgs.size(); ++i) {
+                const CacheStats &fc = fin.value().cache[i];
+                fc.checkConsistent();
+                ProgramOutcome::SimOutcome sim;
+                sim.cache = cacheCfgs[i].name;
+                sim.accesses = fc.accesses;
+                sim.hits = fc.hits;
+                sim.misses = fc.misses;
+                sim.hitWarmOrig =
+                    orig.value().cache[i].hitRateWarm();
+                sim.hitWarmFinal = fc.hitRateWarm();
+                out.sims.push_back(std::move(sim));
+            }
+            out.accesses = out.sims.front().accesses;
+            out.hits = out.sims.front().hits;
+            out.misses = out.sims.front().misses;
+            out.hitWarmOrig = out.sims.front().hitWarmOrig;
+            out.hitWarmFinal = out.sims.front().hitWarmFinal;
         }
 
         out.loops = attempt.compound.totalLoops;
@@ -348,6 +365,21 @@ BatchReport::toJson() const
                << ",\"hits\":" << p.hits << ",\"misses\":" << p.misses
                << ",\"hit_warm_orig\":" << jnum(p.hitWarmOrig)
                << ",\"hit_warm_final\":" << jnum(p.hitWarmFinal) << "}";
+            os << ",\"sims\":[";
+            first = true;
+            for (const ProgramOutcome::SimOutcome &s : p.sims) {
+                if (!first)
+                    os << ",";
+                first = false;
+                os << "{\"cache\":" << jstr(s.cache)
+                   << ",\"accesses\":" << s.accesses
+                   << ",\"hits\":" << s.hits
+                   << ",\"misses\":" << s.misses
+                   << ",\"hit_warm_orig\":" << jnum(s.hitWarmOrig)
+                   << ",\"hit_warm_final\":" << jnum(s.hitWarmFinal)
+                   << "}";
+            }
+            os << "]";
         }
         os << "}";
     }

@@ -33,6 +33,7 @@
 #include <string>
 #include <vector>
 
+#include "cachesim/cache.hh"
 #include "check/diag.hh"
 #include "harness/ladder.hh"
 #include "ir/program.hh"
@@ -74,10 +75,20 @@ struct BatchOptions
     /** Worker threads. */
     int jobs = 1;
 
-    /** Simulate survivors against the i860 cache configuration and
-     *  report warm hit rates. Part of each ladder attempt, so a
-     *  faulting or overlong simulation also degrades/contains. */
+    /** Simulate survivors and report warm hit rates. Part of each
+     *  ladder attempt, so a faulting or overlong simulation also
+     *  degrades/contains. */
     bool simulate = true;
+
+    /**
+     * Cache configurations simulated per survivor. All configurations
+     * are fed from **one** interpreter pass per program version
+     * (cachesim/sweep.hh), so adding a second geometry costs only the
+     * cache model, not a second execution. The first entry is the
+     * primary: its counters populate the legacy scalar fields of
+     * ProgramOutcome and the top-level `sim` JSON object.
+     */
+    std::vector<CacheConfig> cacheConfigs{CacheConfig::i860()};
 
     /** Ladder backoff after faults (see LadderOptions). */
     int backoffBaseMs = 5;
@@ -140,13 +151,28 @@ struct ProgramOutcome
     int loops = 0;
     std::vector<NestOutcome> nests;
 
-    /** Simulation results (valid when simulated). */
+    /** Per-configuration simulation result (transformed program;
+     *  hit_warm_* compare original vs transformed). */
+    struct SimOutcome
+    {
+        std::string cache;  ///< CacheConfig::name
+        uint64_t accesses = 0;
+        uint64_t hits = 0;
+        uint64_t misses = 0;
+        double hitWarmOrig = 0.0;
+        double hitWarmFinal = 0.0;
+    };
+
+    /** Simulation results (valid when simulated). The scalar fields
+     *  mirror sims.front() — the primary configuration — for report
+     *  stability; `sims` carries every swept configuration. */
     bool simulated = false;
     uint64_t accesses = 0;
     uint64_t hits = 0;
     uint64_t misses = 0;
     double hitWarmOrig = 0.0;
     double hitWarmFinal = 0.0;
+    std::vector<SimOutcome> sims;
 
     /** Contained failure of any kind (sweeps count these). */
     bool

@@ -332,6 +332,17 @@ Interpreter::run(MemoryListener *listener)
     return Status{};
 }
 
+Status
+Interpreter::runBatched(AccessBatchSink *sink)
+{
+    if (!sink)
+        return run(nullptr);
+    BatchingListener listener(*sink);
+    Status st = run(&listener);
+    listener.flush();
+    return st;
+}
+
 const std::vector<double> &
 Interpreter::arrayData(ArrayId a) const
 {
@@ -404,6 +415,62 @@ tryRunWithCache(const Program &prog, const CacheConfig &config,
         span.arg("misses", r.cache.misses);
         span.arg("evictions", r.cache.evictions);
         span.arg("cycles", r.cycles);
+    }
+    return r;
+}
+
+SweepResult
+runWithCaches(const Program &prog,
+              const std::vector<CacheConfig> &configs,
+              const MachineModel &machine)
+{
+    Result<SweepResult> r = tryRunWithCaches(prog, configs, machine);
+    MEMORIA_ASSERT(r.ok(), "runWithCaches on faulting program: "
+                               << r.diag().str());
+    return r.value();
+}
+
+Result<SweepResult>
+tryRunWithCaches(const Program &prog,
+                 const std::vector<CacheConfig> &configs,
+                 const MachineModel &machine)
+{
+    obs::TraceScope span("interp", "run_with_caches");
+    span.arg("program", prog.name);
+    span.arg("configs", static_cast<uint64_t>(configs.size()));
+
+    Interpreter interp(prog);
+    MultiCacheSim sim(configs);
+    Status st = interp.runBatched(&sim);
+    if (!st.ok()) {
+        if (span.active())
+            span.arg("fault", st.diag().str());
+        return Result<SweepResult>::err(st.diag());
+    }
+
+    static obs::Counter &cSweeps = obs::counter("interp.sweep_runs");
+    static obs::Counter &cConfigs = obs::counter("interp.sweep_configs");
+    ++cSweeps;
+    cConfigs += configs.size();
+
+    SweepResult r;
+    r.exec = interp.stats();
+    r.checksum = interp.checksum();
+    r.cache.reserve(configs.size());
+    r.cycles.reserve(configs.size());
+    for (size_t i = 0; i < sim.configCount(); ++i) {
+        sim.cache(i).publishStats();
+        const CacheStats &cs = sim.stats(i);
+        cs.checkConsistent();
+        r.cache.push_back(cs);
+        r.cycles.push_back(machine.cyclesPerStmt * r.exec.stmtsExecuted +
+                           machine.cyclesPerRef * r.exec.memRefs +
+                           machine.missPenalty * cs.misses);
+    }
+    if (span.active()) {
+        span.arg("mem_refs", r.exec.memRefs);
+        for (size_t i = 0; i < r.cache.size(); ++i)
+            span.arg("misses_" + std::to_string(i), r.cache[i].misses);
     }
     return r;
 }

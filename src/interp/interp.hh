@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "cachesim/cache.hh"
+#include "cachesim/sweep.hh"
 #include "check/diag.hh"
 #include "ir/program.hh"
 
@@ -67,6 +68,15 @@ class Interpreter
      * they must not terminate the process (docs/ROBUSTNESS.md).
      */
     Status run(MemoryListener *listener = nullptr);
+
+    /**
+     * Execute the whole program, delivering accesses to `sink` in
+     * batches (cachesim/sweep.hh) instead of one virtual call per
+     * reference. The trailing partial batch is flushed even when the
+     * run faults, so the sink's counters always reflect the stream up
+     * to the fault. Null sink behaves like run(nullptr).
+     */
+    Status runBatched(AccessBatchSink *sink);
 
     /** Raw data of one array (valid after construction). */
     const std::vector<double> &arrayData(ArrayId a) const;
@@ -128,6 +138,33 @@ RunResult runWithCache(const Program &prog, const CacheConfig &config,
  *  batch driver uses this so one bad program cannot abort the pool. */
 Result<RunResult> tryRunWithCache(
     const Program &prog, const CacheConfig &config,
+    const MachineModel &machine = MachineModel{});
+
+/** Result of one execution simulated against several caches at once. */
+struct SweepResult
+{
+    ExecStats exec;
+    /** Per-config counters, parallel to the `configs` argument. */
+    std::vector<CacheStats> cache;
+    /** Per-config modeled cycles, parallel to `configs`. */
+    std::vector<double> cycles;
+    uint64_t checksum = 0;
+};
+
+/**
+ * Run a program once and simulate every configuration in `configs`
+ * from that single interpreter pass (cachesim/sweep.hh). Counters are
+ * identical to per-config runWithCache calls; the interpreter — the
+ * expensive part — executes once instead of N times. Panics on a
+ * program fault; use tryRunWithCaches for untrusted programs.
+ */
+SweepResult runWithCaches(const Program &prog,
+                          const std::vector<CacheConfig> &configs,
+                          const MachineModel &machine = MachineModel{});
+
+/** Checked variant: a faulting program reports a Diag instead. */
+Result<SweepResult> tryRunWithCaches(
+    const Program &prog, const std::vector<CacheConfig> &configs,
     const MachineModel &machine = MachineModel{});
 
 /** Run without a cache, for semantics checks only. Panics on a

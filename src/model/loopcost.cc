@@ -47,6 +47,34 @@ NestAnalysis::NestAnalysis(const Program &prog, Node *root,
     }
 }
 
+const std::vector<SpatialPair> &
+NestAnalysis::spatialPairs() const
+{
+    if (!spatialReady_) {
+        spatialPairs_ = computeSpatialPairs(prog_, refs_, params_);
+        spatialReady_ = true;
+    }
+    return spatialPairs_;
+}
+
+const NestAnalysis::ScopedRefs &
+NestAnalysis::scopedRefs(const Node *inner) const
+{
+    auto it = scopedRefsCache_.find(inner);
+    if (it != scopedRefsCache_.end())
+        return it->second;
+
+    ScopedRefs sr;
+    for (size_t i = 0; i < refs_.size(); ++i) {
+        if (!refs_[i].loops.empty() && refs_[i].loops.back() == inner) {
+            sr.refIndices.push_back(static_cast<int>(i));
+            sr.subset.push_back(refs_[i]);
+        }
+    }
+    sr.spatial = computeSpatialPairs(prog_, sr.subset, params_);
+    return scopedRefsCache_.emplace(inner, std::move(sr)).first->second;
+}
+
 const NestAnalysis::ScopedGroups &
 NestAnalysis::groupsWithin(const Node *candidate, const Node *inner) const
 {
@@ -55,16 +83,11 @@ NestAnalysis::groupsWithin(const Node *candidate, const Node *inner) const
     if (it != scopedCache_.end())
         return it->second;
 
+    const ScopedRefs &sr = scopedRefs(inner);
     ScopedGroups sg;
-    std::vector<NestRef> subset;
-    for (size_t i = 0; i < refs_.size(); ++i) {
-        if (!refs_[i].loops.empty() && refs_[i].loops.back() == inner) {
-            sg.refIndices.push_back(static_cast<int>(i));
-            subset.push_back(refs_[i]);
-        }
-    }
-    sg.groups = computeRefGroups(prog_, subset, graph_.edges(), candidate,
-                                 params_);
+    sg.refIndices = sr.refIndices;
+    sg.groups = computeRefGroups(prog_, sr.subset, graph_.edges(),
+                                 candidate, params_, &sr.spatial);
     static obs::Counter &cComputed =
         obs::counter("model.refgroup.computations");
     static obs::Counter &cFormed =
@@ -82,7 +105,8 @@ NestAnalysis::groups(const Node *candidate) const
         it = groupCache_
                  .emplace(candidate,
                           computeRefGroups(prog_, refs_, graph_.edges(),
-                                           candidate, params_))
+                                           candidate, params_,
+                                           &spatialPairs()))
                  .first;
         static obs::Counter &cComputed =
             obs::counter("model.refgroup.computations");

@@ -107,10 +107,25 @@ class NestAnalysis
     std::vector<NestRef> refs_;
     DependenceGraph graph_;
     TripModel tripModel_;
+    /** Candidate-independent state for one statement sub-nest: the
+     *  subset of refs_ bottoming out at `inner` plus its spatial
+     *  pairs, computed once and shared across every candidate loop. */
+    struct ScopedRefs
+    {
+        std::vector<int> refIndices;
+        std::vector<NestRef> subset;
+        std::vector<SpatialPair> spatial;
+    };
+    const ScopedRefs &scopedRefs(const Node *inner) const;
+    const std::vector<SpatialPair> &spatialPairs() const;
+
     mutable std::map<const Node *, std::vector<RefGroup>> groupCache_;
     mutable std::map<std::pair<const Node *, const Node *>, ScopedGroups>
         scopedCache_;
     mutable std::map<const Node *, Poly> costCache_;
+    mutable std::map<const Node *, ScopedRefs> scopedRefsCache_;
+    mutable bool spatialReady_ = false;
+    mutable std::vector<SpatialPair> spatialPairs_;
 };
 
 /**

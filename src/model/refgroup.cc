@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "support/logging.hh"
+#include "support/stats.hh"
 
 namespace memoria {
 
@@ -112,10 +113,32 @@ groupSpatial(const Program &prog, const ArrayRef &a, const ArrayRef &b,
 
 } // namespace
 
+std::vector<SpatialPair>
+computeSpatialPairs(const Program &prog, const std::vector<NestRef> &refs,
+                    const ModelParams &params)
+{
+    static obs::Counter &cScans =
+        obs::counter("model.refgroup.spatial_scans");
+    ++cScans;
+    std::vector<SpatialPair> out;
+    for (size_t i = 0; i < refs.size(); ++i) {
+        for (size_t j = i + 1; j < refs.size(); ++j) {
+            int64_t diff = 0;
+            if (groupSpatial(prog, *refs[i].ref, *refs[j].ref,
+                             params.lineBytes, &diff)) {
+                out.push_back({static_cast<int>(i), static_cast<int>(j),
+                               diff != 0});
+            }
+        }
+    }
+    return out;
+}
+
 std::vector<RefGroup>
 computeRefGroups(const Program &prog, const std::vector<NestRef> &refs,
                  const std::vector<DepEdge> &edges, const Node *candidate,
-                 const ModelParams &params)
+                 const ModelParams &params,
+                 const std::vector<SpatialPair> *spatialPairs)
 {
     UnionFind uf(refs.size());
     std::map<const ArrayRef *, int> indexOf;
@@ -137,17 +160,18 @@ computeRefGroups(const Program &prog, const std::vector<NestRef> &refs,
     }
 
     // Condition 2: group-spatial reuse (same line via first subscript).
-    for (size_t i = 0; i < refs.size(); ++i) {
-        for (size_t j = i + 1; j < refs.size(); ++j) {
-            int64_t diff = 0;
-            if (groupSpatial(prog, *refs[i].ref, *refs[j].ref,
-                             params.lineBytes, &diff)) {
-                uf.unite(static_cast<int>(i), static_cast<int>(j));
-                if (diff != 0) {
-                    spatialJoin[i] = true;
-                    spatialJoin[j] = true;
-                }
-            }
+    // The pair scan is candidate-independent; reuse the caller's
+    // precomputed pairs when available.
+    std::vector<SpatialPair> localPairs;
+    if (!spatialPairs) {
+        localPairs = computeSpatialPairs(prog, refs, params);
+        spatialPairs = &localPairs;
+    }
+    for (const SpatialPair &p : *spatialPairs) {
+        uf.unite(p.a, p.b);
+        if (p.nonzeroDiff) {
+            spatialJoin[p.a] = true;
+            spatialJoin[p.b] = true;
         }
     }
 

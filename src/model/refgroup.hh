@@ -45,17 +45,42 @@ struct RefGroup
     bool groupSpatial = false;
 };
 
+/** One candidate-independent group-spatial pair (condition 2). */
+struct SpatialPair
+{
+    /** Indices into the reference list the pair was computed over. */
+    int a = 0;
+    int b = 0;
+    /** True when the first subscripts differ (the members can sit on
+     *  distinct elements of the same cache line). */
+    bool nonzeroDiff = false;
+};
+
+/**
+ * The candidate-independent half of the RefGroup partition: every pair
+ * of references exhibiting group-spatial reuse. The scan is O(n^2) in
+ * the reference count and does not depend on the candidate loop, so
+ * callers evaluating many candidates over one reference set should
+ * compute the pairs once and pass them to computeRefGroups.
+ */
+std::vector<SpatialPair>
+computeSpatialPairs(const Program &prog, const std::vector<NestRef> &refs,
+                    const ModelParams &params);
+
 /**
  * Partition `refs` into reference groups with respect to `candidate`.
  *
  * `edges` must be the dependence edges among the scope's statements
  * (input dependences included); cls is taken per-array from
- * params.lineBytes / element size.
+ * params.lineBytes / element size. When `spatialPairs` is non-null it
+ * must be the result of computeSpatialPairs over the same `refs`; when
+ * null the pairs are computed in place.
  */
 std::vector<RefGroup>
 computeRefGroups(const Program &prog, const std::vector<NestRef> &refs,
                  const std::vector<DepEdge> &edges, const Node *candidate,
-                 const ModelParams &params);
+                 const ModelParams &params,
+                 const std::vector<SpatialPair> *spatialPairs = nullptr);
 
 } // namespace memoria
 

@@ -182,6 +182,8 @@ Server::process(const Job &job)
         bopts.budget.deadlineMs =
             std::min(req.deadlineMs, opts_.maxDeadlineMs);
     bopts.params = opts_.params;
+    if (!opts_.cacheConfigs.empty())
+        bopts.cacheConfigs = opts_.cacheConfigs;
     bopts.simulate =
         req.simulate.value_or(req.kind == RequestKind::Simulate);
     if (req.kind == RequestKind::Analyze) {

@@ -89,6 +89,11 @@ struct ServeOptions
 
     BreakerOptions breaker;
     ModelParams params;
+
+    /** Cache geometries the simulate stage sweeps — all fed from one
+     *  interpreter pass per program version (cachesim/sweep.hh).
+     *  Empty means the batch driver's default (i860). */
+    std::vector<CacheConfig> cacheConfigs;
 };
 
 /** The service. Construct, `start()`, feed lines, `drain()`. */

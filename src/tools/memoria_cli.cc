@@ -15,6 +15,7 @@
  *   memoria batch [programs...]        resilient batch pipeline
  *   memoria serve [--port N] [--socket P]  long-running compile service
  *   memoria reduce <bundle|file>       re-minimize a failure offline
+ *   memoria bench [--json]             pipeline microbenchmarks
  *   memoria version                    build identity
  *
  * `memoria batch` runs the whole pipeline over many programs with
@@ -32,6 +33,18 @@
  *   --fault-sweep          arm every site in turn; verify containment
  *   --list-faults          print the registered fault-site catalog
  *   --incidents            minimize contained failures into bundles
+ *   --caches NAMES         cache geometries to sweep per survivor:
+ *                          i860 (default), rs6000, or both — all fed
+ *                          from one interpreter pass per program
+ *
+ * `memoria bench` times the pipeline's hot paths (parse, validate,
+ * Compound, oracle, simulation, the multi-config sweep, an end-to-end
+ * corpus batch) with warmup and repetition; see docs/PERFORMANCE.md:
+ *
+ *   --reps N               timed repetitions per benchmark (default 5)
+ *   --warmup N             untimed warmup repetitions (default 1)
+ *   --filter S             run benchmarks whose name contains S
+ *   --json                 emit the stable BENCH.json schema
  *
  * `memoria serve` reads JSON-lines requests from stdin (or serves TCP /
  * Unix-socket clients with --port / --socket) and answers each with
@@ -96,6 +109,7 @@
 
 #include "cachesim/reuse.hh"
 #include "driver/fuzzcheck.hh"
+#include "perf/bench.hh"
 #include "frontend/parser.hh"
 #include "harness/batch.hh"
 #include "harness/fault.hh"
@@ -373,6 +387,12 @@ struct Options
     std::string faultSpec;        ///< --fault SPEC
     bool faultSweep = false;      ///< --fault-sweep
     bool listFaults = false;      ///< --list-faults
+    std::string caches;           ///< --caches i860|rs6000|both
+
+    // bench
+    int benchReps = 5;            ///< --reps
+    int benchWarmup = 1;          ///< --warmup
+    std::string benchFilter;      ///< --filter
 
     // incidents (batch/fuzz/serve/reduce)
     bool incidents = false;       ///< batch: --incidents
@@ -426,6 +446,18 @@ parseArgs(int argc, char **argv)
              }},
             {"--fault",
              [&](const std::string &v) { opts.faultSpec = v; }},
+            {"--caches",
+             [&](const std::string &v) { opts.caches = v; }},
+            {"--reps",
+             [&](const std::string &v) {
+                 opts.benchReps = std::atoi(v.c_str());
+             }},
+            {"--warmup",
+             [&](const std::string &v) {
+                 opts.benchWarmup = std::atoi(v.c_str());
+             }},
+            {"--filter",
+             [&](const std::string &v) { opts.benchFilter = v; }},
             {"--incidents-dir",
              [&](const std::string &v) { opts.incidentsDir = v; }},
             {"--max-checks",
@@ -544,16 +576,69 @@ usageText()
         "[--max-ir-nodes N]\n"
         "               [--json] [--fault SPEC] [--fault-sweep] "
         "[--list-faults]\n"
-        "               [--incidents] [--incidents-dir DIR]\n"
+        "               [--incidents] [--incidents-dir DIR] "
+        "[--caches i860|rs6000|both]\n"
         "       memoria serve [--jobs N] [--queue N] [--deadline-ms N]"
         " [--port N]\n"
         "               [--host H] [--socket PATH] [--allow-faults]"
         " [--no-incidents]\n"
         "       memoria reduce <bundle-dir|file.mem> [--deadline-ms N]"
         " [--max-checks N]\n"
+        "       memoria bench [--reps N] [--warmup N] [--filter S] "
+        "[--json]\n"
         "       memoria version | --version\n"
         "       memoria --help\n"
         "exit codes: 0 ok, 1 pipeline failure, 2 usage error\n";
+}
+
+/**
+ * Parse --caches: "i860", "rs6000", "both", or a comma-separated list
+ * of those names. Empty result means "unrecognized".
+ */
+std::vector<CacheConfig>
+parseCacheConfigs(const std::string &spec)
+{
+    std::vector<CacheConfig> configs;
+    std::stringstream ss(spec);
+    std::string item;
+    while (std::getline(ss, item, ',')) {
+        if (item == "i860") {
+            configs.push_back(CacheConfig::i860());
+        } else if (item == "rs6000") {
+            configs.push_back(CacheConfig::rs6000());
+        } else if (item == "both") {
+            configs.push_back(CacheConfig::rs6000());
+            configs.push_back(CacheConfig::i860());
+        } else {
+            return {};
+        }
+    }
+    return configs;
+}
+
+int
+cmdBench(const Options &opts)
+{
+    if (opts.benchReps <= 0 || opts.benchWarmup < 0) {
+        std::cerr << "memoria bench: --reps must be positive and "
+                     "--warmup non-negative\n";
+        return 2;
+    }
+    perf::BenchOptions bopts;
+    bopts.reps = opts.benchReps;
+    bopts.warmup = opts.benchWarmup;
+    bopts.filter = opts.benchFilter;
+    perf::BenchReport report = perf::runBenchSuite(bopts);
+    if (report.results.empty()) {
+        std::cerr << "memoria bench: no benchmark matches filter '"
+                  << opts.benchFilter << "'\n";
+        return 1;
+    }
+    if (opts.jsonOut)
+        std::cout << report.toJson() << "\n";
+    else
+        std::cout << report.toText();
+    return 0;
 }
 
 void
@@ -747,6 +832,14 @@ cmdBatch(const Options &opts)
                   1, 4);
     // Incident bundling re-runs failures against their original text.
     bopts.captureSource = opts.incidents;
+    if (!opts.caches.empty()) {
+        bopts.cacheConfigs = parseCacheConfigs(opts.caches);
+        if (bopts.cacheConfigs.empty()) {
+            std::cerr << "memoria batch: --caches wants i860, rs6000, "
+                         "or both\n";
+            return 2;
+        }
+    }
 
     std::vector<harness::BatchInput> inputs;
     if (opts.batchAll) {
@@ -846,6 +939,14 @@ cmdServe(const Options &opts)
         sopts.retryAfterMs = opts.retryAfterMs;
     sopts.allowFaultRequests = opts.allowFaults;
     sopts.writeIncidents = !opts.noIncidents;
+    if (!opts.caches.empty()) {
+        sopts.cacheConfigs = parseCacheConfigs(opts.caches);
+        if (sopts.cacheConfigs.empty()) {
+            std::cerr << "memoria serve: --caches wants i860, rs6000, "
+                         "or both\n";
+            return 2;
+        }
+    }
     if (!opts.incidentsDir.empty())
         sopts.incidents.dir = opts.incidentsDir;
 
@@ -1117,6 +1218,8 @@ run(int argc, char **argv)
         }
     } else if (cmd == "batch") {
         rc = cmdBatch(opts);
+    } else if (cmd == "bench") {
+        rc = cmdBench(opts);
     } else if (cmd == "fuzz") {
         if (opts.fuzzCount <= 0) {
             std::cerr << "memoria: --count must be positive\n";

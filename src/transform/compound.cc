@@ -69,22 +69,32 @@ guardEquivOptions()
 }
 
 /**
- * A standalone program whose body is a clone of `parts`, sharing the
- * symbol and array tables of `prog` — lets the validator and the
- * oracle examine one top-level nest in isolation.
+ * Reusable reference/candidate Program buffers for the per-nest
+ * verification. The symbol and array tables are copied from the source
+ * program once per compoundTransform (on first use) instead of per
+ * nest; each nest only swaps the cloned bodies in and out.
  */
-Program
-nestProgram(const Program &prog, const char *tag,
-            const std::vector<const Node *> &parts)
+struct VerifyScratch
 {
-    Program mini;
-    mini.name = prog.name + tag;
-    mini.vars = prog.vars;
-    mini.arrays = prog.arrays;
-    for (const Node *n : parts)
-        mini.body.push_back(cloneNode(*n));
-    return mini;
-}
+    Program refP;
+    Program candP;
+    bool ready = false;
+
+    /** Prime the tables on first use and clear any previous bodies. */
+    void
+    prime(const Program &prog)
+    {
+        if (!ready) {
+            refP.vars = prog.vars;
+            refP.arrays = prog.arrays;
+            candP.vars = prog.vars;
+            candP.arrays = prog.arrays;
+            ready = true;
+        }
+        refP.body.clear();
+        candP.body.clear();
+    }
+};
 
 /**
  * Guard a transformation: structural validation of the candidate, then
@@ -231,7 +241,7 @@ size_t
 optimizeNest(const Program &prog, std::vector<NodePtr> &ownerBody,
              size_t index, const std::vector<Node *> &enclosing,
              const ModelParams &params, const CompoundOptions &opts,
-             CompoundResult &result)
+             CompoundResult &result, VerifyScratch &scratch)
 {
     const bool verify = opts.verify;
     harness::poll("compound.nest");
@@ -265,11 +275,14 @@ optimizeNest(const Program &prog, std::vector<NodePtr> &ownerBody,
         gSabotageHook(ownerBody, index, slots);
 
     if (verify) {
-        std::vector<const Node *> parts;
+        scratch.prime(prog);
+        Program &refP = scratch.refP;
+        Program &candP = scratch.candP;
+        refP.name = prog.name + "#orig";
+        refP.body.push_back(cloneNode(*snapshot));
+        candP.name = prog.name + "#opt";
         for (size_t s = 0; s < slots; ++s)
-            parts.push_back(ownerBody[index + s].get());
-        Program refP = nestProgram(prog, "#orig", {snapshot.get()});
-        Program candP = nestProgram(prog, "#opt", parts);
+            candP.body.push_back(cloneNode(*ownerBody[index + s]));
         std::string why = verifyAgainst(refP, candP);
         if (!why.empty()) {
             auto first =
@@ -368,6 +381,7 @@ compoundTransform(Program &prog, const ModelParams &params,
             result.totalLoops +=
                 static_cast<int>(collectLoops(top.get()).size());
 
+    VerifyScratch scratch;
     size_t index = 0;
     while (index < prog.body.size()) {
         Node *n = prog.body[index].get();
@@ -377,7 +391,7 @@ compoundTransform(Program &prog, const ModelParams &params,
         }
         ++result.totalNests;
         index += optimizeNest(prog, prog.body, index, {}, params, opts,
-                              result);
+                              result, scratch);
     }
 
     // Final pass: fuse adjacent compatible nests (and, through the
@@ -392,10 +406,9 @@ compoundTransform(Program &prog, const ModelParams &params,
                 snapshot.push_back(cloneNode(*top));
         result.fusion = fuseSiblings(prog, prog.body, {}, params, true);
         if (opts.verify && result.fusion.fused > 0) {
-            Program refP;
+            scratch.prime(prog);
+            Program &refP = scratch.refP;
             refP.name = prog.name + "#prefuse";
-            refP.vars = prog.vars;
-            refP.arrays = prog.arrays;
             refP.body = std::move(snapshot);
             std::string why = verifyAgainst(refP, prog);
             if (!why.empty()) {
