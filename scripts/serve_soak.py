@@ -3,16 +3,24 @@
 
 Drives a mixed corpus of requests (valid work, heavy programs under
 tiny deadlines, malformed lines, fault-armed requests, health probes)
-at a small server, then SIGTERMs it, and asserts the robustness
-contract end to end:
+at a small server, then SIGTERMs it, and asserts the robustness and
+telemetry contracts end to end:
 
   * exactly one terminal response per request — nothing lost, nothing
     duplicated, even for requests shed by backpressure;
-  * the process exits 0 on SIGTERM (graceful drain);
+  * a mid-soak `metrics` scrape returns well-formed Prometheus
+    exposition text whose `serve.requests_total` agrees with the
+    client-side request count (within the in-flight allowance);
+  * the process exits 0 on SIGTERM (graceful drain) and the drain
+    handler writes a final metrics snapshot to --metrics-file;
   * at least one well-formed minimized incident bundle was written for
     the fault-armed failures.
 
-Usage: scripts/serve_soak.py [path-to-memoria] [request-count]
+A JSON soak report — client-side latency p50/p95/p99 per request kind,
+RPS, and the server's own serve.latency_us.* percentiles — is printed
+and, when SOAK_REPORT (or argv[3]) names a path, written there.
+
+Usage: scripts/serve_soak.py [path-to-memoria] [request-count] [report]
 """
 
 import json
@@ -28,6 +36,11 @@ from collections import Counter
 
 BIN = sys.argv[1] if len(sys.argv) > 1 else "./build/src/tools/memoria"
 COUNT = int(sys.argv[2]) if len(sys.argv) > 2 else 200
+REPORT = (sys.argv[3] if len(sys.argv) > 3
+          else os.environ.get("SOAK_REPORT", ""))
+# Where the server writes its periodic metrics snapshots; default is
+# inside the (deleted) scratch dir, set SOAK_SNAPSHOTS to keep them.
+SNAPSHOTS = os.environ.get("SOAK_SNAPSHOTS", "")
 
 SMALL = (
     "PROGRAM t\n"
@@ -61,8 +74,63 @@ def fail(msg):
     sys.exit(1)
 
 
+def percentile(sorted_vals, q):
+    """Nearest-rank percentile of an ascending list (q in [0,1])."""
+    if not sorted_vals:
+        return 0.0
+    idx = min(len(sorted_vals) - 1, int(q * len(sorted_vals)))
+    return sorted_vals[idx]
+
+
+def check_exposition(text):
+    """Validate Prometheus text exposition; return metric -> value for
+    plain (unlabeled) samples. Fails the soak on malformed lines or
+    non-monotonic histogram buckets."""
+    values = {}
+    buckets = {}  # metric base name -> list of cumulative counts
+    for ln, line in enumerate(text.splitlines(), 1):
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split()
+            if (len(parts) != 4 or parts[1] != "TYPE"
+                    or parts[3] not in ("counter", "gauge",
+                                        "histogram")):
+                fail(f"exposition line {ln}: bad TYPE comment {line!r}")
+            continue
+        fields = line.rsplit(None, 1)
+        if len(fields) != 2:
+            fail(f"exposition line {ln}: no value in {line!r}")
+        name, value = fields
+        try:
+            value = float(value)
+        except ValueError:
+            fail(f"exposition line {ln}: non-numeric value {line!r}")
+        if "{" in name:
+            base, rest = name.split("{", 1)
+            if not rest.endswith("}"):
+                fail(f"exposition line {ln}: unclosed labels {line!r}")
+            if base.endswith("_bucket"):
+                buckets.setdefault(base, []).append(value)
+        else:
+            if not all(c.isalnum() or c == "_" for c in name):
+                fail(f"exposition line {ln}: bad metric name {name!r}")
+            values[name] = value
+    for base, counts in buckets.items():
+        if any(b > a for a, b in zip(counts[1:], counts)):
+            fail(f"exposition: non-monotonic buckets for {base}")
+        count_name = base[: -len("_bucket")] + "_count"
+        if count_name in values and counts and \
+                counts[-1] != values[count_name]:
+            fail(f"exposition: {base} last bucket {counts[-1]} != "
+                 f"{count_name} {values[count_name]}")
+    return values
+
+
 def main():
     incidents = tempfile.mkdtemp(prefix="memoria-soak-incidents-")
+    metrics_file = SNAPSHOTS or os.path.join(incidents,
+                                             "snapshots.jsonl")
     proc = subprocess.Popen(
         [
             BIN, "serve",
@@ -71,6 +139,8 @@ def main():
             "--deadline-ms", "2000",
             "--allow-faults",
             "--incidents-dir", incidents,
+            "--metrics-file", metrics_file,
+            "--metrics-interval-ms", "100",
         ],
         stdin=subprocess.PIPE,
         stdout=subprocess.PIPE,
@@ -79,21 +149,38 @@ def main():
     )
 
     lines = []
+    recv_at = {}  # request id -> monotonic arrival time
     def reader():
         # Line-at-a-time; survives EINTR inside Python's buffered read.
         for line in proc.stdout:
             line = line.strip()
             if line:
+                now = time.monotonic()
                 lines.append(line)
+                try:
+                    rid = json.loads(line).get("id", "")
+                except json.JSONDecodeError:
+                    rid = ""
+                if rid and rid not in recv_at:
+                    recv_at[rid] = now
 
     thread = threading.Thread(target=reader, daemon=True)
     thread.start()
+
+    sent_at = {}   # request id -> monotonic send time
+    sent_kind = {} # request id -> kind
+    parsed_sent = [0]  # requests the server should parse successfully
 
     def send_raw(text):
         proc.stdin.write(text + "\n")
         proc.stdin.flush()
 
     def send(obj):
+        rid = obj.get("id", "")
+        if rid:
+            sent_at[rid] = time.monotonic()
+            sent_kind[rid] = obj.get("kind", "compound")
+        parsed_sent[0] += 1
         send_raw(json.dumps(obj))
 
     def wait_responses(n, timeout=120.0):
@@ -102,10 +189,17 @@ def main():
             time.sleep(0.02)
         return len(lines) >= n
 
+    def wait_responses_for(rid, timeout=120.0):
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline and rid not in recv_at:
+            time.sleep(0.02)
+        return rid in recv_at
+
     try:
         # --- Phase 1: the mixed corpus, sent flat out so the bounded
         # queue sheds some of it (overloaded is a terminal response
         # too).
+        soak_started = time.monotonic()
         sent_ids = []
         malformed = 0
         for i in range(COUNT):
@@ -126,7 +220,31 @@ def main():
                 send({"id": rid, "kind": kind, "program": SMALL})
                 sent_ids.append(rid)
 
-        expected = len(sent_ids) + malformed
+        # --- Mid-soak metrics scrape, while phase 1 is still in
+        # flight: the exposition must be well-formed and the server's
+        # own request counter must agree with what the client sent,
+        # give or take the requests still somewhere in the pipe.
+        send({"id": "soak-metrics-mid", "kind": "metrics"})
+        if not wait_responses_for("soak-metrics-mid"):
+            fail("no response to the mid-soak metrics request")
+        mid = json.loads(
+            next(l for l in lines
+                 if json.loads(l).get("id") == "soak-metrics-mid"))
+        if mid.get("type") != "metrics":
+            fail(f"mid-soak metrics response has type "
+                 f"{mid.get('type')!r}")
+        expo = check_exposition(mid.get("exposition", ""))
+        server_total = expo.get("memoria_serve_requests_total")
+        if server_total is None:
+            fail("exposition lacks memoria_serve_requests_total")
+        answered = len(recv_at)
+        # Everything the server has counted was sent by us; everything
+        # we have an answer for was counted by the server.
+        if not answered <= server_total <= parsed_sent[0]:
+            fail(f"serve.requests_total={server_total} outside "
+                 f"[{answered}, {parsed_sent[0]}]")
+
+        expected = len(sent_ids) + malformed + 1  # + metrics response
         if not wait_responses(expected):
             fail(f"expected {expected} responses, got {len(lines)}")
 
@@ -152,6 +270,32 @@ def main():
         if not incident_dir:
             fail("no fault-armed request produced an incident bundle")
 
+        # --- Final metrics scrape: the report publishes the server's
+        # own serve.latency_us.* percentiles, not just client timing.
+        send({"id": "soak-metrics-final", "kind": "metrics"})
+        if not wait_responses_for("soak-metrics-final"):
+            fail("no response to the final metrics request")
+        expected += 1
+        final = json.loads(
+            next(l for l in lines
+                 if json.loads(l).get("id") == "soak-metrics-final"))
+        check_exposition(final.get("exposition", ""))
+        server_latency = {}
+        hists = final.get("registry", {}).get("histograms", {})
+        for name, h in hists.items():
+            prefix = "serve.latency_us."
+            if name.startswith(prefix):
+                server_latency[name[len(prefix):]] = {
+                    "count": h.get("count", 0),
+                    "p50_us": h.get("p50", 0.0),
+                    "p90_us": h.get("p90", 0.0),
+                    "p99_us": h.get("p99", 0.0),
+                }
+        if not server_latency:
+            fail("final metrics response has no serve.latency_us.* "
+                 "histograms")
+        soak_duration = time.monotonic() - soak_started
+
         # --- Exactly one terminal response per request.
         by_id = Counter()
         for line in lines:
@@ -176,6 +320,24 @@ def main():
             fail("server did not exit within 60s of SIGTERM")
         if rc != 0:
             fail(f"server exited {rc} on SIGTERM, want 0")
+
+        # --- The drain handler wrote one final metrics snapshot, so a
+        # SIGTERM'd serve never loses the stats since the last tick.
+        if not os.path.isfile(metrics_file):
+            fail(f"no metrics snapshot file at {metrics_file}")
+        with open(metrics_file) as fh:
+            snapshots = [ln for ln in fh.read().splitlines() if ln]
+        if not snapshots:
+            fail("metrics snapshot file is empty after SIGTERM")
+        last = json.loads(snapshots[-1])
+        if not last.get("draining"):
+            fail("final metrics snapshot was not written by the drain "
+                 "handler (draining != true)")
+        snap_total = (last.get("stats", {}).get("counters", {})
+                      .get("serve.requests_total"))
+        if snap_total != parsed_sent[0]:
+            fail(f"final snapshot serve.requests_total={snap_total}, "
+                 f"client sent {parsed_sent[0]}")
 
         # --- At least one well-formed minimized bundle.
         good_bundles = 0
@@ -205,6 +367,42 @@ def main():
         shed = sum(
             1 for l in lines
             if json.loads(l).get("type") == "overloaded")
+
+        # --- Client-side latency per request kind + RPS.
+        by_kind = {}
+        for rid, t0 in sent_at.items():
+            t1 = recv_at.get(rid)
+            if t1 is None:
+                continue
+            by_kind.setdefault(sent_kind[rid], []).append(
+                (t1 - t0) * 1e6)
+        client_latency = {}
+        for kind, samples in sorted(by_kind.items()):
+            samples.sort()
+            client_latency[kind] = {
+                "count": len(samples),
+                "p50_us": round(percentile(samples, 0.50), 1),
+                "p95_us": round(percentile(samples, 0.95), 1),
+                "p99_us": round(percentile(samples, 0.99), 1),
+            }
+        report = {
+            "requests": parsed_sent[0] + malformed,
+            "responses": len(lines),
+            "results": results,
+            "shed": shed,
+            "duration_s": round(soak_duration, 3),
+            "rps": round(len(lines) / max(soak_duration, 1e-9), 1),
+            "client_latency": client_latency,
+            "server_latency": server_latency,
+            "snapshots": len(snapshots),
+            "minimized_bundles": good_bundles,
+        }
+        print(json.dumps(report, indent=2))
+        if REPORT:
+            with open(REPORT, "w") as fh:
+                json.dump(report, fh, indent=2)
+                fh.write("\n")
+
         print(f"soak ok: {len(sent_ids) + malformed} requests, "
               f"{len(lines)} responses ({results} results, {shed} "
               f"shed), exit 0 on SIGTERM, {good_bundles} minimized "

@@ -5,6 +5,7 @@
 #include <chrono>
 #include <filesystem>
 #include <fstream>
+#include <optional>
 #include <sstream>
 #include <thread>
 
@@ -113,10 +114,21 @@ runPipeline(const Program &prog, const BatchOptions &opts,
         out.sims.clear();
         out.nests.clear();
 
-        OptimizedProgram attempt =
-            optimizeProgram(prog, opts.params, ctx.pipeline);
+        OptimizedProgram attempt = [&] {
+            // Verification runs nested inside Compound (verifyAgainst
+            // accrues verifyUs under its own StageTimer), so subtract
+            // the verify delta to keep the stages disjoint.
+            const double verifyBefore = obs::stageTimes().verifyUs;
+            obs::StageTimer stage(&obs::StageTimes::optimizeUs);
+            OptimizedProgram r =
+                optimizeProgram(prog, opts.params, ctx.pipeline);
+            obs::stageTimes().optimizeUs -=
+                obs::stageTimes().verifyUs - verifyBefore;
+            return r;
+        }();
 
         if (opts.simulate) {
+            obs::StageTimer stage(&obs::StageTimes::simulateUs);
             // One interpreter pass per program version feeds every
             // configuration (cachesim/sweep.hh). The reference
             // faulting is an input problem — no rung can fix it, so
@@ -151,6 +163,24 @@ runPipeline(const Program &prog, const BatchOptions &opts,
             out.misses = out.sims.front().misses;
             out.hitWarmOrig = out.sims.front().hitWarmOrig;
             out.hitWarmFinal = out.sims.front().hitWarmFinal;
+
+            // Validate the paper's cost model against the simulator:
+            // ratioFinal predicts the miss reduction (LoopCost ~ cache
+            // lines fetched), so the predicted final warm hit rate is
+            // 100*(1 - m0/ratioFinal) from the measured original miss
+            // rate m0. Identity-rung attempts are skipped — with no
+            // transformation there is no prediction to validate.
+            if (ctx.pipeline.transform &&
+                attempt.report.ratioFinal > 0.0) {
+                double m0 = 1.0 - out.hitWarmOrig / 100.0;
+                double predicted =
+                    100.0 * (1.0 - m0 / attempt.report.ratioFinal);
+                double deltaPp = predicted - out.hitWarmFinal;
+                obs::histogram("model.accuracy.hit_rate_delta_pp")
+                    .sample(deltaPp);
+                obs::histogram("model.accuracy.abs_hit_rate_delta_pp")
+                    .sample(deltaPp < 0 ? -deltaPp : deltaPp);
+            }
         }
 
         out.loops = attempt.compound.totalLoops;
@@ -206,15 +236,29 @@ runIsolated(const BatchInput &in, const BatchOptions &opts)
     const double t0 = nowMs();
 
     ProgramContext pctx(in.name);
+
+    // Give the program a trace context when the caller (serve) did not
+    // install one, so standalone batch spans are attributable too.
+    // Everything below runs synchronously on this thread, so nested
+    // Compound/oracle/cachesim spans inherit the id for free.
+    std::optional<obs::TraceContextScope> traceCtx;
+    if (obs::tracingEnabled() && obs::currentTraceContext().traceId.empty())
+        traceCtx.emplace(obs::makeTraceId());
+
     obs::TraceScope span("batch", "program");
     span.arg("program", in.name);
     obs::ScopedTimer timer(
         obs::statsRegistry().histogram("batch.program_time_us"));
 
+    // Fresh per-request stage accumulator (thread-local; workers run
+    // one program at a time).
+    obs::stageTimes().reset();
+
     try {
         // Loading and validation run under their own budget so a stall
         // or a pathological input cannot hang the worker.
         Result<Program> loaded = [&] {
+            obs::StageTimer stage(&obs::StageTimes::loadUs);
             CancelToken token(opts.budget);
             BudgetScope scope(&token);
             return in.load();
@@ -227,6 +271,7 @@ runIsolated(const BatchInput &in, const BatchOptions &opts)
             if (opts.captureSource)
                 out.source = printProgram(prog);
             std::vector<Diag> errs = [&] {
+                obs::StageTimer stage(&obs::StageTimes::loadUs);
                 CancelToken token(opts.budget);
                 BudgetScope scope(&token);
                 return validateProgram(prog);
@@ -256,6 +301,12 @@ runIsolated(const BatchInput &in, const BatchOptions &opts)
 
     out.faultHits = drainFaultHits();
     out.timeMs = nowMs() - t0;
+
+    const obs::StageTimes &st = obs::stageTimes();
+    out.timings.loadUs = st.loadUs;
+    out.timings.optimizeUs = st.optimizeUs;
+    out.timings.verifyUs = st.verifyUs;
+    out.timings.simulateUs = st.simulateUs;
 
     if (span.active()) {
         span.arg("status", batchStatusName(out.status));

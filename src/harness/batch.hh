@@ -140,6 +140,23 @@ struct ProgramOutcome
     uint64_t maxIrNodes = 0;     ///< largest node count seen
     int64_t backoffMs = 0;
 
+    /**
+     * Per-stage wall time across all attempts (microseconds), from the
+     * thread-local `obs::stageTimes()` accumulator. The stages are
+     * disjoint (verify time is subtracted from optimize even though
+     * the oracle runs nested inside Compound), so the sum is <= the
+     * program's total wall time; the remainder is ladder/bookkeeping
+     * overhead. Serve stamps these into every response as `timings`.
+     */
+    struct StageTimings
+    {
+        double loadUs = 0.0;
+        double optimizeUs = 0.0;
+        double verifyUs = 0.0;
+        double simulateUs = 0.0;
+    };
+    StageTimings timings;
+
     /** Fault-site hits attributed to this program. */
     std::map<std::string, uint64_t> faultHits;
 

@@ -207,7 +207,14 @@ captureIncident(Incident inc, const Program &program,
         inc.minimized = printProgram(red.program);
 
     if (obs::RingSink *ring = obs::RingSink::instance()) {
-        std::vector<std::string> lines = ring->snapshot();
+        // Inside a request context (serve), take only this request's
+        // spans — the bundle's trace.jsonl is then exactly the flight-
+        // recorder tail for the response's trace_id. Outside one, keep
+        // the whole ring as before.
+        const std::string &traceId = obs::currentTraceContext().traceId;
+        std::vector<std::string> lines = traceId.empty()
+                                             ? ring->snapshot()
+                                             : ring->snapshotFor(traceId);
         constexpr size_t kTailMax = 200;
         size_t start = lines.size() > kTailMax ? lines.size() - kTailMax
                                                : 0;

@@ -16,6 +16,7 @@
 #include <thread>
 #include <vector>
 
+#include "support/export.hh"
 #include "support/logging.hh"
 #include "support/signals.hh"
 
@@ -147,6 +148,47 @@ makeUnixListener(const std::string &path)
     return fd;
 }
 
+/**
+ * Answer one metrics-scrape connection: swallow whatever request line
+ * the client sent (curl, a Prometheus scraper, or a bare netcat), then
+ * write one HTTP/1.0 response with the exposition text and close.
+ * Runs on its own short-lived thread so a slow scraper cannot block
+ * the accept loop.
+ */
+void
+serveMetricsConn(int fd)
+{
+    // Read until the blank line ending the request head, a short
+    // timeout, or 8 KiB — the content is irrelevant, every request
+    // gets the same answer.
+    char buf[1024];
+    std::string head;
+    pollfd p{fd, POLLIN, 0};
+    while (head.find("\r\n\r\n") == std::string::npos &&
+           head.find("\n\n") == std::string::npos &&
+           head.size() < 8192) {
+        int rc = ::poll(&p, 1, 500);
+        if (rc <= 0)
+            break;
+        ssize_t n = ::read(fd, buf, sizeof(buf));
+        if (n <= 0) {
+            if (n < 0 && errno == EINTR)
+                continue;
+            break;
+        }
+        head.append(buf, static_cast<size_t>(n));
+    }
+
+    std::string body = obs::prometheusText();
+    std::string resp =
+        "HTTP/1.0 200 OK\r\n"
+        "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
+        "Content-Length: " + std::to_string(body.size()) + "\r\n"
+        "Connection: close\r\n\r\n" + body;
+    writeAll(fd, resp);
+    ::close(fd);
+}
+
 } // namespace
 
 int
@@ -202,6 +244,20 @@ runListener(Server &server, const TransportOptions &topts)
         warn("serve: no socket transport configured");
         return 1;
     }
+    int metricsFd = -1;
+    if (topts.metricsPort >= 0) {
+        int boundPort = 0;
+        metricsFd =
+            makeTcpListener(topts.host, topts.metricsPort, boundPort);
+        if (metricsFd < 0) {
+            warn("serve: cannot listen on metrics port " + topts.host +
+                 ":" + std::to_string(topts.metricsPort));
+        } else {
+            listeners.push_back({metricsFd, POLLIN, 0});
+            std::cout << "listening metrics " << topts.host << ":"
+                      << boundPort << std::endl;
+        }
+    }
 
     server.start();
 
@@ -224,6 +280,12 @@ runListener(Server &server, const TransportOptions &topts)
             int cfd = ::accept(p.fd, nullptr, nullptr);
             if (cfd < 0)
                 continue;
+            if (p.fd == metricsFd) {
+                // Scrapes never touch the admission queue; a saturated
+                // worker pool cannot delay them.
+                std::thread(serveMetricsConn, cfd).detach();
+                continue;
+            }
             auto conn = std::make_shared<Conn>(cfd);
             std::lock_guard<std::mutex> lock(connsMutex);
             conns.push_back(conn);

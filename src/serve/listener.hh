@@ -42,6 +42,15 @@ struct TransportOptions
 
     /** Unix-domain socket path ("" = off). Unlinked on shutdown. */
     std::string unixPath;
+
+    /**
+     * HTTP-ish Prometheus scrape port (-1 = off, 0 = ephemeral).
+     * Any request on it is answered with an HTTP/1.0 200 carrying
+     * `obs::exportPrometheus` text and closed — enough for a scraper
+     * or `curl`, served off the accept thread so it answers even when
+     * every worker is saturated.
+     */
+    int metricsPort = -1;
 };
 
 /**

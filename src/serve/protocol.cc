@@ -29,6 +29,8 @@ requestKindName(RequestKind k)
         return "health";
       case RequestKind::Stats:
         return "stats";
+      case RequestKind::Metrics:
+        return "metrics";
     }
     return "?";
 }
@@ -71,6 +73,8 @@ parseRequest(const std::string &line, size_t maxBytes)
         req.kind = RequestKind::Health;
     else if (kind == "stats")
         req.kind = RequestKind::Stats;
+    else if (kind == "metrics")
+        req.kind = RequestKind::Metrics;
     else
         return badRequest("unknown kind '" + kind + "'");
 
@@ -84,22 +88,40 @@ parseRequest(const std::string &line, size_t maxBytes)
     if (const json::Value *sim = v.get("simulate"); sim && sim->isBool())
         req.simulate = sim->asBool();
     req.fault = v.getString("fault");
+    req.traceId = v.getString("trace_id");
     return req;
 }
 
 std::string
 resultResponse(const std::string &id, const harness::ProgramOutcome &out,
-               bool degradedByBreaker, const std::string &incidentDir)
+               bool degradedByBreaker, const std::string &incidentDir,
+               const ResponseMeta &meta)
 {
     json::Value r = json::Value::object();
     r.set("id", json::Value::string(id));
     r.set("type", json::Value::string("result"));
+    if (!meta.traceId.empty())
+        r.set("trace_id", json::Value::string(meta.traceId));
     r.set("status",
           json::Value::string(harness::batchStatusName(out.status)));
     r.set("rung", json::Value::string(harness::rungName(out.rung)));
     r.set("attempts", json::Value::number(int64_t{out.attempts}));
     r.set("time_ms", json::Value::number(out.timeMs));
     r.set("loops", json::Value::number(int64_t{out.loops}));
+    {
+        // total_us falls back to the harness-measured wall time when
+        // the caller provides no serve-side total (direct callers).
+        double totalUs =
+            meta.totalUs > 0.0 ? meta.totalUs : out.timeMs * 1000.0;
+        json::Value t = json::Value::object();
+        t.set("queue_us", json::Value::number(meta.queueUs));
+        t.set("load_us", json::Value::number(out.timings.loadUs));
+        t.set("optimize_us", json::Value::number(out.timings.optimizeUs));
+        t.set("verify_us", json::Value::number(out.timings.verifyUs));
+        t.set("simulate_us", json::Value::number(out.timings.simulateUs));
+        t.set("total_us", json::Value::number(totalUs));
+        r.set("timings", std::move(t));
+    }
     if (!out.diag.empty())
         r.set("diag", json::Value::string(out.diag));
     if (degradedByBreaker)

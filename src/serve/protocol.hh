@@ -10,22 +10,28 @@
  *      deadline_ms":2000,"simulate":true,"fault":"site:throw:1"}
  *
  *   id           echoed verbatim in the response ("" when omitted)
- *   kind         analyze | compound | simulate | health | stats
+ *   kind         analyze | compound | simulate | health | stats |
+ *                metrics
  *   program      `.mem` source text (work kinds only)
  *   deadline_ms  per-request budget override, clamped by the server
  *   simulate     force simulation on/off (default: kind == simulate)
  *   fault        fault-injection spec for this request — test hook,
  *                honored only when the server runs with --allow-faults
+ *   trace_id     optional client-chosen trace id, echoed in the
+ *                response and stamped on every span the request emits
+ *                (the server mints one when omitted)
  *
  * Terminal response types (field "type"):
  *
  *   result      the pipeline ran; carries status/rung/sim/incident_dir
+ *               plus `trace_id` and a per-stage `timings` breakdown
  *   error       the request is unusable (bad JSON, unknown kind, load
  *               breaker open); carries code + message
  *   overloaded  admission queue full; carries retry_after_ms
  *   cancelled   accepted but not run (server drained first)
  *   health      liveness/breaker/queue snapshot
  *   stats       the full obs stats registry + breaker snapshots
+ *   metrics     Prometheus exposition + registry dump, answered inline
  *
  * Every line the server emits is a single JSON object; clients never
  * need to handle partial or multi-line frames.
@@ -52,6 +58,7 @@ enum class RequestKind
     Simulate,  ///< full ladder + cache simulation
     Health,    ///< liveness snapshot, answered inline
     Stats,     ///< obs registry dump, answered inline
+    Metrics,   ///< Prometheus exposition + registry, answered inline
 };
 
 /** Printable name ("analyze", "compound", ...). */
@@ -66,6 +73,7 @@ struct Request
     int64_t deadlineMs = 0;            ///< 0 = server default
     std::optional<bool> simulate;      ///< override kind's default
     std::string fault;                 ///< fault spec ("" = none)
+    std::string traceId;               ///< client trace id ("" = mint)
 };
 
 /**
@@ -81,11 +89,29 @@ bool isWorkKind(RequestKind k);
 
 // --- Response builders: each returns one JSON line, newline excluded.
 
-/** "result" from a finished pipeline outcome. */
+/**
+ * Request-scoped telemetry stamped into a "result" response: the
+ * trace id the request ran under and the serve-side timing fields the
+ * harness cannot know (queue wait and end-to-end total).
+ */
+struct ResponseMeta
+{
+    std::string traceId;
+    double queueUs = 0.0;
+    double totalUs = 0.0;
+};
+
+/**
+ * "result" from a finished pipeline outcome. Carries a `timings`
+ * object {queue_us, load_us, optimize_us, verify_us, simulate_us,
+ * total_us}; the stage fields come from `out.timings`, queue/total
+ * from `meta`, and the stages are disjoint with sum <= total_us.
+ */
 std::string resultResponse(const std::string &id,
                            const harness::ProgramOutcome &out,
                            bool degradedByBreaker,
-                           const std::string &incidentDir);
+                           const std::string &incidentDir,
+                           const ResponseMeta &meta = {});
 
 /** "error" with a stable dotted code. */
 std::string errorResponse(const std::string &id, const std::string &code,

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "harness/fault.hh"
+#include "support/export.hh"
 #include "support/json.hh"
 #include "support/stats.hh"
 #include "support/trace.hh"
@@ -21,6 +22,36 @@ nowMs()
     return std::chrono::duration_cast<std::chrono::milliseconds>(
                std::chrono::steady_clock::now().time_since_epoch())
         .count();
+}
+
+double
+nowUs()
+{
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+/** Wall clock for snapshot timestamps (steady elsewhere). */
+int64_t
+wallMs()
+{
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               std::chrono::system_clock::now().time_since_epoch())
+        .count();
+}
+
+/** The registry dump as one JSON object with no trailing newline,
+ *  spliceable into a response line. */
+std::string
+registryDumpJson()
+{
+    std::ostringstream os;
+    obs::statsRegistry().dumpJson(os);
+    std::string s = os.str();
+    while (!s.empty() && (s.back() == '\n' || s.back() == '\r'))
+        s.pop_back();
+    return s;
 }
 
 json::Value
@@ -67,6 +98,19 @@ Server::start()
     workers_.reserve(jobs);
     for (int i = 0; i < jobs; ++i)
         workers_.emplace_back([this] { workerLoop(); });
+
+    if (!opts_.metricsPath.empty()) {
+        metricsOut_ = std::make_unique<std::ofstream>(
+            opts_.metricsPath, std::ios::app);
+        if (!*metricsOut_) {
+            obs::traceEvent("serve", "metrics_file_error",
+                            {{"path", opts_.metricsPath}});
+            metricsOut_.reset();
+        } else if (opts_.metricsIntervalMs > 0) {
+            metricsThread_ = std::thread([this] { metricsLoop(); });
+        }
+    }
+
     obs::traceEvent("serve", "start",
                     {{"jobs", int64_t{jobs}},
                      {"queue_capacity",
@@ -90,13 +134,24 @@ Server::handleLine(const std::string &line, const Respond &respond)
     }
     const Request &req = parsed.value();
 
+    // Every successfully parsed request, any kind — the soak script
+    // reconciles this against its client-side count.
+    ++obs::counter("serve.requests_total");
+
     // Introspection bypasses the queue: it must work under saturation.
     if (req.kind == RequestKind::Health) {
+        obs::ScopedTimer t(obs::histogram("serve.latency_us.health"));
         respond(healthLine(req.id));
         return;
     }
     if (req.kind == RequestKind::Stats) {
+        obs::ScopedTimer t(obs::histogram("serve.latency_us.stats"));
         respond(statsLine(req.id));
+        return;
+    }
+    if (req.kind == RequestKind::Metrics) {
+        obs::ScopedTimer t(obs::histogram("serve.latency_us.metrics"));
+        respond(metricsLine(req.id));
         return;
     }
 
@@ -113,7 +168,7 @@ Server::handleLine(const std::string &line, const Respond &respond)
             respond(overloadedResponse(req.id, opts_.retryAfterMs));
             return;
         }
-        queue_.push_back(Job{req, respond});
+        queue_.push_back(Job{req, respond, nowUs()});
         ++accepted_;
         ++obs::counter("serve.accepted");
     }
@@ -171,6 +226,17 @@ void
 Server::process(const Job &job)
 {
     const Request &req = job.req;
+    const double startUs = nowUs();
+    const double queueUs =
+        job.enqueuedUs > 0.0 ? startUs - job.enqueuedUs : 0.0;
+
+    // Request-scoped trace context for everything this worker does on
+    // behalf of the request — runIsolated and all nested spans inherit
+    // it, and incident capture keys the flight-recorder tail off it.
+    const std::string traceId =
+        req.traceId.empty() ? obs::makeTraceId() : req.traceId;
+    obs::TraceContextScope traceCtx(traceId);
+
     obs::TraceScope span("serve", "request");
     span.arg("id", req.id);
     span.arg("kind", requestKindName(req.kind));
@@ -307,7 +373,29 @@ Server::process(const Job &job)
         span.arg("status", harness::batchStatusName(out.status));
         span.arg("rung", harness::rungName(out.rung));
     }
-    job.respond(resultResponse(req.id, out, degraded, incidentDir));
+
+    // Per-kind end-to-end latency (queue included) and the per-stage
+    // breakdown, from the server's own histograms — what the soak
+    // script and `memoria top` read back.
+    ResponseMeta meta;
+    meta.traceId = traceId;
+    meta.queueUs = queueUs;
+    meta.totalUs = queueUs + (nowUs() - startUs);
+    obs::histogram(std::string("serve.latency_us.") +
+                   requestKindName(req.kind))
+        .sample(meta.totalUs);
+    obs::histogram("serve.stage.queue_us").sample(queueUs);
+    obs::histogram("serve.stage.load_us").sample(out.timings.loadUs);
+    obs::histogram("serve.stage.optimize_us")
+        .sample(out.timings.optimizeUs);
+    obs::histogram("serve.stage.verify_us").sample(out.timings.verifyUs);
+    obs::histogram("serve.stage.simulate_us")
+        .sample(out.timings.simulateUs);
+    obs::histogram("serve.stage.total_us").sample(meta.totalUs);
+    ++obs::counter(std::string("serve.rung.") +
+                   harness::rungName(out.rung));
+
+    job.respond(resultResponse(req.id, out, degraded, incidentDir, meta));
 }
 
 void
@@ -327,7 +415,66 @@ Server::drain()
     for (std::thread &t : workers_)
         if (t.joinable())
             t.join();
+
+    // Stop the periodic writer, then write one final snapshot: stats
+    // accumulated since the last interval (or ever, when no interval
+    // was set) survive a SIGTERM'd serve.
+    {
+        std::lock_guard<std::mutex> lock(metricsMutex_);
+        metricsStop_ = true;
+    }
+    metricsCv_.notify_all();
+    if (metricsThread_.joinable())
+        metricsThread_.join();
+    // Final snapshot, then release the stream: a second drain (the
+    // destructor after an explicit drain) must not duplicate it.
+    writeMetricsSnapshotNow();
+    {
+        std::lock_guard<std::mutex> lock(metricsFileMutex_);
+        metricsOut_.reset();
+    }
+
     obs::flushTrace();
+}
+
+void
+Server::metricsLoop()
+{
+    std::unique_lock<std::mutex> lock(metricsMutex_);
+    while (!metricsStop_) {
+        metricsCv_.wait_for(
+            lock, std::chrono::milliseconds(opts_.metricsIntervalMs),
+            [this] { return metricsStop_; });
+        if (metricsStop_)
+            break;
+        lock.unlock();
+        writeMetricsSnapshotNow();
+        lock.lock();
+    }
+}
+
+void
+Server::writeMetricsSnapshotNow()
+{
+    std::lock_guard<std::mutex> lock(metricsFileMutex_);
+    if (!metricsOut_)
+        return;
+    std::vector<std::pair<std::string, std::string>> extra;
+    extra.emplace_back("queue_depth", std::to_string(queueDepth()));
+    extra.emplace_back(
+        "queue_capacity",
+        std::to_string(static_cast<int64_t>(opts_.queueCapacity)));
+    extra.emplace_back("uptime_ms",
+                       std::to_string(nowMs() - startedAtMs_));
+    extra.emplace_back("draining",
+                       draining_.load() ? "true" : "false");
+    json::Value brs = json::Value::object();
+    for (int i = 0; i < kNumStages; ++i)
+        brs.set(stageName(Stage(i)),
+                breakerJson(breakers_[i]->snapshot()));
+    extra.emplace_back("breakers", brs.dump());
+    obs::writeMetricsSnapshot(obs::statsRegistry(), *metricsOut_,
+                              wallMs(), extra);
 }
 
 Server::RequestCounters
@@ -399,13 +546,35 @@ Server::statsLine(const std::string &id) const
         brs.set(stageName(Stage(i)),
                 breakerJson(breakers_[i]->snapshot()));
 
-    std::ostringstream registry;
-    obs::statsRegistry().dumpJson(registry);
-
-    // The registry dump is already a JSON object; splice it verbatim.
+    // The registry dump is already a JSON object; splice it verbatim
+    // (trailing newline stripped so the response stays one line).
     std::string out = "{\"id\":" + json::quote(id) +
                       ",\"type\":\"stats\",\"breakers\":" + brs.dump() +
-                      ",\"registry\":" + registry.str() + "}";
+                      ",\"registry\":" + registryDumpJson() + "}";
+    return out;
+}
+
+std::string
+Server::metricsLine(const std::string &id) const
+{
+    json::Value brs = json::Value::object();
+    for (int i = 0; i < kNumStages; ++i)
+        brs.set(stageName(Stage(i)),
+                breakerJson(breakers_[i]->snapshot()));
+
+    std::string out =
+        "{\"id\":" + json::quote(id) + ",\"type\":\"metrics\"" +
+        ",\"ts_ms\":" + std::to_string(wallMs()) +
+        ",\"uptime_ms\":" + std::to_string(nowMs() - startedAtMs_) +
+        ",\"queue_depth\":" +
+        std::to_string(static_cast<int64_t>(queueDepth())) +
+        ",\"queue_capacity\":" +
+        std::to_string(static_cast<int64_t>(opts_.queueCapacity)) +
+        ",\"draining\":" +
+        (draining_.load() ? "true" : "false") +
+        ",\"breakers\":" + brs.dump() +
+        ",\"registry\":" + registryDumpJson() +
+        ",\"exposition\":" + json::quote(obs::prometheusText()) + "}";
     return out;
 }
 

@@ -39,6 +39,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <fstream>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -86,6 +87,15 @@ struct ServeOptions
     /** Minimize failures into incident bundles. */
     bool writeIncidents = true;
     incident::IncidentPolicy incidents;
+
+    /**
+     * Append JSONL metrics snapshots (support/export.hh) to this path.
+     * With metricsIntervalMs > 0 a background thread writes one every
+     * interval; independent of the interval, `drain()` writes a final
+     * snapshot — so a SIGTERM'd serve never loses its stats.
+     */
+    std::string metricsPath;
+    int64_t metricsIntervalMs = 0;
 
     BreakerOptions breaker;
     ModelParams params;
@@ -152,15 +162,22 @@ class Server
     /** The `stats` response body: breakers + the obs registry dump. */
     std::string statsLine(const std::string &id) const;
 
+    /** The `metrics` response body: Prometheus exposition + registry +
+     *  queue/breaker state. Answered inline like `health`. */
+    std::string metricsLine(const std::string &id) const;
+
   private:
     struct Job
     {
         Request req;
         Respond respond;
+        double enqueuedUs = 0.0;  ///< steady-clock at admission
     };
 
     void workerLoop();
     void process(const Job &job);
+    void metricsLoop();
+    void writeMetricsSnapshotNow();
 
     ServeOptions opts_;
     std::unique_ptr<CircuitBreaker> breakers_[kNumStages];
@@ -179,6 +196,14 @@ class Server
 
     std::atomic<uint64_t> seq_{0};
     int64_t startedAtMs_ = 0;
+
+    /** Periodic metrics-snapshot writer (opts_.metricsPath). */
+    std::thread metricsThread_;
+    std::mutex metricsMutex_;
+    std::condition_variable metricsCv_;
+    bool metricsStop_ = false;
+    std::unique_ptr<std::ofstream> metricsOut_;
+    std::mutex metricsFileMutex_;
 
     std::atomic<uint64_t> received_{0}, accepted_{0}, completed_{0},
         shed_{0}, cancelled_{0}, errors_{0};

@@ -1,0 +1,198 @@
+#include "serve/top.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+#include <vector>
+
+#include "support/json.hh"
+
+namespace memoria {
+namespace serve {
+
+namespace {
+
+/** Fixed-width human number: microseconds as-is under 1e6, else "s". */
+std::string
+fmtUs(double us)
+{
+    std::ostringstream os;
+    if (us >= 1e6)
+        os << std::fixed << std::setprecision(2) << us / 1e6 << "s";
+    else if (us >= 1e3)
+        os << std::fixed << std::setprecision(1) << us / 1e3 << "ms";
+    else
+        os << std::fixed << std::setprecision(0) << us << "us";
+    return os.str();
+}
+
+std::string
+pad(const std::string &s, size_t w)
+{
+    return s.size() >= w ? s : s + std::string(w - s.size(), ' ');
+}
+
+std::string
+lpad(const std::string &s, size_t w)
+{
+    return s.size() >= w ? s : std::string(w - s.size(), ' ') + s;
+}
+
+/** Sum of counters with the given prefix, keyed by the suffix. */
+std::vector<std::pair<std::string, uint64_t>>
+bySuffix(const std::map<std::string, uint64_t> &counters,
+         const std::string &prefix)
+{
+    std::vector<std::pair<std::string, uint64_t>> out;
+    for (const auto &[name, v] : counters)
+        if (name.size() > prefix.size() &&
+            name.compare(0, prefix.size(), prefix) == 0)
+            out.emplace_back(name.substr(prefix.size()), v);
+    return out;
+}
+
+uint64_t
+counterOr0(const std::map<std::string, uint64_t> &counters,
+           const std::string &name)
+{
+    auto it = counters.find(name);
+    return it == counters.end() ? 0 : it->second;
+}
+
+} // namespace
+
+TopSample
+parseTopSample(const json::Value &v)
+{
+    TopSample s;
+    if (!v.isObject())
+        return s;
+
+    const json::Value *registry = v.get("registry");
+    if (!registry)
+        registry = v.get("stats");
+    if (!registry || !registry->isObject())
+        return s;
+    s.valid = true;
+
+    s.tsMs = v.getInt("ts_ms", 0);
+    s.uptimeMs = v.getInt("uptime_ms", 0);
+    s.queueDepth = v.getInt("queue_depth", 0);
+    s.queueCapacity = v.getInt("queue_capacity", 0);
+    s.draining = v.getBool("draining", false);
+
+    if (const json::Value *c = registry->get("counters");
+        c && c->isObject())
+        for (const auto &[name, val] : c->members())
+            s.counters[name] = static_cast<uint64_t>(
+                std::max<int64_t>(0, val.asInt()));
+
+    if (const json::Value *h = registry->get("histograms");
+        h && h->isObject())
+        for (const auto &[name, val] : h->members()) {
+            TopSample::HistSummary hs;
+            hs.count = static_cast<uint64_t>(
+                std::max<int64_t>(0, val.getInt("count")));
+            hs.p50 = val.getNumber("p50");
+            hs.p90 = val.getNumber("p90");
+            hs.p99 = val.getNumber("p99");
+            s.histograms[name] = hs;
+        }
+
+    if (const json::Value *b = v.get("breakers"); b && b->isObject())
+        for (const auto &[stage, val] : b->members())
+            s.breakers[stage] = val.getString("state", "?");
+    return s;
+}
+
+std::string
+renderTopFrame(const TopSample &cur, const TopSample *prev)
+{
+    std::ostringstream out;
+    if (!cur.valid)
+        return "memoria top: no metrics payload in sample\n";
+
+    const uint64_t total =
+        counterOr0(cur.counters, "serve.requests_total");
+
+    // RPS from the delta against the previous sample; lifetime average
+    // over uptime when there is no usable baseline.
+    double rps = 0.0;
+    if (prev && prev->valid && cur.tsMs > prev->tsMs) {
+        uint64_t prevTotal =
+            counterOr0(prev->counters, "serve.requests_total");
+        if (total >= prevTotal)
+            rps = 1000.0 * static_cast<double>(total - prevTotal) /
+                  static_cast<double>(cur.tsMs - prev->tsMs);
+    } else if (cur.uptimeMs > 0) {
+        rps = 1000.0 * static_cast<double>(total) /
+              static_cast<double>(cur.uptimeMs);
+    }
+
+    out << "memoria top";
+    if (cur.uptimeMs > 0)
+        out << "  up " << std::fixed << std::setprecision(1)
+            << cur.uptimeMs / 1000.0 << "s";
+    out << "  queue " << cur.queueDepth << "/" << cur.queueCapacity;
+    if (cur.draining)
+        out << "  DRAINING";
+    out << "\n";
+
+    out << "requests " << total << " total   " << std::fixed
+        << std::setprecision(1) << rps << " rps   shed "
+        << counterOr0(cur.counters, "serve.shed") << "   errors "
+        << counterOr0(cur.counters, "serve.request_errors") << "\n";
+
+    out << "\n" << pad("latency", 22) << lpad("count", 10)
+        << lpad("p50", 12) << lpad("p90", 12) << lpad("p99", 12)
+        << "\n";
+    auto latencyRow = [&](const std::string &label,
+                          const std::string &hist) {
+        auto it = cur.histograms.find(hist);
+        if (it == cur.histograms.end())
+            return;
+        const TopSample::HistSummary &h = it->second;
+        out << pad("  " + label, 22)
+            << lpad(std::to_string(h.count), 10)
+            << lpad(fmtUs(h.p50), 12) << lpad(fmtUs(h.p90), 12)
+            << lpad(fmtUs(h.p99), 12) << "\n";
+    };
+    for (const char *kind :
+         {"analyze", "compound", "simulate", "health", "stats",
+          "metrics"})
+        latencyRow(kind, std::string("serve.latency_us.") + kind);
+
+    out << "\n" << pad("stage", 22) << lpad("count", 10)
+        << lpad("p50", 12) << lpad("p90", 12) << lpad("p99", 12)
+        << "\n";
+    for (const char *stage :
+         {"queue", "load", "optimize", "verify", "simulate", "total"})
+        latencyRow(stage, std::string("serve.stage.") + stage + "_us");
+
+    if (!cur.breakers.empty()) {
+        out << "\nbreakers";
+        for (const auto &[stage, state] : cur.breakers)
+            out << "  " << stage << "=" << state;
+        out << "\n";
+    }
+
+    auto rungs = bySuffix(cur.counters, "serve.rung.");
+    if (!rungs.empty()) {
+        out << "rungs";
+        for (const auto &[rung, n] : rungs)
+            out << "  " << rung << "=" << n;
+        out << "\n";
+    }
+
+    auto results = bySuffix(cur.counters, "serve.result.");
+    if (!results.empty()) {
+        out << "results";
+        for (const auto &[status, n] : results)
+            out << "  " << status << "=" << n;
+        out << "\n";
+    }
+    return out.str();
+}
+
+} // namespace serve
+} // namespace memoria

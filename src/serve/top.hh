@@ -1,0 +1,77 @@
+/**
+ * @file
+ * The rendering core of `memoria top` — a live text view of a running
+ * server's health: RPS, per-kind and per-stage latency percentiles,
+ * breaker states, ladder-rung mix, and queue depth.
+ *
+ * The data source is any metrics JSON object the server produces: a
+ * `metrics` response line (the CLI polls a listening server) or one
+ * JSONL snapshot line from `--metrics-file` (the CLI tails it
+ * offline). `parseTopSample` normalizes either shape into a
+ * `TopSample`; `renderTopFrame` turns one sample (plus the previous
+ * one, for rates) into a printable frame. Both are pure — the CLI owns
+ * the polling loop and the ANSI cursor dance, and the test suite
+ * renders frames directly.
+ */
+
+#ifndef MEMORIA_SERVE_TOP_HH
+#define MEMORIA_SERVE_TOP_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace memoria {
+namespace json {
+class Value;
+}
+
+namespace serve {
+
+/** One normalized metrics sample. */
+struct TopSample
+{
+    bool valid = false;       ///< parse found a stats payload
+    int64_t tsMs = 0;         ///< wall-clock ms ("ts_ms"; 0 if absent)
+    int64_t uptimeMs = 0;
+    int64_t queueDepth = 0;
+    int64_t queueCapacity = 0;
+    bool draining = false;
+
+    /** All counters from the registry dump, by full dotted name. */
+    std::map<std::string, uint64_t> counters;
+
+    /** Histogram summaries from the registry dump. */
+    struct HistSummary
+    {
+        uint64_t count = 0;
+        double p50 = 0.0;
+        double p90 = 0.0;
+        double p99 = 0.0;
+    };
+    std::map<std::string, HistSummary> histograms;
+
+    /** Breaker stage -> state name ("closed", "open", "half-open"). */
+    std::map<std::string, std::string> breakers;
+};
+
+/**
+ * Extract a TopSample from a parsed metrics object. Accepts both the
+ * `metrics` response shape (registry under "registry") and the JSONL
+ * snapshot shape (registry under "stats"). `valid` is false when
+ * neither is present.
+ */
+TopSample parseTopSample(const json::Value &v);
+
+/**
+ * Render one frame. `prev` (may be null) supplies the baseline for
+ * RPS: rates come from counter/timestamp deltas between the samples,
+ * falling back to the lifetime average over uptime when there is no
+ * usable previous sample.
+ */
+std::string renderTopFrame(const TopSample &cur, const TopSample *prev);
+
+} // namespace serve
+} // namespace memoria
+
+#endif // MEMORIA_SERVE_TOP_HH

@@ -1,0 +1,125 @@
+#include "support/export.hh"
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "support/stats.hh"
+
+namespace memoria {
+namespace obs {
+
+namespace {
+
+/** Render a double JSON- and exposition-valid, round-trip exact. */
+std::string
+num(double v)
+{
+    std::ostringstream os;
+    os << std::setprecision(17) << v;
+    std::string s = os.str();
+    if (s == "inf")
+        return "1e308";
+    if (s == "-inf")
+        return "-1e308";
+    if (s == "nan" || s == "-nan")
+        return "0";
+    return s;
+}
+
+bool
+endsWith(const std::string &s, const std::string &suffix)
+{
+    return s.size() >= suffix.size() &&
+           s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+} // namespace
+
+std::string
+prometheusName(const std::string &statName)
+{
+    std::string out = "memoria_";
+    out.reserve(out.size() + statName.size());
+    for (char c : statName) {
+        bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                  (c >= '0' && c <= '9') || c == '_';
+        out.push_back(ok ? c : '_');
+    }
+    return out;
+}
+
+void
+exportPrometheus(const StatsRegistry &registry, std::ostream &out)
+{
+    registry.forEachCounter([&](const std::string &name, const Counter &c) {
+        std::string metric = prometheusName(name);
+        if (!endsWith(metric, "_total"))
+            metric += "_total";
+        out << "# TYPE " << metric << " counter\n"
+            << metric << " " << c.value() << "\n";
+    });
+    registry.forEachGauge([&](const std::string &name, const Gauge &g) {
+        std::string metric = prometheusName(name);
+        out << "# TYPE " << metric << " gauge\n"
+            << metric << " " << num(g.value()) << "\n";
+    });
+    registry.forEachHistogram(
+        [&](const std::string &name, const Histogram &h) {
+            std::string metric = prometheusName(name);
+            Histogram::Snapshot s = h.snapshot();
+            out << "# TYPE " << metric << " histogram\n";
+            uint64_t cum = 0;
+            for (int b = 0; b < Histogram::kNumBuckets; ++b) {
+                cum += s.buckets[b];
+                // Empty prefix buckets collapse onto the next used
+                // edge via cumulativeness; emitting all 64 keeps the
+                // boundary set identical across every exported series.
+                double edge = Histogram::bucketUpperEdge(b);
+                out << metric << "_bucket{le=\"";
+                if (b == Histogram::kNumBuckets - 1)
+                    out << "+Inf";
+                else
+                    out << num(edge);
+                out << "\"} " << cum << "\n";
+            }
+            out << metric << "_sum " << num(s.sum) << "\n"
+                << metric << "_count " << s.count << "\n";
+        });
+}
+
+void
+exportPrometheus(std::ostream &out)
+{
+    exportPrometheus(statsRegistry(), out);
+}
+
+std::string
+prometheusText()
+{
+    std::ostringstream os;
+    exportPrometheus(os);
+    return os.str();
+}
+
+bool
+writeMetricsSnapshot(
+    const StatsRegistry &registry, std::ostream &out, long long tsMs,
+    const std::vector<std::pair<std::string, std::string>> &extra)
+{
+    std::ostringstream stats;
+    registry.dumpJson(stats);
+    std::string dump = stats.str();
+    while (!dump.empty() && (dump.back() == '\n' || dump.back() == '\r'))
+        dump.pop_back();
+
+    out << "{\"ts_ms\":" << tsMs;
+    for (const auto &[key, json] : extra)
+        out << ",\"" << key << "\":" << json;
+    out << ",\"stats\":" << dump << "}\n";
+    out.flush();
+    return static_cast<bool>(out);
+}
+
+} // namespace obs
+} // namespace memoria

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Metric exporters over the stats registry.
+ *
+ * Two wire formats, both derived from the same `StatsRegistry`:
+ *
+ *  - `exportPrometheus` writes Prometheus text exposition (version
+ *    0.0.4): every registered stat becomes a `memoria_`-prefixed
+ *    family with dots mapped to underscores — counters as counter
+ *    families (`_total` suffix), gauges as gauges, histograms as
+ *    native histogram families with cumulative `_bucket{le="..."}`
+ *    series over the fixed boundaries of `obs::Histogram`, plus
+ *    `_sum` and `_count`. The boundary set is stable across versions
+ *    (stats.hh), so scraped series aggregate across processes.
+ *
+ *  - `writeMetricsSnapshot` appends one self-contained JSON object
+ *    (registry dump + timestamp + free-form extra fields) to a JSONL
+ *    stream — the offline-trending format behind `--metrics-file`
+ *    and the food for `memoria top --file`.
+ *
+ * See docs/OBSERVABILITY.md for the catalog of exported names.
+ */
+
+#ifndef MEMORIA_SUPPORT_EXPORT_HH
+#define MEMORIA_SUPPORT_EXPORT_HH
+
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace memoria {
+namespace obs {
+
+class StatsRegistry;
+
+/** Map a dotted stat name to a Prometheus metric name:
+ *  `serve.request_time_us` -> `memoria_serve_request_time_us`.
+ *  Any character outside [a-zA-Z0-9_] becomes '_'. */
+std::string prometheusName(const std::string &statName);
+
+/** Write the whole registry as Prometheus text exposition. */
+void exportPrometheus(const StatsRegistry &registry, std::ostream &out);
+
+/** Convenience overload over the process-wide registry. */
+void exportPrometheus(std::ostream &out);
+
+/** The exposition as a string (serve's `metrics` request kind). */
+std::string prometheusText();
+
+/**
+ * Append one JSONL metrics snapshot:
+ * `{"ts_ms":...,<extra fields...>,"stats":{registry dump}}`.
+ * `extra` entries are key -> pre-rendered JSON value (caller is
+ * responsible for their validity). Returns false if the stream went
+ * bad. Writes a trailing newline and flushes (snapshots must survive
+ * an immediately following `_exit`).
+ */
+bool writeMetricsSnapshot(
+    const StatsRegistry &registry, std::ostream &out, long long tsMs,
+    const std::vector<std::pair<std::string, std::string>> &extra = {});
+
+} // namespace obs
+} // namespace memoria
+
+#endif // MEMORIA_SUPPORT_EXPORT_HH

@@ -23,8 +23,10 @@
 #ifndef MEMORIA_SUPPORT_STATS_HH
 #define MEMORIA_SUPPORT_STATS_HH
 
+#include <array>
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <limits>
 #include <map>
@@ -79,13 +81,32 @@ class Gauge
 };
 
 /**
- * Count/sum/min/max/mean over sampled values (e.g. timings in us).
- * Samples update four fields together, so this one takes a mutex
- * rather than going atomic field-by-field.
+ * Count/sum/min/max/mean plus a fixed-boundary log-scaled bucket array
+ * over sampled values (e.g. timings in us). Samples update the scalar
+ * fields and one bucket together, so this one takes a mutex rather
+ * than going atomic field-by-field.
+ *
+ * Bucket boundaries are *stable across processes and versions* so
+ * exported series can be aggregated and compared: half-octave edges at
+ * powers of sqrt(2). Bucket 0 holds everything below 1.0 (negatives
+ * included); bucket b in [1, 62] holds [2^((b-1)/2), 2^(b/2)); bucket
+ * 63 is the overflow bucket, [2^31, +inf). For microsecond timings the
+ * finite edges span 1us through ~36 minutes. The edges are the
+ * authoritative definition — `bucketIndex` is consistent with
+ * `bucketUpperEdge` by construction, and tests/test_obs.cc pins them.
  */
 class Histogram
 {
   public:
+    static constexpr int kNumBuckets = 64;
+
+    /** Exclusive upper edge of bucket `b`: 1.0 for bucket 0,
+     *  2^(b/2) for b in [1, 62], +infinity for bucket 63. */
+    static double bucketUpperEdge(int b);
+
+    /** Index of the bucket whose [lower, upper) range holds `v`. */
+    static int bucketIndex(double v);
+
     void
     sample(double v)
     {
@@ -96,6 +117,7 @@ class Histogram
             min_ = v;
         if (v > max_)
             max_ = v;
+        ++buckets_[bucketIndex(v)];
     }
 
     uint64_t
@@ -133,6 +155,27 @@ class Histogram
         return count_ ? sum_ / count_ : 0.0;
     }
 
+    /**
+     * Quantile estimate from the fixed buckets, q clamped to [0, 1];
+     * 0 when empty. The containing bucket is found exactly and the
+     * value interpolated linearly within it, then clamped to
+     * [min, max] — so the error is bounded by one bucket width, a
+     * factor of sqrt(2) in the value for samples >= 1.
+     */
+    double quantile(double q) const;
+
+    /** One consistent cut of everything (exporters read this). */
+    struct Snapshot
+    {
+        uint64_t count = 0;
+        double sum = 0.0;
+        double min = 0.0;
+        double max = 0.0;
+        std::array<uint64_t, kNumBuckets> buckets{};
+    };
+
+    Snapshot snapshot() const;
+
     void
     reset()
     {
@@ -141,14 +184,19 @@ class Histogram
         sum_ = 0.0;
         min_ = std::numeric_limits<double>::infinity();
         max_ = -std::numeric_limits<double>::infinity();
+        buckets_.fill(0);
     }
 
   private:
+    /** quantile() body; the caller holds mutex_. */
+    double quantileLocked(double q) const;
+
     mutable std::mutex mutex_;
     uint64_t count_ = 0;
     double sum_ = 0.0;
     double min_ = std::numeric_limits<double>::infinity();
     double max_ = -std::numeric_limits<double>::infinity();
+    std::array<uint64_t, kNumBuckets> buckets_{};
 };
 
 /** RAII wall-clock timer feeding a histogram in microseconds. */
@@ -188,6 +236,21 @@ class StatsRegistry
 
     /** Zero every value; registrations (and references) survive. */
     void resetValues();
+
+    /**
+     * Visit every stat in name order under the registry lock
+     * (exporters use these). The callback must not call back into the
+     * registry's find-or-create methods.
+     */
+    void forEachCounter(
+        const std::function<void(const std::string &, const Counter &)> &fn)
+        const;
+    void forEachGauge(
+        const std::function<void(const std::string &, const Gauge &)> &fn)
+        const;
+    void forEachHistogram(
+        const std::function<void(const std::string &, const Histogram &)> &fn)
+        const;
 
     bool
     empty() const

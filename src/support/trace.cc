@@ -1,6 +1,7 @@
 #include "support/trace.hh"
 
 #include <atomic>
+#include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <mutex>
@@ -26,6 +27,16 @@ std::atomic<uint64_t> nextSeq{0};
 /** Span nesting is a per-thread notion: batch workers each carry their
  *  own depth, so one worker's spans never indent another's records. */
 thread_local int spanDepth = 0;
+
+/** The thread's request-scoped context; {} when none is installed. */
+thread_local TraceContext tlsContext;
+
+/** The thread's per-request stage-time accumulator. */
+thread_local StageTimes tlsStageTimes;
+
+/** Span ids are process-unique so ids stay distinct across workers.
+ *  0 is reserved for "no span"; the counter starts at 1. */
+std::atomic<uint64_t> nextSpanId{1};
 
 /** Sinks are not required to be thread-safe; emission is serialized. */
 std::mutex emitMutex;
@@ -94,6 +105,10 @@ void
 emit(TraceEvent &&e)
 {
     e.seq = nextSeq.fetch_add(1, std::memory_order_relaxed);
+    if (!tlsContext.traceId.empty()) {
+        e.traceId = tlsContext.traceId;
+        e.spanId = tlsContext.spanId;
+    }
     std::lock_guard<std::mutex> lock(emitMutex);
     // Re-check under the lock: setTraceSink may have raced us.
     if (detail::sinkPtr)
@@ -115,6 +130,65 @@ typeName(TraceEvent::Type t)
 }
 
 } // namespace
+
+const TraceContext &
+currentTraceContext()
+{
+    return tlsContext;
+}
+
+std::string
+makeTraceId()
+{
+    // Process-unique, human-greppable: a per-process random-ish base
+    // (steady-clock ticks at first use, so two processes started apart
+    // differ) mixed with a process-wide counter via splitmix64.
+    static const uint64_t base = static_cast<uint64_t>(
+        std::chrono::steady_clock::now().time_since_epoch().count());
+    static std::atomic<uint64_t> counter{0};
+    uint64_t x = base + 0x9e3779b97f4a7c15ULL *
+                            (counter.fetch_add(1, std::memory_order_relaxed) + 1);
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "t%016llx",
+                  static_cast<unsigned long long>(x));
+    return buf;
+}
+
+TraceContextScope::TraceContextScope(std::string traceId)
+    : saved_(std::move(tlsContext))
+{
+    tlsContext.traceId = std::move(traceId);
+    tlsContext.spanId = 0;
+}
+
+TraceContextScope::~TraceContextScope()
+{
+    tlsContext = std::move(saved_);
+}
+
+StageTimes &
+stageTimes()
+{
+    return tlsStageTimes;
+}
+
+StageTimer::StageTimer(double StageTimes::*field)
+    : field_(field), start_(std::chrono::steady_clock::now())
+{
+}
+
+StageTimer::~StageTimer()
+{
+    tlsStageTimes.*field_ +=
+        std::chrono::duration<double, std::micro>(
+            std::chrono::steady_clock::now() - start_)
+            .count();
+}
 
 std::string
 TraceValue::render() const
@@ -181,6 +255,9 @@ renderTraceJson(const TraceEvent &e)
     out << "{\"type\":" << jsonEscape(typeName(e.type))
         << ",\"seq\":" << e.seq << ",\"cat\":" << jsonEscape(e.category)
         << ",\"name\":" << jsonEscape(e.name) << ",\"depth\":" << e.depth;
+    if (!e.traceId.empty())
+        out << ",\"trace\":" << jsonEscape(e.traceId)
+            << ",\"span\":" << e.spanId;
     if (e.type == TraceEvent::Type::SpanEnd)
         out << ",\"dur_us\":" << renderDouble(e.durationUs);
     if (!e.args.empty()) {
@@ -266,12 +343,12 @@ RingSink::~RingSink()
 void
 RingSink::event(const TraceEvent &e)
 {
-    std::string line = renderTraceJson(e);
+    Entry entry{e.traceId, renderTraceJson(e)};
     std::lock_guard<std::mutex> lock(mutex_);
-    if (lines_.size() < capacity_) {
-        lines_.push_back(std::move(line));
+    if (entries_.size() < capacity_) {
+        entries_.push_back(std::move(entry));
     } else {
-        lines_[next_] = std::move(line);
+        entries_[next_] = std::move(entry);
         next_ = (next_ + 1) % capacity_;
     }
 }
@@ -281,10 +358,23 @@ RingSink::snapshot() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
     std::vector<std::string> out;
-    out.reserve(lines_.size());
+    out.reserve(entries_.size());
     // next_ is the oldest slot once the ring has wrapped.
-    for (size_t i = 0; i < lines_.size(); ++i)
-        out.push_back(lines_[(next_ + i) % lines_.size()]);
+    for (size_t i = 0; i < entries_.size(); ++i)
+        out.push_back(entries_[(next_ + i) % entries_.size()].line);
+    return out;
+}
+
+std::vector<std::string>
+RingSink::snapshotFor(const std::string &traceId) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::string> out;
+    for (size_t i = 0; i < entries_.size(); ++i) {
+        const Entry &entry = entries_[(next_ + i) % entries_.size()];
+        if (entry.traceId == traceId)
+            out.push_back(entry.line);
+    }
     return out;
 }
 
@@ -326,6 +416,14 @@ TraceScope::TraceScope(std::string category, std::string name)
     name_ = std::move(name);
     start_ = std::chrono::steady_clock::now();
 
+    // Inside a request context, this span gets a fresh process-unique
+    // id and becomes the thread's innermost span for its lifetime.
+    if (!tlsContext.traceId.empty()) {
+        spanId_ = nextSpanId.fetch_add(1, std::memory_order_relaxed);
+        parentSpanId_ = tlsContext.spanId;
+        tlsContext.spanId = spanId_;
+    }
+
     TraceEvent e;
     e.type = TraceEvent::Type::SpanBegin;
     e.category = category_;
@@ -338,6 +436,18 @@ TraceScope::~TraceScope()
 {
     if (!active_)
         return;
+    // Pops the thread's innermost span id back to the parent; the
+    // SpanEnd record below is emitted first so it carries *this*
+    // span's id, not the parent's.
+    struct PopSpan
+    {
+        uint64_t spanId, parent;
+        ~PopSpan()
+        {
+            if (spanId != 0 && tlsContext.spanId == spanId)
+                tlsContext.spanId = parent;
+        }
+    } pop{spanId_, parentSpanId_};
     // The sink may have been swapped out mid-span (tests); drop the
     // record rather than write to the wrong sink with a skewed depth.
     if (!tracingEnabled()) {

@@ -90,6 +90,88 @@ struct TraceEvent
 
     /** Monotonically increasing per-process sequence number. */
     uint64_t seq = 0;
+
+    /** Request-scoped trace context at emission ("" / 0 = none).
+     *  Stamped by the emitter from the thread's TraceContext. */
+    std::string traceId;
+    uint64_t spanId = 0;
+};
+
+/**
+ * Request-scoped trace context, carried in a thread-local and stamped
+ * into every record the thread emits: the serve layer installs one
+ * per request (accepting a client-supplied `trace_id` or minting one),
+ * and because `harness::runIsolated` and everything below it run
+ * synchronously on the worker thread, Compound / oracle / cachesim
+ * spans inherit the id with no parameter threading. `spanId` is the id
+ * of the innermost active TraceScope within the context (0 at top
+ * level); span ids are process-unique.
+ */
+struct TraceContext
+{
+    std::string traceId;
+    uint64_t spanId = 0;
+};
+
+/** This thread's current context ({} when none is installed). */
+const TraceContext &currentTraceContext();
+
+/** Process-unique trace id (16 hex chars, "t" prefix). */
+std::string makeTraceId();
+
+/**
+ * RAII installer: sets this thread's trace id for the scope's
+ * lifetime and restores the previous context on destruction. An empty
+ * id installs an explicit "no context" (useful in tests).
+ */
+class TraceContextScope
+{
+  public:
+    explicit TraceContextScope(std::string traceId);
+    ~TraceContextScope();
+
+    TraceContextScope(const TraceContextScope &) = delete;
+    TraceContextScope &operator=(const TraceContextScope &) = delete;
+
+  private:
+    TraceContext saved_;
+};
+
+/**
+ * Per-request stage-time accumulator (thread-local, microseconds).
+ * `harness::runIsolated` resets it on entry and copies the totals into
+ * `ProgramOutcome::timings`; the stages add their elapsed time from
+ * wherever they run (load/simulate in the harness, verify inside
+ * Compound's guard) — so the serve layer can stamp a per-stage
+ * breakdown into every response without plumbing a parameter through
+ * the pipeline.
+ */
+struct StageTimes
+{
+    double loadUs = 0.0;
+    double optimizeUs = 0.0;
+    double verifyUs = 0.0;
+    double simulateUs = 0.0;
+
+    void reset() { *this = StageTimes{}; }
+};
+
+/** This thread's accumulator (mutable; callers add elapsed time). */
+StageTimes &stageTimes();
+
+/** RAII: adds its wall-clock lifetime to one StageTimes field. */
+class StageTimer
+{
+  public:
+    explicit StageTimer(double StageTimes::*field);
+    ~StageTimer();
+
+    StageTimer(const StageTimer &) = delete;
+    StageTimer &operator=(const StageTimer &) = delete;
+
+  private:
+    double StageTimes::*field_;
+    std::chrono::steady_clock::time_point start_;
 };
 
 /** Destination for trace records. */
@@ -167,14 +249,27 @@ class RingSink : public TraceSink
     /** Oldest-first copy of the buffered lines. */
     std::vector<std::string> snapshot() const;
 
+    /**
+     * Oldest-first copy of only the lines emitted under `traceId` —
+     * the flight-recorder tail of one request. An empty id matches
+     * records emitted with no context installed.
+     */
+    std::vector<std::string> snapshotFor(const std::string &traceId) const;
+
     /** The live ring, or nullptr when none is installed. */
     static RingSink *instance();
 
   private:
+    struct Entry
+    {
+        std::string traceId;
+        std::string line;
+    };
+
     mutable std::mutex mutex_;
     size_t capacity_;
     size_t next_ = 0;
-    std::vector<std::string> lines_;  ///< circular once full
+    std::vector<Entry> entries_;  ///< circular once full
 };
 
 /** Forwards every record to two child sinks (file + ring, say). */
@@ -280,6 +375,10 @@ class TraceScope
     std::string name_;
     std::vector<TraceArg> args_;
     std::chrono::steady_clock::time_point start_;
+    /** This span's id within the request context (0 = no context);
+     *  the parent's id is restored on destruction. */
+    uint64_t spanId_ = 0;
+    uint64_t parentSpanId_ = 0;
 };
 
 } // namespace obs

@@ -93,6 +93,8 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cerrno>
+#include <chrono>
 #include <cstdlib>
 #include <filesystem>
 #include <functional>
@@ -107,6 +109,11 @@
 #include <fstream>
 #include <sstream>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include "cachesim/reuse.hh"
 #include "driver/fuzzcheck.hh"
 #include "perf/bench.hh"
@@ -115,6 +122,7 @@
 #include "harness/fault.hh"
 #include "harness/incident.hh"
 #include "serve/listener.hh"
+#include "serve/top.hh"
 #include "support/json.hh"
 #include "support/logging.hh"
 #include "support/signals.hh"
@@ -409,6 +417,16 @@ struct Options
     std::string host = "127.0.0.1";  ///< --host
     std::string socketPath;       ///< --socket PATH
     bool allowFaults = false;     ///< --allow-faults
+
+    // serve metrics export
+    int metricsPort = -1;         ///< --metrics-port (-1 off)
+    int64_t metricsIntervalMs = 0;///< --metrics-interval-ms
+    std::string metricsFile;      ///< --metrics-file PATH
+
+    // top
+    std::string topFile;          ///< top: --file (tail snapshots)
+    int64_t topIntervalMs = 1000; ///< top: --interval-ms
+    bool topOnce = false;         ///< top: --once
 };
 
 Options
@@ -488,6 +506,22 @@ parseArgs(int argc, char **argv)
              [&](const std::string &v) { opts.host = v; }},
             {"--socket",
              [&](const std::string &v) { opts.socketPath = v; }},
+            {"--metrics-port",
+             [&](const std::string &v) {
+                 opts.metricsPort = std::atoi(v.c_str());
+             }},
+            {"--metrics-interval-ms",
+             [&](const std::string &v) {
+                 opts.metricsIntervalMs = std::atoll(v.c_str());
+             }},
+            {"--metrics-file",
+             [&](const std::string &v) { opts.metricsFile = v; }},
+            {"--file",
+             [&](const std::string &v) { opts.topFile = v; }},
+            {"--interval-ms",
+             [&](const std::string &v) {
+                 opts.topIntervalMs = std::atoll(v.c_str());
+             }},
         };
 
     for (int i = 1; i < argc && opts.error.empty(); ++i) {
@@ -527,6 +561,8 @@ parseArgs(int argc, char **argv)
             opts.faultSweep = true;
         } else if (arg == "--list-faults") {
             opts.listFaults = true;
+        } else if (arg == "--once") {
+            opts.topOnce = true;
         } else if (valuedIt != valued.end()) {
             if (eq != std::string::npos) {
                 valuedIt->second(arg.substr(eq + 1));
@@ -582,6 +618,10 @@ usageText()
         " [--port N]\n"
         "               [--host H] [--socket PATH] [--allow-faults]"
         " [--no-incidents]\n"
+        "               [--metrics-port N] [--metrics-file PATH] "
+        "[--metrics-interval-ms N]\n"
+        "       memoria top [host:port] [--file SNAPSHOTS.jsonl] "
+        "[--interval-ms N] [--once]\n"
         "       memoria reduce <bundle-dir|file.mem> [--deadline-ms N]"
         " [--max-checks N]\n"
         "       memoria bench [--reps N] [--warmup N] [--filter S] "
@@ -950,6 +990,10 @@ cmdServe(const Options &opts)
     if (!opts.incidentsDir.empty())
         sopts.incidents.dir = opts.incidentsDir;
 
+    sopts.metricsPath = opts.metricsFile;
+    if (opts.metricsIntervalMs > 0)
+        sopts.metricsIntervalMs = opts.metricsIntervalMs;
+
     serve::Server server(sopts);
     if (opts.port >= 0 || !opts.socketPath.empty()) {
         serve::TransportOptions topts;
@@ -957,9 +1001,163 @@ cmdServe(const Options &opts)
         topts.host = opts.host;
         topts.port = opts.port;
         topts.unixPath = opts.socketPath;
+        topts.metricsPort = opts.metricsPort;
         return serve::runListener(server, topts);
     }
     return serve::runStdio(server);
+}
+
+/**
+ * One `metrics` request/response round trip against a running server.
+ * Connects fresh each tick — at top's refresh rate that is cheap, and
+ * it keeps the view working across server restarts.
+ */
+bool
+fetchMetricsTcp(const std::string &host, int port, std::string &line)
+{
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        return false;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<uint16_t>(port));
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1 ||
+        ::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) < 0) {
+        ::close(fd);
+        return false;
+    }
+    const std::string req = "{\"id\":\"top\",\"kind\":\"metrics\"}\n";
+    size_t off = 0;
+    while (off < req.size()) {
+        ssize_t n = ::write(fd, req.data() + off, req.size() - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            ::close(fd);
+            return false;
+        }
+        off += static_cast<size_t>(n);
+    }
+    ::shutdown(fd, SHUT_WR);
+    std::string buf;
+    char chunk[4096];
+    for (;;) {
+        ssize_t n = ::read(fd, chunk, sizeof(chunk));
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            break;
+        }
+        if (n == 0)
+            break;
+        buf.append(chunk, static_cast<size_t>(n));
+        size_t pos = buf.find('\n');
+        if (pos != std::string::npos) {
+            buf.resize(pos);
+            break;
+        }
+    }
+    ::close(fd);
+    if (buf.empty())
+        return false;
+    line = buf;
+    return true;
+}
+
+/** Last non-empty line of a JSONL snapshot file. */
+bool
+tailSnapshotFile(const std::string &path, std::string &line)
+{
+    std::ifstream in(path);
+    if (!in)
+        return false;
+    std::string last, cur;
+    while (std::getline(in, cur))
+        if (!cur.empty())
+            last = cur;
+    if (last.empty())
+        return false;
+    line = std::move(last);
+    return true;
+}
+
+/**
+ * `memoria top`: render the live state of a running server (polled
+ * with `metrics` requests over TCP) or of a `--metrics-file` snapshot
+ * stream, refreshing in place until interrupted.
+ */
+int
+cmdTop(const Options &opts)
+{
+    const int64_t intervalMs =
+        opts.topIntervalMs > 0 ? opts.topIntervalMs : 1000;
+
+    std::function<bool(std::string &)> fetch;
+    std::string target;
+    if (!opts.topFile.empty()) {
+        const std::string path = opts.topFile;
+        target = path;
+        fetch = [path](std::string &line) {
+            return tailSnapshotFile(path, line);
+        };
+    } else {
+        // `memoria top host:port`, `memoria top PORT`, or --host/--port.
+        std::string host = opts.host;
+        int port = opts.port;
+        if (opts.positional.size() > 1) {
+            const std::string &hp = opts.positional[1];
+            size_t colon = hp.rfind(':');
+            if (colon == std::string::npos) {
+                port = std::atoi(hp.c_str());
+            } else {
+                if (colon > 0)
+                    host = hp.substr(0, colon);
+                port = std::atoi(hp.c_str() + colon + 1);
+            }
+        }
+        if (port <= 0) {
+            std::cerr << "memoria top: wants host:port (or --file "
+                         "snapshots.jsonl)\n";
+            return 2;
+        }
+        target = host + ":" + std::to_string(port);
+        fetch = [host, port](std::string &line) {
+            return fetchMetricsTcp(host, port, line);
+        };
+    }
+
+    serve::TopSample prev;
+    bool havePrev = false;
+    for (;;) {
+        std::string line;
+        if (!fetch(line)) {
+            std::cerr << "memoria top: cannot fetch a metrics sample "
+                         "from "
+                      << target << "\n";
+            return 1;
+        }
+        Result<json::Value> parsed = json::parse(line);
+        if (!parsed.ok()) {
+            std::cerr << "memoria top: bad metrics sample: "
+                      << parsed.diag().str() << "\n";
+            return 1;
+        }
+        serve::TopSample cur =
+            serve::parseTopSample(parsed.value());
+        std::string frame =
+            serve::renderTopFrame(cur, havePrev ? &prev : nullptr);
+        if (!opts.topOnce)
+            std::cout << "\033[H\033[2J";
+        std::cout << frame;
+        std::cout.flush();
+        if (opts.topOnce)
+            return cur.valid ? 0 : 1;
+        prev = cur;
+        havePrev = true;
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(intervalMs));
+    }
 }
 
 /** The dotted code prefix of a rendered Diag ("code: message"). */
@@ -1208,6 +1406,8 @@ run(int argc, char **argv)
         rc = 0;
     } else if (cmd == "serve") {
         rc = cmdServe(opts);
+    } else if (cmd == "top") {
+        rc = cmdTop(opts);
     } else if (cmd == "reduce") {
         if (opts.positional.size() < 2) {
             std::cerr << "memoria reduce: need a bundle directory or "

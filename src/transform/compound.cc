@@ -104,6 +104,10 @@ struct VerifyScratch
 std::string
 verifyAgainst(const Program &ref, const Program &cand)
 {
+    // Verification time accrues to the request's verify stage even
+    // though it runs nested inside the optimize stage; the optimize
+    // accumulation (harness/batch.cc) subtracts it back out.
+    obs::StageTimer stage(&obs::StageTimes::verifyUs);
     std::vector<Diag> diags = validateProgram(cand);
     if (!diags.empty())
         return "IR validation: " + diags.front().str();

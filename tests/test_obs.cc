@@ -5,12 +5,17 @@
 #include <gtest/gtest.h>
 
 #include <cctype>
+#include <cmath>
 #include <cstring>
 #include <fstream>
+#include <mutex>
+#include <set>
 #include <sstream>
+#include <thread>
 
 #include "driver/memoria.hh"
 #include "suite/kernels.hh"
+#include "support/export.hh"
 #include "support/logging.hh"
 #include "support/stats.hh"
 #include "support/trace.hh"
@@ -539,6 +544,240 @@ TEST_F(ObsTest, FatalFlushesTraceSinkBeforeExit)
     for (const auto &l : lines)
         EXPECT_TRUE(JsonChecker(l).valid()) << l;
     EXPECT_NE(lines[1].find("boom"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Histogram buckets and quantiles
+
+TEST_F(ObsTest, HistogramBucketEdgesArePinned)
+{
+    // The exposition format promises stable bucket boundaries across
+    // processes and versions: half-octave powers of two.
+    using H = obs::Histogram;
+    EXPECT_DOUBLE_EQ(H::bucketUpperEdge(0), 1.0);
+    EXPECT_DOUBLE_EQ(H::bucketUpperEdge(1), std::sqrt(2.0));
+    EXPECT_DOUBLE_EQ(H::bucketUpperEdge(2), 2.0);
+    EXPECT_DOUBLE_EQ(H::bucketUpperEdge(4), 4.0);
+    EXPECT_DOUBLE_EQ(H::bucketUpperEdge(20), 1024.0);
+    EXPECT_DOUBLE_EQ(H::bucketUpperEdge(62), 2147483648.0);
+    EXPECT_TRUE(std::isinf(H::bucketUpperEdge(63)));
+
+    // Every sample lands in the bucket whose [lower, upper) range
+    // holds it, for values spanning the whole scale.
+    for (double v : {-3.0, 0.0, 0.5, 1.0, 1.41, 2.0, 3.0, 100.0,
+                     1e6, 3e9, 1e30}) {
+        int b = H::bucketIndex(v);
+        ASSERT_GE(b, 0);
+        ASSERT_LT(b, H::kNumBuckets);
+        EXPECT_LT(v, H::bucketUpperEdge(b)) << v;
+        if (b > 0) {
+            EXPECT_GE(v, H::bucketUpperEdge(b - 1)) << v;
+        }
+    }
+}
+
+TEST_F(ObsTest, HistogramQuantilesWithinOneBucket)
+{
+    obs::Histogram &h = obs::histogram("test.quantiles");
+    for (int i = 1; i <= 1000; ++i)
+        h.sample(static_cast<double>(i));
+
+    // Log-scaled buckets bound the relative error at one half-octave
+    // (a factor of sqrt(2)), and interpolation does better; allow the
+    // full bucket width.
+    for (double q : {0.5, 0.9, 0.99}) {
+        double want = q * 1000.0;
+        double got = h.quantile(q);
+        EXPECT_GE(got, want / std::sqrt(2.0)) << "q=" << q;
+        EXPECT_LE(got, want * std::sqrt(2.0)) << "q=" << q;
+    }
+    // Extremes clamp to the observed range.
+    EXPECT_DOUBLE_EQ(h.quantile(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 1000.0);
+
+    // dumpJson publishes the quantiles alongside count/sum.
+    std::ostringstream json;
+    obs::statsRegistry().dumpJson(json);
+    EXPECT_NE(json.str().find("\"p50\":"), std::string::npos);
+    EXPECT_NE(json.str().find("\"p99\":"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Request-scoped trace context
+
+TEST_F(ObsTest, TraceContextStampsEveryNestedEvent)
+{
+    {
+        obs::TraceContextScope ctx("tREQ42");
+        obs::TraceScope outer("t", "outer");
+        {
+            obs::TraceScope inner("t", "inner");
+            obs::traceEvent("t", "point");
+        }
+    }
+    obs::traceEvent("t", "after");
+
+    ASSERT_EQ(rec_->events.size(), 6u);
+    for (size_t i = 0; i < 5; ++i)
+        EXPECT_EQ(rec_->events[i].traceId, "tREQ42") << i;
+    EXPECT_EQ(rec_->events[5].traceId, "")
+        << "events outside the scope carry no trace id";
+
+    // Spans get process-unique span ids; the inner span's SpanEnd
+    // carries its own id, not the parent's.
+    const auto &beginOuter = rec_->events[0];
+    const auto &beginInner = rec_->events[1];
+    const auto &endInner = rec_->events[3];
+    const auto &endOuter = rec_->events[4];
+    EXPECT_NE(beginOuter.spanId, 0u);
+    EXPECT_NE(beginInner.spanId, 0u);
+    EXPECT_NE(beginOuter.spanId, beginInner.spanId);
+    EXPECT_EQ(endInner.spanId, beginInner.spanId);
+    EXPECT_EQ(endOuter.spanId, beginOuter.spanId);
+}
+
+TEST_F(ObsTest, CompoundSpansCarryTheRequestTraceId)
+{
+    Program p = makeMatmul("IJK", 16);
+    ModelParams params;
+    params.lineBytes = 32;
+    {
+        obs::TraceContextScope ctx("tCOMPOUND");
+        compoundTransform(p, params);
+    }
+    auto nests = spans("pass.compound", "nest");
+    ASSERT_FALSE(nests.empty());
+    for (const auto &e : rec_->events)
+        EXPECT_EQ(e.traceId, "tCOMPOUND") << e.category << "/" << e.name;
+}
+
+TEST_F(ObsTest, ConcurrentContextsNeverShareTraceIds)
+{
+    obs::setTraceSink(nullptr);  // RecordingSink is not thread-safe
+
+    std::mutex mutex;
+    std::set<std::string> ids;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; ++t)
+        threads.emplace_back([&] {
+            for (int i = 0; i < 250; ++i) {
+                std::string id = obs::makeTraceId();
+                obs::TraceContextScope ctx(id);
+                // The context is thread-local: concurrent requests
+                // each observe their own id, never a neighbor's.
+                ASSERT_EQ(obs::currentTraceContext().traceId, id);
+                std::lock_guard<std::mutex> lock(mutex);
+                ids.insert(id);
+            }
+        });
+    for (auto &th : threads)
+        th.join();
+    EXPECT_EQ(ids.size(), 1000u) << "minted trace ids must be unique";
+}
+
+TEST_F(ObsTest, RingSinkFlightRecorderFiltersByTraceId)
+{
+    auto sink = std::make_unique<obs::RingSink>(32);
+    obs::RingSink *ring = sink.get();
+    obs::setTraceSink(std::move(sink));
+
+    {
+        obs::TraceContextScope ctx("tAAA");
+        obs::traceEvent("t", "first");
+    }
+    {
+        obs::TraceContextScope ctx("tBBB");
+        obs::traceEvent("t", "second");
+        obs::traceEvent("t", "third");
+    }
+
+    EXPECT_EQ(ring->snapshot().size(), 3u);
+    auto a = ring->snapshotFor("tAAA");
+    ASSERT_EQ(a.size(), 1u);
+    EXPECT_NE(a[0].find("\"first\""), std::string::npos);
+    EXPECT_NE(a[0].find("\"trace\":\"tAAA\""), std::string::npos);
+    auto b = ring->snapshotFor("tBBB");
+    ASSERT_EQ(b.size(), 2u);
+    EXPECT_TRUE(ring->snapshotFor("tZZZ").empty());
+}
+
+// ---------------------------------------------------------------------
+// Prometheus exposition
+
+TEST_F(ObsTest, PrometheusExpositionGoldenFormat)
+{
+    obs::counter("test.alpha") += 5;
+    obs::counter("test.requests_total") += 2;
+    obs::gauge("test.level").set(2.5);
+    obs::histogram("test.times").sample(2.0);
+    obs::histogram("test.times").sample(4.0);
+
+    std::ostringstream out;
+    obs::exportPrometheus(obs::statsRegistry(), out);
+    const std::string text = out.str();
+
+    // Counters: memoria_ prefix, dots mangled, _total suffixed once.
+    EXPECT_NE(text.find("# TYPE memoria_test_alpha_total counter\n"
+                        "memoria_test_alpha_total 5\n"),
+              std::string::npos)
+        << text;
+    EXPECT_NE(text.find("memoria_test_requests_total 2\n"),
+              std::string::npos)
+        << "_total is not doubled";
+    EXPECT_EQ(text.find("requests_total_total"), std::string::npos);
+
+    EXPECT_NE(text.find("# TYPE memoria_test_level gauge\n"
+                        "memoria_test_level 2.5\n"),
+              std::string::npos);
+
+    // Histogram: all 64 cumulative buckets, +Inf last, sum and count.
+    EXPECT_NE(text.find("# TYPE memoria_test_times histogram"),
+              std::string::npos);
+    size_t buckets = 0, pos = 0;
+    double prev = -1.0;
+    while ((pos = text.find("memoria_test_times_bucket{le=\"", pos)) !=
+           std::string::npos) {
+        ++buckets;
+        size_t valAt = text.find("} ", pos);
+        ASSERT_NE(valAt, std::string::npos);
+        double v = std::stod(text.substr(valAt + 2));
+        EXPECT_GE(v, prev) << "cumulative buckets are monotonic";
+        prev = v;
+        ++pos;
+    }
+    EXPECT_EQ(buckets, 64u);
+    EXPECT_NE(text.find("_bucket{le=\"+Inf\"} 2\n"), std::string::npos);
+    EXPECT_NE(text.find("memoria_test_times_sum 6\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("memoria_test_times_count 2\n"),
+              std::string::npos);
+
+    // prometheusName is the exported mangler the server reuses.
+    EXPECT_EQ(obs::prometheusName("serve.latency_us.compound"),
+              "memoria_serve_latency_us_compound");
+}
+
+// ---------------------------------------------------------------------
+// Pipeline stage timers
+
+TEST_F(ObsTest, StageTimersAccumulateIntoThreadLocalSlots)
+{
+    obs::stageTimes().reset();
+    {
+        obs::StageTimer t(&obs::StageTimes::loadUs);
+        volatile double sink = 0;
+        for (int i = 0; i < 1000; ++i)
+            sink = sink + i;
+    }
+    {
+        obs::StageTimer t(&obs::StageTimes::simulateUs);
+    }
+    EXPECT_GT(obs::stageTimes().loadUs, 0.0);
+    EXPECT_GE(obs::stageTimes().simulateUs, 0.0);
+    EXPECT_EQ(obs::stageTimes().optimizeUs, 0.0);
+
+    obs::stageTimes().reset();
+    EXPECT_EQ(obs::stageTimes().loadUs, 0.0);
 }
 
 } // namespace

@@ -16,7 +16,9 @@
 #include "serve/breaker.hh"
 #include "serve/protocol.hh"
 #include "serve/server.hh"
+#include "serve/top.hh"
 #include "support/json.hh"
+#include "support/stats.hh"
 
 namespace memoria {
 namespace serve {
@@ -386,6 +388,171 @@ TEST(Serve, MixedCorpusGetsExactlyOneResponseEach)
     server.drain();
 
     EXPECT_EQ(out.lines.size(), static_cast<size_t>(expected));
+}
+
+// ---------------------------------------------------------------------
+// Request telemetry: timings, trace ids, the metrics kind, and top
+
+TEST(Serve, ResultCarriesMonotonicStageTimings)
+{
+    Server server(quietOptions());
+    server.start();
+
+    Collector out;
+    server.handleLine(
+        "{\"id\":\"t1\",\"kind\":\"simulate\",\"program\":" +
+            json::quote(kSmallProgram) + "}",
+        out.fn());
+    server.drain();
+
+    ASSERT_EQ(out.lines.size(), 1u);
+    json::Value v = out.parsed(0);
+    ASSERT_EQ(v.getString("type"), "result") << out.lines[0];
+    const json::Value *t = v.get("timings");
+    ASSERT_NE(t, nullptr) << "result lacks a timings block";
+
+    const double queueUs = t->getNumber("queue_us");
+    const double loadUs = t->getNumber("load_us");
+    const double optimizeUs = t->getNumber("optimize_us");
+    const double verifyUs = t->getNumber("verify_us");
+    const double simulateUs = t->getNumber("simulate_us");
+    const double totalUs = t->getNumber("total_us");
+
+    EXPECT_GE(queueUs, 0.0);
+    EXPECT_GT(loadUs, 0.0) << "parsing the program takes time";
+    EXPECT_GE(optimizeUs, 0.0);
+    EXPECT_GE(verifyUs, 0.0);
+    EXPECT_GT(simulateUs, 0.0) << "simulate requests simulate";
+    EXPECT_GT(totalUs, 0.0);
+
+    // The stages are disjoint slices of the request's wall time, so
+    // their sum cannot exceed it (1us of float slack).
+    EXPECT_LE(queueUs + loadUs + optimizeUs + verifyUs + simulateUs,
+              totalUs + 1.0);
+}
+
+TEST(Serve, TraceIdEchoedWhenGivenMintedWhenAbsent)
+{
+    Server server(quietOptions());
+    server.start();
+
+    Collector out;
+    server.handleLine(
+        "{\"id\":\"a\",\"kind\":\"analyze\",\"trace_id\":\"tFEED\","
+        "\"program\":" + json::quote(kSmallProgram) + "}",
+        out.fn());
+    server.handleLine(
+        "{\"id\":\"b\",\"kind\":\"analyze\",\"program\":" +
+            json::quote(kSmallProgram) + "}",
+        out.fn());
+    server.handleLine(
+        "{\"id\":\"c\",\"kind\":\"analyze\",\"program\":" +
+            json::quote(kSmallProgram) + "}",
+        out.fn());
+    server.drain();
+
+    ASSERT_EQ(out.lines.size(), 3u);
+    std::map<std::string, std::string> traceById;
+    for (size_t i = 0; i < 3; ++i) {
+        json::Value v = out.parsed(i);
+        traceById[v.getString("id")] = v.getString("trace_id");
+    }
+    EXPECT_EQ(traceById["a"], "tFEED") << "client ids are echoed";
+    EXPECT_FALSE(traceById["b"].empty()) << "server mints an id";
+    EXPECT_FALSE(traceById["c"].empty());
+    EXPECT_NE(traceById["b"], traceById["c"])
+        << "two requests never share a minted trace id";
+}
+
+TEST(Serve, MetricsRequestAnswersInlineWithoutWorkers)
+{
+    obs::statsRegistry().resetValues();  // exact counts below
+    Server server(quietOptions());  // never started: no workers
+    Collector out;
+    server.handleLine("{\"id\":\"m\",\"kind\":\"metrics\"}", out.fn());
+
+    ASSERT_EQ(out.lines.size(), 1u);
+    json::Value v = out.parsed(0);
+    EXPECT_EQ(v.getString("type"), "metrics");
+    EXPECT_EQ(v.getString("id"), "m");
+    ASSERT_NE(v.get("registry"), nullptr);
+    ASSERT_NE(v.get("breakers"), nullptr);
+    EXPECT_GE(v.getInt("queue_capacity"), 1);
+
+    // The embedded exposition is the same text the --metrics-port
+    // endpoint serves.
+    std::string expo = v.getString("exposition");
+    EXPECT_NE(expo.find("# TYPE memoria_serve_requests_total counter"),
+              std::string::npos)
+        << expo.substr(0, 200);
+    EXPECT_NE(expo.find("memoria_serve_requests_total 1"),
+              std::string::npos)
+        << "the metrics request itself is counted";
+}
+
+TEST(Top, ParsesMetricsResponseAndRendersFrame)
+{
+    obs::statsRegistry().resetValues();  // exact counts below
+    Server server(quietOptions());
+    server.start();
+    Collector out;
+    server.handleLine(
+        "{\"id\":\"w\",\"kind\":\"compound\",\"program\":" +
+            json::quote(kSmallProgram) + "}",
+        out.fn());
+    server.drain();
+    server.handleLine("{\"id\":\"m\",\"kind\":\"metrics\"}", out.fn());
+    ASSERT_EQ(out.lines.size(), 2u);
+
+    TopSample cur = parseTopSample(out.parsed(1));
+    ASSERT_TRUE(cur.valid);
+    EXPECT_EQ(cur.counters["serve.requests_total"], 2u);
+    EXPECT_TRUE(cur.draining);
+    ASSERT_TRUE(cur.histograms.count("serve.latency_us.compound"));
+    EXPECT_EQ(cur.histograms["serve.latency_us.compound"].count, 1u);
+    EXPECT_FALSE(cur.breakers.empty());
+
+    std::string frame = renderTopFrame(cur, nullptr);
+    EXPECT_NE(frame.find("requests 2 total"), std::string::npos)
+        << frame;
+    EXPECT_NE(frame.find("compound"), std::string::npos);
+    EXPECT_NE(frame.find("DRAINING"), std::string::npos);
+    EXPECT_NE(frame.find("breakers"), std::string::npos);
+
+    // RPS from a delta against a previous sample: 10 more requests
+    // over one second.
+    TopSample prev = cur;
+    prev.tsMs = cur.tsMs - 1000;
+    prev.counters["serve.requests_total"] = cur.counters["serve.requests_total"];
+    cur.counters["serve.requests_total"] += 10;
+    std::string frame2 = renderTopFrame(cur, &prev);
+    EXPECT_NE(frame2.find("10.0 rps"), std::string::npos) << frame2;
+}
+
+TEST(Top, ParsesSnapshotFileLines)
+{
+    // The JSONL snapshot stream keys the registry as "stats".
+    const char *line =
+        "{\"ts_ms\":1000,\"queue_depth\":3,\"queue_capacity\":16,"
+        "\"uptime_ms\":2000,\"draining\":false,"
+        "\"stats\":{\"counters\":{\"serve.requests_total\":4},"
+        "\"histograms\":{\"serve.stage.total_us\":{\"count\":4,"
+        "\"p50\":100.0,\"p90\":200.0,\"p99\":300.0}}}}";
+    Result<json::Value> v = json::parse(line);
+    ASSERT_TRUE(v.ok());
+    TopSample s = parseTopSample(v.value());
+    ASSERT_TRUE(s.valid);
+    EXPECT_EQ(s.queueDepth, 3);
+    EXPECT_EQ(s.counters["serve.requests_total"], 4u);
+    EXPECT_DOUBLE_EQ(s.histograms["serve.stage.total_us"].p99, 300.0);
+    // Lifetime-average RPS: 4 requests over 2s of uptime.
+    std::string frame = renderTopFrame(s, nullptr);
+    EXPECT_NE(frame.find("2.0 rps"), std::string::npos) << frame;
+
+    TopSample bad = parseTopSample(json::Value::object());
+    EXPECT_FALSE(bad.valid);
+    EXPECT_NE(renderTopFrame(bad, nullptr).find("no metrics"),
+              std::string::npos);
 }
 
 } // namespace
