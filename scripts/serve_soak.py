@@ -1,10 +1,11 @@
 #!/usr/bin/env python3
 """Soak-test `memoria serve` over the stdio transport.
 
-Drives a mixed corpus of requests (valid work, heavy programs under
-tiny deadlines, malformed lines, fault-armed requests, health probes)
-at a small server, then SIGTERMs it, and asserts the robustness and
-telemetry contracts end to end:
+Steady mode (the default) drives a mixed corpus of requests (valid
+work, heavy programs under tiny deadlines, malformed lines,
+fault-armed requests, health probes) at a small single-process server,
+then SIGTERMs it, and asserts the robustness and telemetry contracts
+end to end:
 
   * exactly one terminal response per request — nothing lost, nothing
     duplicated, even for requests shed by backpressure;
@@ -16,15 +17,35 @@ telemetry contracts end to end:
   * at least one well-formed minimized incident bundle was written for
     the fault-armed failures.
 
-A JSON soak report — client-side latency p50/p95/p99 per request kind,
-RPS, and the server's own serve.latency_us.* percentiles — is printed
-and, when SOAK_REPORT (or argv[3]) names a path, written there.
+Chaos mode (--chaos, implies --workers >= 2) runs the supervised
+multi-process server and attacks it while the corpus is in flight:
+random SIGKILLs and SIGSTOP/SIGCONT of shard-worker processes (pids
+read from the supervisor's metrics snapshots, verified to be children
+of the supervisor), plus malformed and oversized request injection.
+It asserts the supervision contract:
 
-Usage: scripts/serve_soak.py [path-to-memoria] [request-count] [report]
+  * zero lost responses — every request with an id gets exactly one
+    terminal response (idempotent kinds transparently retried after a
+    worker crash, non-idempotent ones answered `serve.worker-crashed`);
+  * respawns are bounded by the chaos actions taken (no respawn
+    storms) and at least one crash/respawn actually happened;
+  * post-chaos `serve.requests_total` reconciles exactly with the
+    client-side count of well-formed requests;
+  * the admission journal is empty after drain: every `admit` record
+    has a matching `done` (torn trailing lines tolerated).
+
+A JSON soak report — client-side latency p50/p95/p99 per request kind,
+RPS, the server's own serve.latency_us.* percentiles, and (in chaos
+mode) the chaos/respawn tallies — is printed and, when SOAK_REPORT
+(or the report positional) names a path, written there.
+
+Usage: scripts/serve_soak.py [--chaos] [--workers N]
+                             [path-to-memoria] [request-count] [report]
 """
 
 import json
 import os
+import random
 import shutil
 import signal
 import subprocess
@@ -34,13 +55,27 @@ import threading
 import time
 from collections import Counter
 
-BIN = sys.argv[1] if len(sys.argv) > 1 else "./build/src/tools/memoria"
-COUNT = int(sys.argv[2]) if len(sys.argv) > 2 else 200
-REPORT = (sys.argv[3] if len(sys.argv) > 3
-          else os.environ.get("SOAK_REPORT", ""))
+ARGS = [a for a in sys.argv[1:]]
+CHAOS = "--chaos" in ARGS
+if CHAOS:
+    ARGS.remove("--chaos")
+WORKERS = 0
+if "--workers" in ARGS:
+    i = ARGS.index("--workers")
+    WORKERS = int(ARGS[i + 1])
+    del ARGS[i:i + 2]
+if CHAOS and WORKERS <= 0:
+    WORKERS = 2
+
+BIN = ARGS[0] if len(ARGS) > 0 else "./build/src/tools/memoria"
+COUNT = int(ARGS[1]) if len(ARGS) > 1 else 200
+REPORT = ARGS[2] if len(ARGS) > 2 else os.environ.get("SOAK_REPORT", "")
 # Where the server writes its periodic metrics snapshots; default is
 # inside the (deleted) scratch dir, set SOAK_SNAPSHOTS to keep them.
 SNAPSHOTS = os.environ.get("SOAK_SNAPSHOTS", "")
+# Where the chaos run's admission journal goes; default scratch,
+# set SOAK_JOURNAL to keep it for archiving.
+JOURNAL = os.environ.get("SOAK_JOURNAL", "")
 
 SMALL = (
     "PROGRAM t\n"
@@ -127,73 +162,183 @@ def check_exposition(text):
     return values
 
 
-def main():
-    incidents = tempfile.mkdtemp(prefix="memoria-soak-incidents-")
-    metrics_file = SNAPSHOTS or os.path.join(incidents,
-                                             "snapshots.jsonl")
-    proc = subprocess.Popen(
-        [
-            BIN, "serve",
-            "--jobs", "2",
-            "--queue", "8",
-            "--deadline-ms", "2000",
-            "--allow-faults",
-            "--incidents-dir", incidents,
-            "--metrics-file", metrics_file,
-            "--metrics-interval-ms", "100",
-        ],
-        stdin=subprocess.PIPE,
-        stdout=subprocess.PIPE,
-        stderr=sys.stderr,
-        text=True,
-    )
+class ServeClient:
+    """One serve process on stdio plus the client-side bookkeeping the
+    assertions need: response lines, per-id arrival times, and the
+    count of well-formed requests sent (what serve.requests_total must
+    reconcile against)."""
 
-    lines = []
-    recv_at = {}  # request id -> monotonic arrival time
-    def reader():
+    def __init__(self, argv):
+        self.proc = subprocess.Popen(
+            argv,
+            stdin=subprocess.PIPE,
+            stdout=subprocess.PIPE,
+            stderr=sys.stderr,
+            text=True,
+        )
+        self.lines = []
+        self.recv_at = {}   # request id -> monotonic arrival time
+        self.sent_at = {}   # request id -> monotonic send time
+        self.sent_kind = {} # request id -> kind
+        self.parsed_sent = 0  # requests the server should parse
+        self.thread = threading.Thread(target=self._reader,
+                                       daemon=True)
+        self.thread.start()
+
+    def _reader(self):
         # Line-at-a-time; survives EINTR inside Python's buffered read.
-        for line in proc.stdout:
+        for line in self.proc.stdout:
             line = line.strip()
             if line:
                 now = time.monotonic()
-                lines.append(line)
+                self.lines.append(line)
                 try:
                     rid = json.loads(line).get("id", "")
                 except json.JSONDecodeError:
                     rid = ""
-                if rid and rid not in recv_at:
-                    recv_at[rid] = now
+                if rid and rid not in self.recv_at:
+                    self.recv_at[rid] = now
 
-    thread = threading.Thread(target=reader, daemon=True)
-    thread.start()
+    def send_raw(self, text):
+        self.proc.stdin.write(text + "\n")
+        self.proc.stdin.flush()
 
-    sent_at = {}   # request id -> monotonic send time
-    sent_kind = {} # request id -> kind
-    parsed_sent = [0]  # requests the server should parse successfully
-
-    def send_raw(text):
-        proc.stdin.write(text + "\n")
-        proc.stdin.flush()
-
-    def send(obj):
+    def send(self, obj):
         rid = obj.get("id", "")
         if rid:
-            sent_at[rid] = time.monotonic()
-            sent_kind[rid] = obj.get("kind", "compound")
-        parsed_sent[0] += 1
-        send_raw(json.dumps(obj))
+            self.sent_at[rid] = time.monotonic()
+            self.sent_kind[rid] = obj.get("kind", "compound")
+        self.parsed_sent += 1
+        self.send_raw(json.dumps(obj))
 
-    def wait_responses(n, timeout=120.0):
+    def wait_responses(self, n, timeout=120.0):
         deadline = time.monotonic() + timeout
-        while time.monotonic() < deadline and len(lines) < n:
+        while time.monotonic() < deadline and len(self.lines) < n:
             time.sleep(0.02)
-        return len(lines) >= n
+        return len(self.lines) >= n
 
-    def wait_responses_for(rid, timeout=120.0):
+    def wait_response_for(self, rid, timeout=120.0):
         deadline = time.monotonic() + timeout
-        while time.monotonic() < deadline and rid not in recv_at:
+        while time.monotonic() < deadline and rid not in self.recv_at:
             time.sleep(0.02)
-        return rid in recv_at
+        return rid in self.recv_at
+
+    def response_for(self, rid):
+        for line in self.lines:
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if obj.get("id") == rid:
+                return obj
+        return None
+
+    def client_latency(self):
+        by_kind = {}
+        for rid, t0 in self.sent_at.items():
+            t1 = self.recv_at.get(rid)
+            if t1 is None:
+                continue
+            by_kind.setdefault(self.sent_kind[rid], []).append(
+                (t1 - t0) * 1e6)
+        out = {}
+        for kind, samples in sorted(by_kind.items()):
+            samples.sort()
+            out[kind] = {
+                "count": len(samples),
+                "p50_us": round(percentile(samples, 0.50), 1),
+                "p95_us": round(percentile(samples, 0.95), 1),
+                "p99_us": round(percentile(samples, 0.99), 1),
+            }
+        return out
+
+    def sigterm_and_wait(self):
+        self.proc.send_signal(signal.SIGTERM)
+        try:
+            rc = self.proc.wait(timeout=60)
+        except subprocess.TimeoutExpired:
+            self.proc.kill()
+            fail("server did not exit within 60s of SIGTERM")
+        if rc != 0:
+            fail(f"server exited {rc} on SIGTERM, want 0")
+
+    def kill_if_alive(self):
+        if self.proc.poll() is None:
+            self.proc.kill()
+
+
+def scrape_metrics(client, rid):
+    """Send a metrics request and return the parsed response, with its
+    exposition validated."""
+    client.send({"id": rid, "kind": "metrics"})
+    if not client.wait_response_for(rid):
+        fail(f"no response to metrics request {rid}")
+    resp = client.response_for(rid)
+    if resp.get("type") != "metrics":
+        fail(f"metrics response {rid} has type {resp.get('type')!r}")
+    check_exposition(resp.get("exposition", ""))
+    return resp
+
+
+def server_latency_from(resp):
+    out = {}
+    hists = resp.get("registry", {}).get("histograms", {})
+    for name, h in hists.items():
+        prefix = "serve.latency_us."
+        if name.startswith(prefix):
+            out[name[len(prefix):]] = {
+                "count": h.get("count", 0),
+                "p50_us": h.get("p50", 0.0),
+                "p90_us": h.get("p90", 0.0),
+                "p99_us": h.get("p99", 0.0),
+            }
+    return out
+
+
+def check_exactly_one_response(client, sent_ids, idless_expected):
+    by_id = Counter()
+    for line in client.lines:
+        try:
+            obj = json.loads(line)
+        except json.JSONDecodeError:
+            fail(f"response is not JSON: {line!r}")
+        by_id[obj.get("id", "")] += 1
+    for rid in sent_ids:
+        if by_id[rid] != 1:
+            fail(f"request {rid} got {by_id[rid]} responses")
+    if by_id[""] != idless_expected:
+        fail(f"{idless_expected} id-less lines sent but {by_id['']} "
+             "id-less error responses")
+
+
+def read_final_snapshot(metrics_file):
+    if not os.path.isfile(metrics_file):
+        fail(f"no metrics snapshot file at {metrics_file}")
+    with open(metrics_file) as fh:
+        snapshots = [ln for ln in fh.read().splitlines() if ln]
+    if not snapshots:
+        fail("metrics snapshot file is empty after SIGTERM")
+    last = json.loads(snapshots[-1])
+    if not last.get("draining"):
+        fail("final metrics snapshot was not written by the drain "
+             "handler (draining != true)")
+    return snapshots, last
+
+
+def steady_main():
+    incidents = tempfile.mkdtemp(prefix="memoria-soak-incidents-")
+    metrics_file = SNAPSHOTS or os.path.join(incidents,
+                                             "snapshots.jsonl")
+    client = ServeClient([
+        BIN, "serve",
+        "--jobs", "2",
+        "--queue", "8",
+        "--deadline-ms", "2000",
+        "--allow-faults",
+        "--incidents-dir", incidents,
+        "--metrics-file", metrics_file,
+        "--metrics-interval-ms", "100",
+    ])
 
     try:
         # --- Phase 1: the mixed corpus, sent flat out so the bounded
@@ -206,47 +351,41 @@ def main():
             rid = f"req-{i}"
             slot = i % 10
             if slot == 3:
-                send_raw("this line is not a request")
+                client.send_raw("this line is not a request")
                 malformed += 1
             elif slot == 5:
-                send({"id": rid, "kind": "simulate",
-                      "program": HEAVY, "deadline_ms": 1})
+                client.send({"id": rid, "kind": "simulate",
+                             "program": HEAVY, "deadline_ms": 1})
                 sent_ids.append(rid)
             elif slot == 9:
-                send({"id": rid, "kind": "health"})
+                client.send({"id": rid, "kind": "health"})
                 sent_ids.append(rid)
             else:
                 kind = ("analyze", "compound", "simulate")[slot % 3]
-                send({"id": rid, "kind": kind, "program": SMALL})
+                client.send({"id": rid, "kind": kind,
+                             "program": SMALL})
                 sent_ids.append(rid)
 
         # --- Mid-soak metrics scrape, while phase 1 is still in
         # flight: the exposition must be well-formed and the server's
         # own request counter must agree with what the client sent,
         # give or take the requests still somewhere in the pipe.
-        send({"id": "soak-metrics-mid", "kind": "metrics"})
-        if not wait_responses_for("soak-metrics-mid"):
-            fail("no response to the mid-soak metrics request")
-        mid = json.loads(
-            next(l for l in lines
-                 if json.loads(l).get("id") == "soak-metrics-mid"))
-        if mid.get("type") != "metrics":
-            fail(f"mid-soak metrics response has type "
-                 f"{mid.get('type')!r}")
+        mid = scrape_metrics(client, "soak-metrics-mid")
         expo = check_exposition(mid.get("exposition", ""))
         server_total = expo.get("memoria_serve_requests_total")
         if server_total is None:
             fail("exposition lacks memoria_serve_requests_total")
-        answered = len(recv_at)
+        answered = len(client.recv_at)
         # Everything the server has counted was sent by us; everything
         # we have an answer for was counted by the server.
-        if not answered <= server_total <= parsed_sent[0]:
+        if not answered <= server_total <= client.parsed_sent:
             fail(f"serve.requests_total={server_total} outside "
-                 f"[{answered}, {parsed_sent[0]}]")
+                 f"[{answered}, {client.parsed_sent}]")
 
         expected = len(sent_ids) + malformed + 1  # + metrics response
-        if not wait_responses(expected):
-            fail(f"expected {expected} responses, got {len(lines)}")
+        if not client.wait_responses(expected):
+            fail(f"expected {expected} responses, got "
+                 f"{len(client.lines)}")
 
         # --- Phase 2: guarantee at least one accepted fault-armed
         # request (phase 1 may shed arbitrarily many), pacing one at a
@@ -254,15 +393,14 @@ def main():
         incident_dir = None
         for attempt in range(20):
             rid = f"fault-{attempt}"
-            send({"id": rid, "kind": "compound", "program": SMALL,
-                  "fault": "transform.permute:throw:1"})
+            client.send({"id": rid, "kind": "compound",
+                         "program": SMALL,
+                         "fault": "transform.permute:throw:1"})
             sent_ids.append(rid)
             expected += 1
-            if not wait_responses(expected):
+            if not client.wait_responses(expected):
                 fail(f"no response for fault request {rid}")
-            resp = next(
-                (json.loads(l) for l in lines
-                 if json.loads(l).get("id") == rid), None)
+            resp = client.response_for(rid)
             if resp and resp.get("type") == "result":
                 incident_dir = resp.get("incident_dir")
                 break
@@ -272,72 +410,28 @@ def main():
 
         # --- Final metrics scrape: the report publishes the server's
         # own serve.latency_us.* percentiles, not just client timing.
-        send({"id": "soak-metrics-final", "kind": "metrics"})
-        if not wait_responses_for("soak-metrics-final"):
-            fail("no response to the final metrics request")
+        final = scrape_metrics(client, "soak-metrics-final")
         expected += 1
-        final = json.loads(
-            next(l for l in lines
-                 if json.loads(l).get("id") == "soak-metrics-final"))
-        check_exposition(final.get("exposition", ""))
-        server_latency = {}
-        hists = final.get("registry", {}).get("histograms", {})
-        for name, h in hists.items():
-            prefix = "serve.latency_us."
-            if name.startswith(prefix):
-                server_latency[name[len(prefix):]] = {
-                    "count": h.get("count", 0),
-                    "p50_us": h.get("p50", 0.0),
-                    "p90_us": h.get("p90", 0.0),
-                    "p99_us": h.get("p99", 0.0),
-                }
+        server_latency = server_latency_from(final)
         if not server_latency:
             fail("final metrics response has no serve.latency_us.* "
                  "histograms")
         soak_duration = time.monotonic() - soak_started
 
         # --- Exactly one terminal response per request.
-        by_id = Counter()
-        for line in lines:
-            try:
-                obj = json.loads(line)
-            except json.JSONDecodeError:
-                fail(f"response is not JSON: {line!r}")
-            by_id[obj.get("id", "")] += 1
-        for rid in sent_ids:
-            if by_id[rid] != 1:
-                fail(f"request {rid} got {by_id[rid]} responses")
-        if by_id[""] != malformed:
-            fail(f"{malformed} malformed lines but {by_id['']} "
-                 "id-less error responses")
+        check_exactly_one_response(client, sent_ids, malformed)
 
         # --- Graceful drain: SIGTERM exits 0.
-        proc.send_signal(signal.SIGTERM)
-        try:
-            rc = proc.wait(timeout=60)
-        except subprocess.TimeoutExpired:
-            proc.kill()
-            fail("server did not exit within 60s of SIGTERM")
-        if rc != 0:
-            fail(f"server exited {rc} on SIGTERM, want 0")
+        client.sigterm_and_wait()
 
         # --- The drain handler wrote one final metrics snapshot, so a
         # SIGTERM'd serve never loses the stats since the last tick.
-        if not os.path.isfile(metrics_file):
-            fail(f"no metrics snapshot file at {metrics_file}")
-        with open(metrics_file) as fh:
-            snapshots = [ln for ln in fh.read().splitlines() if ln]
-        if not snapshots:
-            fail("metrics snapshot file is empty after SIGTERM")
-        last = json.loads(snapshots[-1])
-        if not last.get("draining"):
-            fail("final metrics snapshot was not written by the drain "
-                 "handler (draining != true)")
+        snapshots, last = read_final_snapshot(metrics_file)
         snap_total = (last.get("stats", {}).get("counters", {})
                       .get("serve.requests_total"))
-        if snap_total != parsed_sent[0]:
+        if snap_total != client.parsed_sent:
             fail(f"final snapshot serve.requests_total={snap_total}, "
-                 f"client sent {parsed_sent[0]}")
+                 f"client sent {client.parsed_sent}")
 
         # --- At least one well-formed minimized bundle.
         good_bundles = 0
@@ -362,37 +456,21 @@ def main():
         if good_bundles < 1:
             fail(f"no well-formed minimized bundle under {incidents}")
 
-        results = sum(
-            1 for l in lines if json.loads(l).get("type") == "result")
-        shed = sum(
-            1 for l in lines
-            if json.loads(l).get("type") == "overloaded")
+        results = sum(1 for l in client.lines
+                      if json.loads(l).get("type") == "result")
+        shed = sum(1 for l in client.lines
+                   if json.loads(l).get("type") == "overloaded")
 
-        # --- Client-side latency per request kind + RPS.
-        by_kind = {}
-        for rid, t0 in sent_at.items():
-            t1 = recv_at.get(rid)
-            if t1 is None:
-                continue
-            by_kind.setdefault(sent_kind[rid], []).append(
-                (t1 - t0) * 1e6)
-        client_latency = {}
-        for kind, samples in sorted(by_kind.items()):
-            samples.sort()
-            client_latency[kind] = {
-                "count": len(samples),
-                "p50_us": round(percentile(samples, 0.50), 1),
-                "p95_us": round(percentile(samples, 0.95), 1),
-                "p99_us": round(percentile(samples, 0.99), 1),
-            }
         report = {
-            "requests": parsed_sent[0] + malformed,
-            "responses": len(lines),
+            "mode": "steady",
+            "requests": client.parsed_sent + malformed,
+            "responses": len(client.lines),
             "results": results,
             "shed": shed,
             "duration_s": round(soak_duration, 3),
-            "rps": round(len(lines) / max(soak_duration, 1e-9), 1),
-            "client_latency": client_latency,
+            "rps": round(len(client.lines)
+                         / max(soak_duration, 1e-9), 1),
+            "client_latency": client.client_latency(),
             "server_latency": server_latency,
             "snapshots": len(snapshots),
             "minimized_bundles": good_bundles,
@@ -404,14 +482,306 @@ def main():
                 fh.write("\n")
 
         print(f"soak ok: {len(sent_ids) + malformed} requests, "
-              f"{len(lines)} responses ({results} results, {shed} "
-              f"shed), exit 0 on SIGTERM, {good_bundles} minimized "
-              f"bundle(s)")
+              f"{len(client.lines)} responses ({results} results, "
+              f"{shed} shed), exit 0 on SIGTERM, {good_bundles} "
+              "minimized bundle(s)")
     finally:
-        if proc.poll() is None:
-            proc.kill()
+        client.kill_if_alive()
         shutil.rmtree(incidents, ignore_errors=True)
 
 
+# --------------------------------------------------------------------
+# Chaos mode
+# --------------------------------------------------------------------
+
+def worker_pids_from_snapshot(metrics_file, supervisor_pid):
+    """(shard, pid) of up workers per the latest metrics snapshot,
+    keeping only actual children of the supervisor (a stale snapshot
+    must never aim a SIGKILL at a recycled pid)."""
+    try:
+        with open(metrics_file) as fh:
+            lines = [ln for ln in fh.read().splitlines() if ln]
+        if not lines:
+            return []
+        snap = json.loads(lines[-1])
+    except (OSError, json.JSONDecodeError):
+        return []
+    out = []
+    for w in snap.get("workers", []):
+        if w.get("state") != "up" or w.get("pid", -1) <= 0:
+            continue
+        pid = int(w["pid"])
+        try:
+            with open(f"/proc/{pid}/stat") as fh:
+                # field 4 of /proc/pid/stat is the ppid; field 2 (comm)
+                # is parenthesised and may contain spaces, so split
+                # after the closing paren.
+                stat = fh.read()
+            ppid = int(stat.rsplit(")", 1)[1].split()[1])
+        except (OSError, ValueError, IndexError):
+            continue
+        if ppid == supervisor_pid:
+            out.append((int(w.get("shard", -1)), pid))
+    return out
+
+
+def chaos_thread(stop_event, metrics_file, supervisor_pid, tally):
+    """Random worker-process violence: mostly SIGKILL, sometimes a
+    SIGSTOP long enough to trip the supervisor's hang detector,
+    followed by SIGCONT. Seeded for reproducible CI runs."""
+    rng = random.Random(int(os.environ.get("SOAK_CHAOS_SEED", "1234")))
+    max_actions = int(os.environ.get("SOAK_CHAOS_ACTIONS", "8"))
+    while not stop_event.is_set() and \
+            tally["kills"] + tally["stops"] < max_actions:
+        time.sleep(rng.uniform(0.05, 0.25))
+        victims = worker_pids_from_snapshot(metrics_file,
+                                            supervisor_pid)
+        if not victims:
+            continue
+        shard, pid = rng.choice(victims)
+        try:
+            if rng.random() < 0.7:
+                os.kill(pid, signal.SIGKILL)
+                tally["kills"] += 1
+                print(f"chaos: SIGKILL shard{shard} pid {pid}",
+                      file=sys.stderr)
+            else:
+                os.kill(pid, signal.SIGSTOP)
+                tally["stops"] += 1
+                print(f"chaos: SIGSTOP shard{shard} pid {pid}",
+                      file=sys.stderr)
+                time.sleep(rng.uniform(0.1, 0.5))
+                os.kill(pid, signal.SIGCONT)
+        except ProcessLookupError:
+            continue  # already reaped; the snapshot was stale
+
+
+def check_journal_empty(journal_path):
+    """Every admit has a matching done; torn trailing lines (a crash
+    mid-append) are tolerated, a dangling admit is a lost request."""
+    admits = 0
+    open_seqs = {}
+    with open(journal_path) as fh:
+        for raw in fh:
+            raw = raw.strip()
+            if not raw:
+                continue
+            try:
+                rec = json.loads(raw)
+            except json.JSONDecodeError:
+                continue  # torn line
+            op = rec.get("op")
+            if op == "admit":
+                admits += 1
+                open_seqs[rec.get("seq")] = rec.get("id", "")
+            elif op == "done":
+                open_seqs.pop(rec.get("seq"), None)
+    if open_seqs:
+        sample = list(open_seqs.items())[:5]
+        fail(f"journal has {len(open_seqs)} admit(s) without a done "
+             f"after drain (sample: {sample})")
+    return admits
+
+
+def chaos_main():
+    scratch = tempfile.mkdtemp(prefix="memoria-chaos-soak-")
+    metrics_file = SNAPSHOTS or os.path.join(scratch,
+                                             "snapshots.jsonl")
+    journal_path = JOURNAL or os.path.join(scratch, "journal.jsonl")
+    max_request_bytes = 32768
+    client = ServeClient([
+        BIN, "serve",
+        "--workers", str(WORKERS),
+        "--jobs", "2",
+        "--queue", "8",
+        "--deadline-ms", "2000",
+        "--heartbeat-ms", "100",
+        "--max-request-bytes", str(max_request_bytes),
+        "--journal", journal_path,
+        "--no-incidents",
+        "--metrics-file", metrics_file,
+        "--metrics-interval-ms", "50",
+    ])
+
+    stop_chaos = threading.Event()
+    tally = {"kills": 0, "stops": 0}
+    chaos = threading.Thread(
+        target=chaos_thread,
+        args=(stop_chaos, metrics_file, client.proc.pid, tally),
+        daemon=True)
+
+    try:
+        # Let the workers come up and the first snapshot land before
+        # the violence starts.
+        deadline = time.monotonic() + 10.0
+        while time.monotonic() < deadline and not \
+                worker_pids_from_snapshot(metrics_file,
+                                          client.proc.pid):
+            time.sleep(0.05)
+        if not worker_pids_from_snapshot(metrics_file,
+                                         client.proc.pid):
+            fail("workers never showed up in the metrics snapshots")
+        chaos.start()
+
+        # --- The corpus, lightly paced so crashes land while work is
+        # in flight. Programs vary so the shard hash spreads them.
+        soak_started = time.monotonic()
+        sent_ids = []
+        hostile = 0  # malformed + oversized: id-less error responses
+        for i in range(COUNT):
+            rid = f"req-{i}"
+            slot = i % 10
+            if slot == 3:
+                client.send_raw("this line is not a request")
+                hostile += 1
+            elif slot == 7:
+                # Valid JSON but over --max-request-bytes: rejected
+                # before parsing, id unrecoverable by design.
+                client.send_raw(json.dumps(
+                    {"id": rid, "kind": "analyze",
+                     "program": "X" * (2 * max_request_bytes)}))
+                hostile += 1
+            else:
+                program = SMALL.replace("PROGRAM t",
+                                        f"PROGRAM t{i % 8}")
+                if slot == 5:
+                    client.send({"id": rid, "kind": "compound",
+                                 "program": program})
+                elif slot == 9:
+                    client.send({"id": rid, "kind": "compound",
+                                 "program": program, "replay": True})
+                elif slot == 1:
+                    # Slow enough that a SIGKILL can land mid-request
+                    # and exercise the transparent idempotent retry.
+                    client.send({"id": rid, "kind": "simulate",
+                                 "program": HEAVY})
+                else:
+                    kind = ("analyze", "simulate")[slot % 2]
+                    client.send({"id": rid, "kind": kind,
+                                 "program": program})
+                sent_ids.append(rid)
+            if i % 4 == 0:
+                time.sleep(0.01)
+
+        # --- Zero lost responses: every id answered despite the
+        # kills. Crash-retries ride respawn backoff, so allow time.
+        expected = len(sent_ids) + hostile
+        if not client.wait_responses(expected, timeout=120.0):
+            missing = [r for r in sent_ids if r not in client.recv_at]
+            fail(f"lost responses: expected {expected}, got "
+                 f"{len(client.lines)} (missing ids: {missing[:10]})")
+        stop_chaos.set()
+        chaos.join(timeout=5)
+        soak_duration = time.monotonic() - soak_started
+
+        check_exactly_one_response(client, sent_ids, hostile)
+
+        # --- Post-chaos reconciliation: with every response in hand,
+        # requests_total must equal the well-formed requests sent,
+        # +1 for the metrics scrape itself.
+        final = scrape_metrics(client, "chaos-metrics-final")
+        counters = final.get("registry", {}).get("counters", {})
+        server_total = counters.get("serve.requests_total")
+        if server_total != client.parsed_sent:
+            fail(f"post-chaos serve.requests_total={server_total}, "
+                 f"client sent {client.parsed_sent} well-formed "
+                 "requests")
+
+        # --- The supervisor actually took hits and recovered, and
+        # respawns are bounded by the chaos actions (each SIGKILL or
+        # hung SIGSTOP costs at most one respawn — no respawn storm).
+        workers = final.get("workers", [])
+        if len(workers) != WORKERS:
+            fail(f"metrics lists {len(workers)} workers, "
+                 f"want {WORKERS}")
+        respawns = sum(int(w.get("respawns", 0)) for w in workers)
+        crashes = sum(int(w.get("crashes", 0)) for w in workers)
+        if tally["kills"] >= 1 and respawns < 1:
+            fail(f"{tally['kills']} SIGKILLs but zero respawns")
+        budget = tally["kills"] + tally["stops"]
+        if respawns > budget:
+            fail(f"{respawns} respawns exceed the {budget} chaos "
+                 "actions taken (respawn storm)")
+        if not all(w.get("state") == "up" for w in workers):
+            # Everything answered, so any still-down worker is just
+            # riding out its backoff; it must come back.
+            deadline = time.monotonic() + 30.0
+            recheck = 0
+            while time.monotonic() < deadline:
+                recheck += 1
+                snap = scrape_metrics(client,
+                                      f"chaos-recheck-{recheck}")
+                if all(w.get("state") == "up"
+                       for w in snap.get("workers", [])):
+                    break
+                time.sleep(0.2)
+            else:
+                fail("a worker never respawned after chaos")
+
+        results = sum(1 for l in client.lines
+                      if json.loads(l).get("type") == "result")
+        shed = sum(1 for l in client.lines
+                   if json.loads(l).get("type") == "overloaded")
+        retried = sum(1 for l in client.lines
+                      if json.loads(l).get("retried") is True)
+        worker_crashed = sum(
+            1 for l in client.lines
+            if json.loads(l).get("code") == "serve.worker-crashed")
+
+        # --- Graceful drain amid the wreckage: SIGTERM exits 0 and
+        # the final snapshot reconciles too.
+        client.sigterm_and_wait()
+        snapshots, last = read_final_snapshot(metrics_file)
+        snap_total = (last.get("stats", {}).get("counters", {})
+                      .get("serve.requests_total"))
+        if snap_total != client.parsed_sent:
+            fail(f"final snapshot serve.requests_total={snap_total}, "
+                 f"client sent {client.parsed_sent}")
+
+        # --- The admission journal closed every record it opened.
+        admits = check_journal_empty(journal_path)
+
+        report = {
+            "mode": "chaos",
+            "workers": WORKERS,
+            "requests": client.parsed_sent + hostile,
+            "responses": len(client.lines),
+            "results": results,
+            "shed": shed,
+            "hostile": hostile,
+            "duration_s": round(soak_duration, 3),
+            "rps": round(len(client.lines)
+                         / max(soak_duration, 1e-9), 1),
+            "client_latency": client.client_latency(),
+            "server_latency": server_latency_from(final),
+            "snapshots": len(snapshots),
+            "chaos": {
+                "kills": tally["kills"],
+                "stops": tally["stops"],
+                "respawns": respawns,
+                "crashes": crashes,
+                "retried_results": retried,
+                "worker_crashed_errors": worker_crashed,
+                "journal_admits": admits,
+            },
+        }
+        print(json.dumps(report, indent=2))
+        if REPORT:
+            with open(REPORT, "w") as fh:
+                json.dump(report, fh, indent=2)
+                fh.write("\n")
+
+        print(f"chaos soak ok: {len(sent_ids) + hostile} requests, "
+              f"{len(client.lines)} responses, zero lost; "
+              f"{tally['kills']} kills + {tally['stops']} stops -> "
+              f"{respawns} respawns, {retried} retried, "
+              f"{worker_crashed} worker-crashed; journal clean, "
+              "exit 0 on SIGTERM")
+    finally:
+        stop_chaos.set()
+        client.kill_if_alive()
+        shutil.rmtree(scratch, ignore_errors=True)
+
+
 if __name__ == "__main__":
-    main()
+    chaos_main() if CHAOS else steady_main()

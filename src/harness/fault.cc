@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdlib>
 #include <mutex>
 #include <thread>
 
@@ -76,6 +77,8 @@ faultActionName(FaultAction a)
         return "diag";
       case FaultAction::Stall:
         return "stall";
+      case FaultAction::Abort:
+        return "abort";
     }
     return "?";
 }
@@ -132,6 +135,11 @@ FaultSite::fire()
       case FaultAction::Stall:
         stall(stallMs, name_);
         return std::nullopt;
+      case FaultAction::Abort:
+        // A deliberate hard crash: no unwinding, no containment. The
+        // process dies with SIGABRT; only a supervising parent process
+        // (serve/supervisor.hh) can turn this into a clean outcome.
+        std::abort();
     }
     return std::nullopt;
 }
@@ -211,6 +219,8 @@ seededFault(uint64_t seed)
     h ^= h >> 31;
     FaultSpec spec;
     spec.site = names[h % names.size()];
+    // % 3 on purpose: seeded campaigns must stay containable, so Abort
+    // (which kills the process) is never picked at random.
     spec.action = static_cast<FaultAction>((h >> 8) % 3);
     spec.onHit = 1 + static_cast<int>((h >> 16) % 3);
     spec.stallMs = 20;
@@ -262,6 +272,8 @@ parseFaultSpec(const std::string &text)
             spec.action = FaultAction::Diag;
         else if (a == "stall")
             spec.action = FaultAction::Stall;
+        else if (a == "abort")
+            spec.action = FaultAction::Abort;
         else
             return bad("unknown action '" + a + "'");
     }

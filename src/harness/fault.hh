@@ -45,9 +45,11 @@ enum class FaultAction
     Throw,  ///< throw InjectedFault
     Diag,   ///< return a Diag through the site's error channel
     Stall,  ///< sleep stallMs, polling the budget token
+    Abort,  ///< std::abort() — a hard crash no in-process boundary
+            ///< contains; only the serve supervisor survives it
 };
 
-/** Printable name ("throw", "diag", "stall"). */
+/** Printable name ("throw", "diag", "stall", "abort"). */
 const char *faultActionName(FaultAction a);
 
 /** One armed fault. */
@@ -138,7 +140,7 @@ bool faultSiteSupportsDiag(const std::string &name);
 FaultSpec seededFault(uint64_t seed);
 
 /**
- * Parse "site[:action[:N]][@program]" (action: throw|diag|stall).
+ * Parse "site[:action[:N]][@program]" (action: throw|diag|stall|abort).
  * Returns the spec or a Diag ("harness.fault_spec") for bad input.
  */
 Result<FaultSpec> parseFaultSpec(const std::string &text);

@@ -5,12 +5,14 @@
 #include <csignal>
 #include <cstdio>
 #include <cstring>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <iostream>
 #include <memory>
 #include <thread>
@@ -19,14 +21,34 @@
 #include "support/export.hh"
 #include "support/logging.hh"
 #include "support/signals.hh"
+#include "support/stats.hh"
 
 namespace memoria {
 namespace serve {
 
 namespace {
 
-/** write() the whole buffer, riding out EINTR and short writes. */
+/**
+ * Keep listener and connection fds out of forked shard workers: a
+ * child that inherits the accept socket would keep the port alive
+ * after the supervisor dies, and an inherited client fd would keep a
+ * "closed" connection half-open.
+ */
 void
+setCloexec(int fd)
+{
+    int fl = ::fcntl(fd, F_GETFD);
+    if (fl >= 0)
+        ::fcntl(fd, F_SETFD, fl | FD_CLOEXEC);
+}
+
+/**
+ * write() the whole buffer, riding out EINTR and short writes.
+ * Returns false when the peer is gone (EPIPE/ECONNRESET) or the write
+ * failed outright — a transport condition, never a service failure,
+ * so callers count it and move on without touching breakers.
+ */
+bool
 writeAll(int fd, const std::string &data)
 {
     size_t off = 0;
@@ -35,16 +57,23 @@ writeAll(int fd, const std::string &data)
         if (n < 0) {
             if (errno == EINTR)
                 continue;
-            return;  // client gone (EPIPE etc.); drop the response
+            if (errno == EPIPE || errno == ECONNRESET)
+                ++obs::counter("serve.client_gone");
+            else
+                ++obs::counter("serve.write_errors");
+            return false;
         }
         off += static_cast<size_t>(n);
     }
+    return true;
 }
 
 /**
  * One client connection. The fd closes when the last holder lets go —
  * the reader thread and any in-flight respond callbacks each hold a
  * shared_ptr, so a response racing a disconnect still has a valid fd.
+ * Once a write fails the connection is marked dead and later responses
+ * are dropped instead of hammering a broken pipe.
  */
 struct Conn
 {
@@ -57,18 +86,22 @@ struct Conn
     void
     send(const std::string &line)
     {
+        if (!alive.load(std::memory_order_relaxed))
+            return;
         std::lock_guard<std::mutex> lock(mutex);
-        writeAll(fd, line + "\n");
+        if (!writeAll(fd, line + "\n"))
+            alive.store(false, std::memory_order_relaxed);
     }
 
     int fd;
     std::mutex mutex;
+    std::atomic<bool> alive{true};
 };
 
-/** Feed a line-delimited stream to the server. Returns on EOF, read
+/** Feed a line-delimited stream to the service. Returns on EOF, read
  *  error, or drain request. */
 void
-pumpLines(Server &server, int fd,
+pumpLines(LineService &service, int fd,
           const std::function<void(const std::string &)> &respond)
 {
     std::string buffer;
@@ -89,12 +122,12 @@ pumpLines(Server &server, int fd,
         while ((pos = buffer.find('\n')) != std::string::npos) {
             std::string line = buffer.substr(0, pos);
             buffer.erase(0, pos + 1);
-            server.handleLine(line, respond);
+            service.handleLine(line, respond);
         }
     }
     // A final unterminated line is still a request.
     if (!buffer.empty())
-        server.handleLine(buffer, respond);
+        service.handleLine(buffer, respond);
 }
 
 int
@@ -103,6 +136,7 @@ makeTcpListener(const std::string &host, int port, int &boundPort)
     int fd = ::socket(AF_INET, SOCK_STREAM, 0);
     if (fd < 0)
         return -1;
+    setCloexec(fd);
     int one = 1;
     ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
     sockaddr_in addr{};
@@ -136,6 +170,7 @@ makeUnixListener(const std::string &path)
     int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
     if (fd < 0)
         return -1;
+    setCloexec(fd);
     ::unlink(path.c_str());
     addr.sun_family = AF_UNIX;
     std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
@@ -192,22 +227,45 @@ serveMetricsConn(int fd)
 } // namespace
 
 int
-runStdio(Server &server)
+runStdio(LineService &service)
 {
+    // A client that closes its end mid-response must not kill the
+    // process; the failed write is counted, not fatal.
+    ::signal(SIGPIPE, SIG_IGN);
     std::mutex outMutex;
     auto respond = [&outMutex](const std::string &line) {
         std::lock_guard<std::mutex> lock(outMutex);
         std::cout << line << "\n";
         std::cout.flush();
     };
-    server.start();
-    pumpLines(server, STDIN_FILENO, respond);
-    server.drain();
+    service.start();
+    pumpLines(service, STDIN_FILENO, respond);
+    service.drain();
     return 0;
 }
 
 int
-runListener(Server &server, const TransportOptions &topts)
+runWorkerFd(LineService &service, int fd)
+{
+    // The supervisor is the only peer; a response racing its death
+    // must not kill the worker before the reaper classifies it.
+    ::signal(SIGPIPE, SIG_IGN);
+    std::mutex outMutex;
+    auto respond = [&outMutex, fd](const std::string &line) {
+        std::lock_guard<std::mutex> lock(outMutex);
+        writeAll(fd, line + "\n");
+    };
+    service.start();
+    pumpLines(service, fd, respond);
+    // EOF is the supervisor's shutdown handshake: finish in-flight
+    // work, flush, exit 0 so the reaper sees a clean exit.
+    service.drain();
+    ::close(fd);
+    return 0;
+}
+
+int
+runListener(LineService &service, const TransportOptions &topts)
 {
     // A response racing a disconnect must not kill the process.
     ::signal(SIGPIPE, SIG_IGN);
@@ -259,7 +317,7 @@ runListener(Server &server, const TransportOptions &topts)
         }
     }
 
-    server.start();
+    service.start();
 
     std::mutex connsMutex;
     std::vector<std::weak_ptr<Conn>> conns;
@@ -280,6 +338,7 @@ runListener(Server &server, const TransportOptions &topts)
             int cfd = ::accept(p.fd, nullptr, nullptr);
             if (cfd < 0)
                 continue;
+            setCloexec(cfd);
             if (p.fd == metricsFd) {
                 // Scrapes never touch the admission queue; a saturated
                 // worker pool cannot delay them.
@@ -289,8 +348,8 @@ runListener(Server &server, const TransportOptions &topts)
             auto conn = std::make_shared<Conn>(cfd);
             std::lock_guard<std::mutex> lock(connsMutex);
             conns.push_back(conn);
-            readers.emplace_back([&server, conn] {
-                pumpLines(server, conn->fd,
+            readers.emplace_back([&service, conn] {
+                pumpLines(service, conn->fd,
                           [conn](const std::string &line) {
                               conn->send(line);
                           });
@@ -303,7 +362,7 @@ runListener(Server &server, const TransportOptions &topts)
 
     // Drain first so every accepted request's response is written
     // while the connections are still alive, then wake the readers.
-    server.drain();
+    service.drain();
     {
         std::lock_guard<std::mutex> lock(connsMutex);
         for (std::weak_ptr<Conn> &w : conns)

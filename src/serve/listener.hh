@@ -56,15 +56,24 @@ struct TransportOptions
 /**
  * Blocking stdin/stdout loop: one request per line in, one response
  * per line out. Returns the process exit code (0 on EOF or a clean
- * signal-initiated drain).
+ * signal-initiated drain). Serves either a single-process `Server` or
+ * a `Supervisor` — anything speaking `LineService`.
  */
-int runStdio(Server &server);
+int runStdio(LineService &service);
 
 /**
  * Blocking socket accept loop for the enabled socket transports.
  * Returns the process exit code (0 on a clean drain).
  */
-int runListener(Server &server, const TransportOptions &topts);
+int runListener(LineService &service, const TransportOptions &topts);
+
+/**
+ * Shard-worker mode (`memoria serve --worker-fd N`): speak the
+ * JSON-lines protocol over an inherited socketpair fd instead of a
+ * listener. Returns 0 on EOF (the supervisor closed the pipe — the
+ * drain handshake) or a drain signal.
+ */
+int runWorkerFd(LineService &service, int fd);
 
 } // namespace serve
 } // namespace memoria

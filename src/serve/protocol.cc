@@ -1,5 +1,9 @@
 #include "serve/protocol.hh"
 
+#include <algorithm>
+#include <random>
+#include <thread>
+
 #include "support/json.hh"
 
 namespace memoria {
@@ -11,6 +15,12 @@ Result<Request>
 badRequest(const std::string &why)
 {
     return Result<Request>::err(Diag::error("serve.request", why));
+}
+
+Result<Request>
+tooLarge(const std::string &why)
+{
+    return Result<Request>::err(Diag::error("protocol.too-large", why));
 }
 
 } // namespace
@@ -45,16 +55,26 @@ isWorkKind(RequestKind k)
 Result<Request>
 parseRequest(const std::string &line, size_t maxBytes)
 {
+    // Size is checked before the parser touches the line: an oversized
+    // request is rejected for the cost of a length compare, not an
+    // allocation proportional to the attack.
     if (maxBytes > 0 && line.size() > maxBytes) {
-        return badRequest("request line exceeds " +
-                          std::to_string(maxBytes) + " bytes");
+        return tooLarge("request line exceeds " +
+                        std::to_string(maxBytes) + " bytes");
     }
 
     json::ParseOptions popts;
     popts.maxBytes = maxBytes;
+    popts.maxDepth = kMaxRequestDepth;
     Result<json::Value> parsed = json::parse(line, popts);
-    if (!parsed.ok())
+    if (!parsed.ok()) {
+        // The parser distinguishes resource-cap hits ("json.limit")
+        // from bad syntax; surface them under the protocol's code so
+        // clients can tell "shrink your request" from "fix your JSON".
+        if (parsed.diag().code == "json.limit")
+            return tooLarge(parsed.diag().str());
         return badRequest(parsed.diag().str());
+    }
     const json::Value &v = parsed.value();
     if (!v.isObject())
         return badRequest("request must be a JSON object");
@@ -89,7 +109,24 @@ parseRequest(const std::string &line, size_t maxBytes)
         req.simulate = sim->asBool();
     req.fault = v.getString("fault");
     req.traceId = v.getString("trace_id");
+    req.replay = v.getBool("replay", false);
     return req;
+}
+
+int64_t
+jitteredRetryAfterMs(int64_t baseMs)
+{
+    if (baseMs <= 0)
+        return 1;
+    // Thread-local PRNG: sheds happen on the hot admission path and
+    // must not serialize on a shared generator.
+    thread_local std::minstd_rand rng(
+        std::random_device{}() ^
+        static_cast<unsigned>(
+            std::hash<std::thread::id>{}(std::this_thread::get_id())));
+    const int64_t spread = std::max<int64_t>(1, baseMs / 5);  // 20%
+    std::uniform_int_distribution<int64_t> dist(-spread, spread);
+    return std::max<int64_t>(1, baseMs + dist(rng));
 }
 
 std::string

@@ -74,15 +74,36 @@ struct Request
     std::optional<bool> simulate;      ///< override kind's default
     std::string fault;                 ///< fault spec ("" = none)
     std::string traceId;               ///< client trace id ("" = mint)
+
+    /**
+     * Client opt-in to replay after a worker crash. `analyze` and
+     * `simulate` are idempotent and retried transparently; `compound`
+     * is only re-run when the client set `"replay": true` — otherwise
+     * a crash mid-request answers `serve.worker-crashed`.
+     */
+    bool replay = false;
 };
 
 /**
- * Parse one request line. Returns a Diag ("serve.request") for
- * malformed JSON, a non-object, an unknown kind, or a missing program
- * on a work kind.
+ * Parse one request line. Returns a Diag for malformed JSON, a
+ * non-object, an unknown kind, or a missing program on a work kind
+ * (code "serve.request"), or for input that blows a resource cap —
+ * oversized line, excessive JSON nesting or node count — (code
+ * "protocol.too-large", rejected before any unbounded allocation).
  */
 Result<Request> parseRequest(const std::string &line,
                              size_t maxBytes = 4u << 20);
+
+/** JSON nesting depth `parseRequest` accepts: requests are flat
+ *  objects, so anything deep is hostile, not a client mistake. */
+constexpr int kMaxRequestDepth = 16;
+
+/**
+ * `retryAfterMs` with ±20% uniform jitter (never below 1). Sheds use
+ * this so a synchronized burst of shed clients doesn't come back as a
+ * synchronized retry storm.
+ */
+int64_t jitteredRetryAfterMs(int64_t baseMs);
 
 /** True when the kind runs the pipeline (needs queue admission). */
 bool isWorkKind(RequestKind k);

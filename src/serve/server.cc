@@ -75,6 +75,15 @@ breakerJson(const CircuitBreaker::Snapshot &s)
     return b;
 }
 
+/**
+ * Fires between fault arming and the isolated run — a hard `abort`
+ * armed here kills the whole worker process, which is exactly the
+ * point: it proves the supervisor's crash-respawn path end to end
+ * (tests and the chaos soak arm `serve.worker.crash:abort`). In
+ * single-process mode nothing ever arms it.
+ */
+harness::FaultSite gWorkerCrashSite("serve.worker.crash");
+
 } // namespace
 
 Server::Server(ServeOptions opts) : opts_(std::move(opts))
@@ -129,7 +138,11 @@ Server::handleLine(const std::string &line, const Respond &respond)
     if (!parsed.ok()) {
         ++errors_;
         ++obs::counter("serve.request_errors");
-        respond(errorResponse("", "serve.request", parsed.diag().str()));
+        // The Diag's own code distinguishes `protocol.too-large`
+        // (resource caps: oversized line, nesting bomb) from
+        // `serve.request` (plain bad input).
+        respond(errorResponse("", parsed.diag().code,
+                              parsed.diag().str()));
         return;
     }
     const Request &req = parsed.value();
@@ -165,7 +178,10 @@ Server::handleLine(const std::string &line, const Respond &respond)
         if (queue_.size() >= opts_.queueCapacity) {
             ++shed_;
             ++obs::counter("serve.shed");
-            respond(overloadedResponse(req.id, opts_.retryAfterMs));
+            // Jittered so the shed burst doesn't come back as a
+            // synchronized retry storm.
+            respond(overloadedResponse(
+                req.id, jitteredRetryAfterMs(opts_.retryAfterMs)));
             return;
         }
         queue_.push_back(Job{req, respond, nowUs()});
@@ -319,6 +335,13 @@ Server::process(const Job &job)
             flock.lock();
             harness::armFault(*fault);
         }
+        // The crash site fires inside the request's program context so
+        // a plan filtered to this request's name matches; an armed
+        // `abort` takes the whole process down right here.
+        {
+            harness::ProgramContext pctx(name);
+            gWorkerCrashSite.fireNoDiag();
+        }
         out = harness::runIsolated(harness::namedInput(name, req.program),
                                    bopts);
         if (fault)
@@ -401,6 +424,9 @@ Server::process(const Job &job)
 void
 Server::drain()
 {
+    // Serialized: concurrent drains (signal vs destructor vs a racing
+    // transport) must not both join the worker threads.
+    std::lock_guard<std::mutex> drainLock(drainMutex_);
     {
         std::lock_guard<std::mutex> lock(queueMutex_);
         if (!draining_.exchange(true)) {

@@ -106,22 +106,23 @@ struct ServeOptions
     std::vector<CacheConfig> cacheConfigs;
 };
 
-/** The service. Construct, `start()`, feed lines, `drain()`. */
-class Server
+/**
+ * What a transport needs from the thing it feeds lines to. Both the
+ * in-process `Server` and the multi-process `Supervisor`
+ * (serve/supervisor.hh) implement it, so runStdio/runListener serve
+ * either without knowing which.
+ */
+class LineService
 {
   public:
     /** Delivers one response line (no trailing newline) to the
      *  request's client. Must be thread-safe; workers call it. */
     using Respond = std::function<void(const std::string &)>;
 
-    explicit Server(ServeOptions opts);
-    ~Server();
+    virtual ~LineService() = default;
 
-    Server(const Server &) = delete;
-    Server &operator=(const Server &) = delete;
-
-    /** Spawn the worker pool. */
-    void start();
+    /** Bring the service up (worker pool / worker processes). */
+    virtual void start() = 0;
 
     /**
      * Handle one request line. Blank lines are ignored; everything
@@ -129,16 +130,42 @@ class Server
      * either inline (parse errors, health/stats, shed, draining) or
      * later from a worker.
      */
-    void handleLine(const std::string &line, const Respond &respond);
+    virtual void handleLine(const std::string &line,
+                            const Respond &respond) = 0;
 
     /**
      * Graceful shutdown: stop admitting, finish in-flight work,
-     * cancel what the drain deadline strands, join workers, flush
-     * observability sinks. Idempotent.
+     * cancel what the drain deadline strands, flush observability
+     * sinks. Idempotent.
      */
-    void drain();
+    virtual void drain() = 0;
 
-    bool draining() const { return draining_.load(); }
+    virtual bool draining() const = 0;
+};
+
+/** The service. Construct, `start()`, feed lines, `drain()`. */
+class Server : public LineService
+{
+  public:
+    using Respond = LineService::Respond;
+
+    explicit Server(ServeOptions opts);
+    ~Server() override;
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /** Spawn the worker pool. */
+    void start() override;
+
+    void handleLine(const std::string &line,
+                    const Respond &respond) override;
+
+    /** Stop admitting, finish in-flight work, cancel what the drain
+     *  deadline strands, join workers, flush sinks. Idempotent. */
+    void drain() override;
+
+    bool draining() const override { return draining_.load(); }
 
     // --- Introspection (health/stats responses and tests) ---
 
@@ -186,6 +213,10 @@ class Server
     std::condition_variable queueCv_;
     std::deque<Job> queue_;
     bool stop_ = false;
+    /** Serializes drain(): a SIGTERM-initiated drain can race the
+     *  destructor's (or a second transport's), and thread::join is
+     *  not safe to race. The loser blocks until the drain is done. */
+    std::mutex drainMutex_;
     std::atomic<bool> draining_{false};
     std::atomic<int64_t> drainDeadlineAt_{0};
     std::vector<std::thread> workers_;

@@ -1,0 +1,1067 @@
+#include "serve/supervisor.hh"
+
+#include <cerrno>
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <sstream>
+
+#include "support/export.hh"
+#include "support/json.hh"
+#include "support/logging.hh"
+#include "support/signals.hh"
+#include "support/stats.hh"
+#include "support/trace.hh"
+#include "support/version.hh"
+
+namespace memoria {
+namespace serve {
+
+namespace {
+
+int64_t
+nowMs()
+{
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+double
+nowUs()
+{
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+int64_t
+wallMs()
+{
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               std::chrono::system_clock::now().time_since_epoch())
+        .count();
+}
+
+std::string
+registryDumpJson()
+{
+    std::ostringstream os;
+    obs::statsRegistry().dumpJson(os);
+    std::string s = os.str();
+    while (!s.empty() && (s.back() == '\n' || s.back() == '\r'))
+        s.pop_back();
+    return s;
+}
+
+uint64_t
+fnv1a64(const std::string &s)
+{
+    uint64_t h = 1469598103934665603ULL;
+    for (unsigned char c : s) {
+        h ^= c;
+        h *= 1099511628211ULL;
+    }
+    return h;
+}
+
+uint64_t
+splitmix64(uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+/** Classify a waitpid status for the crash-kind counters. */
+std::string
+crashKind(int status)
+{
+    if (WIFSIGNALED(status)) {
+        switch (WTERMSIG(status)) {
+          case SIGABRT:
+            return "sigabrt";
+          case SIGSEGV:
+            return "sigsegv";
+          case SIGKILL:
+            return "sigkill";
+          case SIGBUS:
+            return "sigbus";
+          default:
+            return "signal_" + std::to_string(WTERMSIG(status));
+        }
+    }
+    if (WIFEXITED(status))
+        return "exit_" + std::to_string(WEXITSTATUS(status));
+    return "unknown";
+}
+
+const char *kHeartbeatLine = "{\"id\":\"hb\",\"kind\":\"health\"}\n";
+
+void
+setCloexecNonblock(int fd)
+{
+    int fl = ::fcntl(fd, F_GETFL);
+    if (fl >= 0)
+        ::fcntl(fd, F_SETFL, fl | O_NONBLOCK);
+    int fdfl = ::fcntl(fd, F_GETFD);
+    if (fdfl >= 0)
+        ::fcntl(fd, F_SETFD, fdfl | FD_CLOEXEC);
+}
+
+} // namespace
+
+Supervisor::Supervisor(SupervisorOptions opts) : opts_(std::move(opts))
+{
+    opts_.workers = std::max(1, opts_.workers);
+    startedAtMs_ = nowMs();
+    for (int i = 0; i < opts_.workers; ++i) {
+        auto w = std::make_unique<Worker>();
+        w->shard = i;
+        workers_.push_back(std::move(w));
+    }
+    if (!opts_.journalPath.empty()) {
+        Result<std::unique_ptr<Journal>> j =
+            Journal::open(opts_.journalPath, opts_.journal);
+        if (j.ok())
+            journal_ = std::move(j.value());
+        else
+            warn("serve: " + j.diag().str() + " (journal disabled)");
+    }
+}
+
+Supervisor::~Supervisor()
+{
+    drain();
+}
+
+void
+Supervisor::start()
+{
+    if (started_.exchange(true))
+        return;
+    MEMORIA_ASSERT(!opts_.workerCommand.empty(),
+                   "supervisor needs a worker command");
+    // A flush racing a worker's death must surface as EPIPE on the
+    // socketpair (handled by the monitor), not kill the supervisor —
+    // transports ignore SIGPIPE for their own fds, but the worker
+    // pipes are ours whatever the transport.
+    ::signal(SIGPIPE, SIG_IGN);
+    signals::installChildHandler();
+
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        for (auto &w : workers_)
+            spawnWorkerLocked(*w);
+    }
+
+    if (!opts_.serve.metricsPath.empty()) {
+        metricsOut_ = std::make_unique<std::ofstream>(
+            opts_.serve.metricsPath, std::ios::app);
+        if (!*metricsOut_) {
+            obs::traceEvent("serve", "metrics_file_error",
+                            {{"path", opts_.serve.metricsPath}});
+            metricsOut_.reset();
+        } else if (opts_.serve.metricsIntervalMs > 0) {
+            metricsThread_ = std::thread([this] { metricsLoop(); });
+        }
+    }
+
+    monitor_ = std::thread([this] { monitorLoop(); });
+    obs::traceEvent("serve", "supervisor_start",
+                    {{"workers", int64_t{opts_.workers}},
+                     {"journal", opts_.journalPath}});
+}
+
+int
+Supervisor::shardOf(const std::string &program) const
+{
+    // Rendezvous (highest-random-weight) hashing: each shard scores
+    // the key independently and the max wins, so the mapping is a
+    // pure function of (program, shard count) — stable across worker
+    // respawns and uniform across shards.
+    const uint64_t h = fnv1a64(program);
+    int best = 0;
+    uint64_t bestScore = 0;
+    for (int i = 0; i < opts_.workers; ++i) {
+        uint64_t score =
+            splitmix64(h ^ splitmix64(static_cast<uint64_t>(i) + 1));
+        if (i == 0 || score > bestScore) {
+            best = i;
+            bestScore = score;
+        }
+    }
+    return best;
+}
+
+int64_t
+Supervisor::effectiveDeadlineMs(const Request &req) const
+{
+    if (req.deadlineMs > 0)
+        return std::min(req.deadlineMs, opts_.serve.maxDeadlineMs);
+    return opts_.serve.budget.deadlineMs;
+}
+
+std::string
+Supervisor::forwardLine(const Pending &p, uint64_t seq) const
+{
+    json::Value o = json::Value::object();
+    o.set("id", json::Value::string("s" + std::to_string(seq)));
+    o.set("kind", json::Value::string(requestKindName(p.req.kind)));
+    o.set("program", json::Value::string(p.req.program));
+    if (p.req.deadlineMs > 0)
+        o.set("deadline_ms", json::Value::number(p.req.deadlineMs));
+    if (p.req.simulate.has_value())
+        o.set("simulate", json::Value::boolean(*p.req.simulate));
+    if (!p.req.traceId.empty())
+        o.set("trace_id", json::Value::string(p.req.traceId));
+    // The fault spec rides only on the first attempt: replaying a
+    // crash-inducing fault verbatim would kill the fresh worker too.
+    if (!p.req.fault.empty() && !p.retried)
+        o.set("fault", json::Value::string(p.req.fault));
+    return o.dump();
+}
+
+void
+Supervisor::handleLine(const std::string &line, const Respond &respond)
+{
+    if (line.find_first_not_of(" \t\r\n") == std::string::npos)
+        return;
+
+    ++received_;
+    Result<Request> parsed =
+        parseRequest(line, opts_.serve.maxRequestBytes);
+    if (!parsed.ok()) {
+        ++errors_;
+        ++obs::counter("serve.request_errors");
+        // The Diag's own code distinguishes protocol.too-large
+        // (resource caps) from serve.request (bad input).
+        respond(errorResponse("", parsed.diag().code,
+                              parsed.diag().str()));
+        return;
+    }
+    const Request &req = parsed.value();
+    ++obs::counter("serve.requests_total");
+
+    if (req.kind == RequestKind::Health) {
+        obs::ScopedTimer t(obs::histogram("serve.latency_us.health"));
+        respond(healthLine(req.id));
+        return;
+    }
+    if (req.kind == RequestKind::Stats) {
+        obs::ScopedTimer t(obs::histogram("serve.latency_us.stats"));
+        respond(statsLine(req.id));
+        return;
+    }
+    if (req.kind == RequestKind::Metrics) {
+        obs::ScopedTimer t(obs::histogram("serve.latency_us.metrics"));
+        respond(metricsLine(req.id));
+        return;
+    }
+
+    const int shard = shardOf(req.program);
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (draining_.load()) {
+            ++cancelled_;
+            respond(cancelledResponse(req.id, "server draining"));
+            return;
+        }
+        Worker &w = *workers_[shard];
+        if (w.backlog.size() + w.inflight.size() >=
+            opts_.maxQueuedPerWorker) {
+            ++shed_;
+            ++obs::counter("serve.shed");
+            respond(overloadedResponse(
+                req.id,
+                jitteredRetryAfterMs(opts_.serve.retryAfterMs)));
+            return;
+        }
+
+        const uint64_t seq = ++seq_;
+        Pending p;
+        p.req = req;
+        p.respond = respond;
+        p.shard = shard;
+        // Idempotent kinds retry transparently; compound only on the
+        // client's explicit "replay": true.
+        p.replayOk = req.kind != RequestKind::Compound || req.replay;
+        p.enqueuedUs = nowUs();
+        if (journal_)
+            journal_->appendAdmit(seq, req.id,
+                                  requestKindName(req.kind), shard,
+                                  p.replayOk, line);
+        pending_.emplace(seq, std::move(p));
+        w.backlog.push_back(seq);
+        ++accepted_;
+        ++obs::counter("serve.accepted");
+        pumpWorkerLocked(w);
+    }
+    cv_.notify_all();
+}
+
+void
+Supervisor::pumpWorkerLocked(Worker &w)
+{
+    const size_t maxInflight =
+        opts_.maxInflightPerWorker > 0
+            ? opts_.maxInflightPerWorker
+            : static_cast<size_t>(std::max(1, opts_.serve.jobs));
+    while (w.up && !w.backlog.empty() &&
+           w.inflight.size() < maxInflight) {
+        const uint64_t seq = w.backlog.front();
+        w.backlog.pop_front();
+        auto it = pending_.find(seq);
+        if (it == pending_.end())
+            continue;
+        Pending &p = it->second;
+        p.inflight = true;
+        const int64_t eff = effectiveDeadlineMs(p.req);
+        p.deadlineAtMs =
+            eff > 0 ? nowMs() + eff + opts_.hangGraceMs : 0;
+        w.inflight.insert(seq);
+        w.outbuf += forwardLine(p, seq);
+        w.outbuf += "\n";
+    }
+    flushOutbufLocked(w);
+}
+
+void
+Supervisor::flushOutbufLocked(Worker &w)
+{
+    while (!w.outbuf.empty() && w.fd >= 0) {
+        ssize_t n =
+            ::write(w.fd, w.outbuf.data(), w.outbuf.size());
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            if (errno == EAGAIN || errno == EWOULDBLOCK)
+                return;  // kernel buffer full; monitor retries
+            // Worker side gone; the reader/reaper handles the death.
+            w.outbuf.clear();
+            return;
+        }
+        w.outbuf.erase(0, static_cast<size_t>(n));
+    }
+}
+
+bool
+Supervisor::spawnWorkerLocked(Worker &w)
+{
+    int sv[2];
+    if (::socketpair(AF_UNIX, SOCK_STREAM, 0, sv) < 0) {
+        warn("serve: socketpair failed: " +
+             std::string(std::strerror(errno)));
+        w.respawnAtMs = nowMs() + 1000;
+        return false;
+    }
+    setCloexecNonblock(sv[0]);
+
+    // argv is fully materialized before fork: between fork and exec
+    // only async-signal-safe calls are allowed in a multithreaded
+    // parent, and that excludes malloc.
+    std::vector<std::string> args = opts_.workerCommand;
+    args.push_back("--worker-fd");
+    args.push_back(std::to_string(sv[1]));
+    args.push_back("--shard");
+    args.push_back(std::to_string(w.shard));
+    std::vector<char *> argv;
+    argv.reserve(args.size() + 1);
+    for (std::string &a : args)
+        argv.push_back(a.data());
+    argv.push_back(nullptr);
+
+    pid_t pid = ::fork();
+    if (pid < 0) {
+        ::close(sv[0]);
+        ::close(sv[1]);
+        warn("serve: fork failed: " +
+             std::string(std::strerror(errno)));
+        w.respawnAtMs = nowMs() + 1000;
+        return false;
+    }
+    if (pid == 0) {
+        // Child: everything supervisor-side is CLOEXEC; sv[1] is not
+        // and rides through exec as the worker's request pipe.
+        ::execv(argv[0], argv.data());
+        _exit(127);
+    }
+    ::close(sv[1]);
+
+    const bool respawn = w.generation > 0;
+    w.pid = pid;
+    w.fd = sv[0];
+    w.up = true;
+    ++w.generation;
+    w.spawnedAtMs = w.lastBeatMs = w.lastBeatSentMs = nowMs();
+    w.killReason.clear();
+    pidToShard_[pid] = w.shard;
+    if (respawn) {
+        ++w.respawns;
+        ++obs::counter("serve.worker.respawns");
+    }
+    if (journal_)
+        journal_->appendEvent(
+            "spawn", {{"shard", std::to_string(w.shard)},
+                      {"pid", std::to_string(pid)}});
+    obs::traceEvent("serve", respawn ? "worker_respawn" : "worker_spawn",
+                    {{"shard", int64_t{w.shard}},
+                     {"pid", int64_t{pid}}});
+
+    const int shard = w.shard;
+    const int fd = w.fd;
+    const uint64_t gen = w.generation;
+    w.reader = std::thread(
+        [this, shard, fd, gen] { readerLoop(shard, fd, gen); });
+
+    // A respawn inherits the dead worker's backlog (crash retries sit
+    // at its front); forward what fits immediately.
+    pumpWorkerLocked(w);
+    return true;
+}
+
+void
+Supervisor::readerLoop(int shard, int fd, uint64_t generation)
+{
+    std::string buffer;
+    char chunk[4096];
+    for (;;) {
+        pollfd p{fd, POLLIN, 0};
+        int rc = ::poll(&p, 1, 200);
+        if (rc < 0) {
+            if (errno == EINTR)
+                continue;
+            break;
+        }
+        if (rc == 0) {
+            if (stop_.load())
+                break;
+            continue;
+        }
+        ssize_t n = ::read(fd, chunk, sizeof(chunk));
+        if (n < 0) {
+            if (errno == EINTR || errno == EAGAIN ||
+                errno == EWOULDBLOCK)
+                continue;
+            break;
+        }
+        if (n == 0)
+            break;  // EOF: worker exited or crashed
+        buffer.append(chunk, static_cast<size_t>(n));
+        size_t pos;
+        while ((pos = buffer.find('\n')) != std::string::npos) {
+            std::string line = buffer.substr(0, pos);
+            buffer.erase(0, pos + 1);
+            onWorkerLine(shard, generation, line);
+        }
+    }
+
+    // EOF while the slot still thinks it's up: the reader is the
+    // first to know, so it kicks off the down-handling itself.
+    std::vector<Outgoing> out;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        Worker &w = *workers_[shard];
+        if (w.up && w.generation == generation)
+            handleWorkerDownLocked(w, "eof", out);
+    }
+    deliver(out);
+    cv_.notify_all();
+}
+
+void
+Supervisor::onWorkerLine(int shard, uint64_t generation,
+                         const std::string &line)
+{
+    Result<json::Value> parsed = json::parse(line);
+    std::vector<Outgoing> out;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        Worker &w = *workers_[shard];
+        if (w.generation != generation)
+            return;  // a stale reader must not touch the new worker
+        w.lastBeatMs = nowMs();
+
+        if (!parsed.ok()) {
+            ++obs::counter("serve.worker.protocol_errors");
+            return;
+        }
+        json::Value &v = parsed.value();
+        const std::string id = v.getString("id");
+        if (id == "hb")
+            return;  // heartbeat answer; the timestamp was the point
+        if (id.empty() || id[0] != 's') {
+            ++obs::counter("serve.worker.protocol_errors");
+            return;
+        }
+        const uint64_t seq =
+            std::strtoull(id.c_str() + 1, nullptr, 10);
+        auto it = pending_.find(seq);
+        if (it == pending_.end() || it->second.shard != shard ||
+            !it->second.inflight)
+            return;  // late answer for a request already resolved
+
+        Pending &p = it->second;
+        w.inflight.erase(seq);
+        v.set("id", json::Value::string(p.req.id));
+        if (p.retried) {
+            v.set("retried", json::Value::boolean(true));
+            ++obs::counter("serve.worker.retry_answered");
+        }
+        const std::string type = v.getString("type", "result");
+        std::string outcome = type;
+        std::atomic<uint64_t> *ctr = &completed_;
+        if (type == "result") {
+            outcome = v.getString("status", "ok");
+        } else if (type == "error") {
+            ctr = &errors_;
+        } else if (type == "overloaded") {
+            ctr = &shed_;
+        } else if (type == "cancelled") {
+            ctr = &cancelled_;
+        }
+        finishLocked(seq, v.dump(), outcome, *ctr, out);
+        pumpWorkerLocked(w);
+    }
+    deliver(out);
+    cv_.notify_all();
+}
+
+void
+Supervisor::finishLocked(uint64_t seq, const std::string &line,
+                         const std::string &outcome,
+                         std::atomic<uint64_t> &counter,
+                         std::vector<Outgoing> &out)
+{
+    auto it = pending_.find(seq);
+    if (it == pending_.end())
+        return;
+    Pending &p = it->second;
+    ++counter;
+    if (p.enqueuedUs > 0.0)
+        obs::histogram(std::string("serve.latency_us.") +
+                       requestKindName(p.req.kind))
+            .sample(nowUs() - p.enqueuedUs);
+    if (journal_)
+        journal_->appendDone(seq, outcome);
+    out.push_back(Outgoing{p.respond, line});
+    pending_.erase(it);
+}
+
+void
+Supervisor::deliver(std::vector<Outgoing> &out)
+{
+    // Responses go out after mu_ is released: a slow client write
+    // must not stall admission, readers, or the monitor.
+    for (Outgoing &o : out) {
+        if (o.respond)
+            o.respond(o.line);
+    }
+    out.clear();
+}
+
+void
+Supervisor::retireReaderLocked(Worker &w)
+{
+    if (w.fd >= 0)
+        ::shutdown(w.fd, SHUT_RDWR);
+    if (w.reader.joinable())
+        retired_.emplace_back(std::move(w.reader), w.fd);
+    else if (w.fd >= 0)
+        ::close(w.fd);
+    w.fd = -1;
+}
+
+void
+Supervisor::joinRetired()
+{
+    std::vector<std::pair<std::thread, int>> done;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        done.swap(retired_);
+    }
+    for (auto &[t, fd] : done) {
+        if (t.joinable())
+            t.join();
+        // Closed only after the reader is gone, so the kernel cannot
+        // hand the fd number to a new worker while a stale reader
+        // could still read from it.
+        if (fd >= 0)
+            ::close(fd);
+    }
+}
+
+void
+Supervisor::handleWorkerDownLocked(Worker &w, const std::string &why,
+                                   std::vector<Outgoing> &out)
+{
+    if (!w.up)
+        return;
+    w.up = false;
+    ++w.generation;  // invalidate the reader before retiring it
+    retireReaderLocked(w);
+    w.outbuf.clear();
+    // EOF with the process still alive (closed its pipe but didn't
+    // exit) would leave the slot unreapable and the shard down
+    // forever; make the death real so waitpid sees it.
+    if (why == "eof" && w.pid > 0)
+        ::kill(w.pid, SIGKILL);
+    ++w.crashes;
+    ++obs::counter("serve.worker.crashes");
+    if (journal_)
+        journal_->appendEvent(
+            "crash", {{"shard", std::to_string(w.shard)},
+                      {"why", why},
+                      {"inflight",
+                       std::to_string(w.inflight.size())}});
+    obs::traceEvent("serve", "worker_down",
+                    {{"shard", int64_t{w.shard}},
+                     {"why", why},
+                     {"inflight",
+                      static_cast<int64_t>(w.inflight.size())}});
+
+    // Crash fallout: every in-flight request resolves now — either
+    // back onto the backlog for one retry, or with a structured
+    // worker-crashed error. Exactly one terminal response either way.
+    std::vector<uint64_t> inflight(w.inflight.begin(),
+                                   w.inflight.end());
+    w.inflight.clear();
+    for (auto rit = inflight.rbegin(); rit != inflight.rend(); ++rit) {
+        const uint64_t seq = *rit;
+        auto it = pending_.find(seq);
+        if (it == pending_.end())
+            continue;
+        Pending &p = it->second;
+        if (p.replayOk && !p.retried) {
+            p.retried = true;
+            p.inflight = false;
+            p.deadlineAtMs = 0;
+            w.backlog.push_front(seq);
+            ++obs::counter("serve.worker.retries");
+            if (journal_)
+                journal_->appendEvent(
+                    "retry", {{"seq", std::to_string(seq)},
+                              {"shard", std::to_string(w.shard)}});
+        } else {
+            finishLocked(
+                seq,
+                errorResponse(
+                    p.req.id, "serve.worker-crashed",
+                    "worker shard " + std::to_string(w.shard) +
+                        " died (" + why +
+                        ") while running this request"),
+                "worker-crashed", errors_, out);
+        }
+    }
+
+    // Capped exponential backoff before the respawn.
+    w.backoffMs = w.backoffMs == 0
+                      ? opts_.backoffBaseMs
+                      : std::min(opts_.backoffCapMs, w.backoffMs * 2);
+    w.respawnAtMs = nowMs() + w.backoffMs;
+}
+
+void
+Supervisor::reapLocked(std::vector<Outgoing> &out)
+{
+    signals::consumeChildEvent();
+    for (;;) {
+        int status = 0;
+        pid_t pid = ::waitpid(-1, &status, WNOHANG);
+        if (pid <= 0)
+            break;
+        auto it = pidToShard_.find(pid);
+        if (it == pidToShard_.end())
+            continue;
+        Worker &w = *workers_[it->second];
+        pidToShard_.erase(it);
+        w.pid = -1;
+
+        std::string kind =
+            !w.killReason.empty() ? w.killReason : crashKind(status);
+        w.killReason.clear();
+        const bool expected =
+            draining_.load() && kind == "exit_0";
+        if (!expected)
+            ++obs::counter("serve.worker.crash." + kind);
+        if (w.up)
+            handleWorkerDownLocked(w, kind, out);
+    }
+}
+
+void
+Supervisor::monitorLoop()
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    while (!stop_.load()) {
+        cv_.wait_for(lock, std::chrono::milliseconds(20));
+        if (stop_.load())
+            break;
+
+        std::vector<Outgoing> out;
+        reapLocked(out);
+
+        const int64_t now = nowMs();
+        for (auto &wp : workers_) {
+            Worker &w = *wp;
+            if (w.up) {
+                flushOutbufLocked(w);
+                if (now - w.lastBeatSentMs >= opts_.heartbeatMs) {
+                    w.outbuf += kHeartbeatLine;
+                    w.lastBeatSentMs = now;
+                    flushOutbufLocked(w);
+                }
+                bool hung = now - w.lastBeatMs >
+                            opts_.heartbeatMs * opts_.heartbeatMisses;
+                for (auto seqIt = w.inflight.begin();
+                     !hung && seqIt != w.inflight.end(); ++seqIt) {
+                    auto p = pending_.find(*seqIt);
+                    hung = p != pending_.end() &&
+                           p->second.deadlineAtMs > 0 &&
+                           now > p->second.deadlineAtMs;
+                }
+                if (hung) {
+                    ++obs::counter("serve.worker.hangs");
+                    w.killReason = "hang";
+                    if (w.pid > 0)
+                        ::kill(w.pid, SIGKILL);
+                    handleWorkerDownLocked(w, "hang", out);
+                } else if (w.backoffMs > 0 &&
+                           now - w.spawnedAtMs > opts_.stableMs) {
+                    w.backoffMs = 0;  // survived: backoff resets
+                }
+            } else if (w.pid < 0 && !draining_.load() &&
+                       w.respawnAtMs > 0 && now >= w.respawnAtMs) {
+                w.respawnAtMs = 0;
+                spawnWorkerLocked(w);
+            }
+        }
+
+        if (journal_ && now - lastJournalSyncMs_ >= 500) {
+            lastJournalSyncMs_ = now;
+            lock.unlock();
+            journal_->sync();
+            joinRetired();
+            deliver(out);
+            lock.lock();
+            continue;
+        }
+
+        lock.unlock();
+        joinRetired();
+        deliver(out);
+        lock.lock();
+    }
+}
+
+void
+Supervisor::drain()
+{
+    std::lock_guard<std::mutex> drainLock(drainMutex_);
+    if (drained_.exchange(true))
+        return;
+    draining_.store(true);
+    obs::traceEvent("serve", "supervisor_drain",
+                    {{"pending",
+                      static_cast<int64_t>(pending_.size())}});
+    cv_.notify_all();
+
+    const int64_t deadline =
+        nowMs() + opts_.serve.drainDeadlineMs;
+    std::vector<Outgoing> out;
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        while (!pending_.empty() && nowMs() < deadline)
+            cv_.wait_for(lock, std::chrono::milliseconds(25));
+
+        // Strand whatever the deadline left behind — queued or
+        // in-flight on a wedged worker — with `cancelled`.
+        std::vector<uint64_t> leftover;
+        leftover.reserve(pending_.size());
+        for (const auto &[seq, p] : pending_)
+            leftover.push_back(seq);
+        for (uint64_t seq : leftover) {
+            finishLocked(seq,
+                         cancelledResponse(pending_[seq].req.id,
+                                           "drain deadline exceeded"),
+                         "cancelled", cancelled_, out);
+        }
+        for (auto &wp : workers_) {
+            wp->backlog.clear();
+            wp->inflight.clear();
+        }
+        stop_.store(true);
+    }
+    deliver(out);
+    cv_.notify_all();
+    if (monitor_.joinable())
+        monitor_.join();
+
+    // Shut the workers down: closing the pipe is the protocol (the
+    // worker's read loop sees EOF, drains, exits 0); SIGTERM is the
+    // belt for a worker stuck before its read loop.
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        for (auto &wp : workers_) {
+            Worker &w = *wp;
+            if (w.up) {
+                w.up = false;
+                ++w.generation;
+                retireReaderLocked(w);
+            }
+            if (w.pid > 0)
+                ::kill(w.pid, SIGTERM);
+        }
+    }
+    joinRetired();
+
+    // Reap with a bounded wait, then escalate to SIGKILL.
+    const int64_t reapDeadline = nowMs() + 2000;
+    for (;;) {
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            for (;;) {
+                int status = 0;
+                pid_t pid = ::waitpid(-1, &status, WNOHANG);
+                if (pid <= 0)
+                    break;
+                auto it = pidToShard_.find(pid);
+                if (it != pidToShard_.end()) {
+                    workers_[it->second]->pid = -1;
+                    pidToShard_.erase(it);
+                }
+            }
+            if (pidToShard_.empty())
+                break;
+            if (nowMs() >= reapDeadline) {
+                for (auto &[pid, shard] : pidToShard_)
+                    ::kill(pid, SIGKILL);
+            }
+        }
+        if (nowMs() >= reapDeadline + 2000)
+            break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+
+    if (journal_) {
+        journal_->sync();
+        if (journal_->depth() != 0) {
+            // Every admit should have a done by now; this firing
+            // means a response was lost — exactly what the journal
+            // exists to catch.
+            obs::traceEvent(
+                "serve", "journal_nonempty",
+                {{"depth",
+                  static_cast<int64_t>(journal_->depth())}});
+            warn("serve: journal has " +
+                 std::to_string(journal_->depth()) +
+                 " unanswered admissions after drain");
+        }
+    }
+
+    {
+        std::lock_guard<std::mutex> lock(metricsMutex_);
+        metricsStop_ = true;
+    }
+    metricsCv_.notify_all();
+    if (metricsThread_.joinable())
+        metricsThread_.join();
+    writeMetricsSnapshotNow();
+    {
+        std::lock_guard<std::mutex> lock(metricsFileMutex_);
+        metricsOut_.reset();
+    }
+
+    obs::flushTrace();
+}
+
+void
+Supervisor::metricsLoop()
+{
+    std::unique_lock<std::mutex> lock(metricsMutex_);
+    while (!metricsStop_) {
+        metricsCv_.wait_for(
+            lock,
+            std::chrono::milliseconds(opts_.serve.metricsIntervalMs),
+            [this] { return metricsStop_; });
+        if (metricsStop_)
+            break;
+        lock.unlock();
+        writeMetricsSnapshotNow();
+        lock.lock();
+    }
+}
+
+void
+Supervisor::writeMetricsSnapshotNow()
+{
+    std::lock_guard<std::mutex> lock(metricsFileMutex_);
+    if (!metricsOut_)
+        return;
+    size_t depth;
+    {
+        std::lock_guard<std::mutex> mlock(mu_);
+        depth = pending_.size();
+    }
+    std::vector<std::pair<std::string, std::string>> extra;
+    extra.emplace_back("queue_depth", std::to_string(depth));
+    extra.emplace_back(
+        "queue_capacity",
+        std::to_string(opts_.maxQueuedPerWorker *
+                       static_cast<size_t>(opts_.workers)));
+    extra.emplace_back("uptime_ms",
+                       std::to_string(nowMs() - startedAtMs_));
+    extra.emplace_back("draining",
+                       draining_.load() ? "true" : "false");
+    extra.emplace_back("workers", workersDump());
+    obs::writeMetricsSnapshot(obs::statsRegistry(), *metricsOut_,
+                              wallMs(), extra);
+}
+
+Server::RequestCounters
+Supervisor::requestCounters() const
+{
+    Server::RequestCounters c;
+    c.received = received_.load();
+    c.accepted = accepted_.load();
+    c.completed = completed_.load();
+    c.shed = shed_.load();
+    c.cancelled = cancelled_.load();
+    c.errors = errors_.load();
+    return c;
+}
+
+std::vector<WorkerRow>
+Supervisor::workerRows() const
+{
+    std::vector<WorkerRow> rows;
+    const int64_t now = nowMs();
+    std::lock_guard<std::mutex> lock(mu_);
+    rows.reserve(workers_.size());
+    for (const auto &wp : workers_) {
+        const Worker &w = *wp;
+        WorkerRow r;
+        r.shard = w.shard;
+        r.pid = w.pid;
+        r.state = w.up ? "up" : "down";
+        r.inflight = w.inflight.size();
+        r.queued = w.backlog.size();
+        r.respawns = w.respawns;
+        r.crashes = w.crashes;
+        r.heartbeatAgeMs = w.up ? now - w.lastBeatMs : -1;
+        rows.push_back(r);
+    }
+    return rows;
+}
+
+std::string
+Supervisor::workersDump() const
+{
+    json::Value arr = json::Value::array();
+    for (const WorkerRow &r : workerRows()) {
+        json::Value o = json::Value::object();
+        o.set("shard", json::Value::number(int64_t{r.shard}));
+        o.set("pid", json::Value::number(r.pid));
+        o.set("state", json::Value::string(r.state));
+        o.set("inflight",
+              json::Value::number(static_cast<int64_t>(r.inflight)));
+        o.set("queued",
+              json::Value::number(static_cast<int64_t>(r.queued)));
+        o.set("respawns",
+              json::Value::number(static_cast<int64_t>(r.respawns)));
+        o.set("crashes",
+              json::Value::number(static_cast<int64_t>(r.crashes)));
+        o.set("heartbeat_age_ms",
+              json::Value::number(r.heartbeatAgeMs));
+        arr.push(std::move(o));
+    }
+    return arr.dump();
+}
+
+std::string
+Supervisor::healthLine(const std::string &id) const
+{
+    Server::RequestCounters c = requestCounters();
+    size_t depth;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        depth = pending_.size();
+    }
+    json::Value r = json::Value::object();
+    r.set("id", json::Value::string(id));
+    r.set("type", json::Value::string("health"));
+    r.set("status", json::Value::string(
+                        draining_.load() ? "draining" : "ok"));
+    r.set("version", json::Value::string(versionLine()));
+    r.set("uptime_ms", json::Value::number(nowMs() - startedAtMs_));
+    r.set("workers", json::Value::number(int64_t{opts_.workers}));
+    r.set("queue_depth",
+          json::Value::number(static_cast<int64_t>(depth)));
+    r.set("queue_capacity",
+          json::Value::number(static_cast<int64_t>(
+              opts_.maxQueuedPerWorker *
+              static_cast<size_t>(opts_.workers))));
+
+    json::Value reqs = json::Value::object();
+    reqs.set("received",
+             json::Value::number(static_cast<int64_t>(c.received)));
+    reqs.set("accepted",
+             json::Value::number(static_cast<int64_t>(c.accepted)));
+    reqs.set("completed",
+             json::Value::number(static_cast<int64_t>(c.completed)));
+    reqs.set("shed", json::Value::number(static_cast<int64_t>(c.shed)));
+    reqs.set("cancelled",
+             json::Value::number(static_cast<int64_t>(c.cancelled)));
+    reqs.set("errors",
+             json::Value::number(static_cast<int64_t>(c.errors)));
+    r.set("requests", std::move(reqs));
+
+    std::string line = r.dump();
+    // Splice the workers array in (it is already dumped JSON).
+    line.pop_back();  // '}'
+    line += ",\"worker_table\":" + workersDump() + "}";
+    return line;
+}
+
+std::string
+Supervisor::statsLine(const std::string &id) const
+{
+    return "{\"id\":" + json::quote(id) +
+           ",\"type\":\"stats\",\"workers\":" + workersDump() +
+           ",\"registry\":" + registryDumpJson() + "}";
+}
+
+std::string
+Supervisor::metricsLine(const std::string &id) const
+{
+    size_t depth;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        depth = pending_.size();
+    }
+    return "{\"id\":" + json::quote(id) + ",\"type\":\"metrics\"" +
+           ",\"ts_ms\":" + std::to_string(wallMs()) +
+           ",\"uptime_ms\":" + std::to_string(nowMs() - startedAtMs_) +
+           ",\"queue_depth\":" +
+           std::to_string(static_cast<int64_t>(depth)) +
+           ",\"queue_capacity\":" +
+           std::to_string(opts_.maxQueuedPerWorker *
+                          static_cast<size_t>(opts_.workers)) +
+           ",\"draining\":" + (draining_.load() ? "true" : "false") +
+           ",\"workers\":" + workersDump() +
+           ",\"registry\":" + registryDumpJson() +
+           ",\"exposition\":" + json::quote(obs::prometheusText()) +
+           "}";
+}
+
+} // namespace serve
+} // namespace memoria

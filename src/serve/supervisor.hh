@@ -1,0 +1,286 @@
+/**
+ * @file
+ * Process-level supervision for `memoria serve --workers N`.
+ *
+ * The in-process `Server` contains panics, but a genuine SIGSEGV,
+ * allocator corruption, or stack overflow in any worker thread takes
+ * the whole service down. The `Supervisor` moves the isolation
+ * boundary to the process: it owns the listeners and forks N
+ * shard-worker processes (each running `memoria serve --worker-fd F`,
+ * a single-process `Server` speaking the same JSON-lines protocol
+ * over a socketpair). A consistent (rendezvous) hash of the program
+ * text picks the shard, so repeated submissions of one program land
+ * on one worker and future per-worker caches stay hot.
+ *
+ * Per worker, the supervisor runs a spawn/monitor/respawn state
+ * machine:
+ *
+ *   Up ──(exit/signal/EOF/hang)──> Down ──(backoff timer)──> Up
+ *
+ *  - liveness: a `health` heartbeat every `heartbeatMs` (answered on
+ *    the worker's reader thread, so a saturated worker pool cannot
+ *    miss it) plus a per-request deadline; a worker that misses
+ *    `heartbeatMisses` beats or sits on a request past its deadline +
+ *    grace is SIGKILLed as hung;
+ *  - reaping: SIGCHLD sets a flag (support/signals.hh) and the
+ *    monitor thread reaps with waitpid(WNOHANG), classifying the
+ *    death (`serve.worker.crash.<kind>`: sigabrt, sigsegv, sigkill,
+ *    exit_N, hang, eof);
+ *  - respawn: capped exponential backoff (`backoffBaseMs` doubling to
+ *    `backoffCapMs`, reset after `stableMs` up), counted in
+ *    `serve.worker.respawns`;
+ *  - crash fallout: in-flight requests on the dead worker keep the
+ *    exactly-one-response invariant — idempotent kinds (analyze,
+ *    simulate) and `compound` with `"replay":true` are re-forwarded
+ *    once to the respawned worker (fault spec stripped, result marked
+ *    `"retried":true`); everything else is answered with a structured
+ *    `serve.worker-crashed` error;
+ *  - journal: every admission is written ahead to a bounded JSONL
+ *    journal (serve/journal.hh) and marked done with its outcome, so
+ *    "no request was lost" is checkable from disk after the fact.
+ *
+ * The supervisor answers `health`/`stats`/`metrics` inline from its
+ * own registry (adding a `workers` array that `memoria top` renders
+ * as per-worker rows); work requests are forwarded with a rewritten
+ * id (`s<seq>`) and the original id restored on the way back. Drain
+ * means: stop admitting, let workers finish, cancel what the drain
+ * deadline strands, close the worker pipes (workers see EOF and exit
+ * 0), reap everything, check the journal is empty, write the final
+ * metrics snapshot, exit 0.
+ */
+
+#ifndef MEMORIA_SERVE_SUPERVISOR_HH
+#define MEMORIA_SERVE_SUPERVISOR_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/journal.hh"
+#include "serve/server.hh"
+
+namespace memoria {
+namespace serve {
+
+/** Supervisor configuration. */
+struct SupervisorOptions
+{
+    /** Shard-worker process count (>= 1). */
+    int workers = 2;
+
+    /**
+     * argv prefix for a worker process, e.g. {"/path/memoria",
+     * "serve", "--jobs", "2"}; the supervisor appends
+     * `--worker-fd N --shard K`. Must not be empty.
+     */
+    std::vector<std::string> workerCommand;
+
+    /** Shared service limits (deadlines, queue bound, request size;
+     *  also the source of the metrics snapshot path). */
+    ServeOptions serve;
+
+    /** Heartbeat cadence and how many misses mean "hung". */
+    int64_t heartbeatMs = 500;
+    int heartbeatMisses = 6;
+
+    /** Extra time past a request's deadline before the worker running
+     *  it is declared hung and killed. */
+    int64_t hangGraceMs = 5000;
+
+    /** Respawn backoff: base, doubling cap, and how long a worker
+     *  must stay up before the backoff resets. */
+    int64_t backoffBaseMs = 100;
+    int64_t backoffCapMs = 5000;
+    int64_t stableMs = 10000;
+
+    /** Per-worker bound on queued + in-flight requests; beyond it the
+     *  supervisor sheds with `overloaded`. */
+    size_t maxQueuedPerWorker = 32;
+
+    /** Requests forwarded to one worker at a time (0 = the worker's
+     *  thread count, serve.jobs). */
+    size_t maxInflightPerWorker = 0;
+
+    /** Write-ahead journal path ("" = no journal). */
+    std::string journalPath;
+    JournalOptions journal;
+};
+
+/** Introspection row for one shard worker (health/metrics/top). */
+struct WorkerRow
+{
+    int shard = 0;
+    int64_t pid = -1;
+    std::string state;  ///< "up" | "down"
+    uint64_t inflight = 0;
+    uint64_t queued = 0;
+    uint64_t respawns = 0;
+    uint64_t crashes = 0;
+    int64_t heartbeatAgeMs = -1;  ///< -1 while down
+};
+
+/** The front process. Construct, `start()`, feed lines, `drain()`. */
+class Supervisor : public LineService
+{
+  public:
+    using Respond = LineService::Respond;
+
+    explicit Supervisor(SupervisorOptions opts);
+    ~Supervisor() override;
+
+    Supervisor(const Supervisor &) = delete;
+    Supervisor &operator=(const Supervisor &) = delete;
+
+    /** Spawn the shard workers and the monitor thread. */
+    void start() override;
+
+    void handleLine(const std::string &line,
+                    const Respond &respond) override;
+
+    /** Stop admitting, wait for in-flight work (bounded by
+     *  drainDeadlineMs), shut the workers down, reap, flush. */
+    void drain() override;
+
+    bool draining() const override { return draining_.load(); }
+
+    // --- Introspection (tests, health/metrics responses) ---
+
+    /** The shard the consistent hash assigns this program text. */
+    int shardOf(const std::string &program) const;
+
+    Server::RequestCounters requestCounters() const;
+    std::vector<WorkerRow> workerRows() const;
+
+    std::string healthLine(const std::string &id) const;
+    std::string statsLine(const std::string &id) const;
+    std::string metricsLine(const std::string &id) const;
+
+    /** The journal, when one is configured (tests inspect depth). */
+    Journal *journal() { return journal_.get(); }
+
+  private:
+    /** One admitted work request awaiting its terminal response. */
+    struct Pending
+    {
+        Request req;
+        Respond respond;
+        int shard = 0;
+        bool replayOk = false;   ///< eligible for one crash-retry
+        bool retried = false;    ///< crash-retry already spent
+        bool inflight = false;   ///< forwarded (vs still queued)
+        double enqueuedUs = 0.0;
+        int64_t deadlineAtMs = 0;  ///< hang cutoff once forwarded
+    };
+
+    /** One shard worker slot. */
+    struct Worker
+    {
+        int shard = 0;
+        pid_t pid = -1;
+        int fd = -1;               ///< supervisor side, non-blocking
+        bool up = false;
+        uint64_t generation = 0;   ///< bumps per (re)spawn
+        std::thread reader;
+        std::string outbuf;        ///< unwritten forwarded bytes
+        std::deque<uint64_t> backlog;
+        std::set<uint64_t> inflight;
+        uint64_t respawns = 0;
+        uint64_t crashes = 0;
+        int64_t spawnedAtMs = 0;
+        int64_t lastBeatMs = 0;    ///< any line from the worker
+        int64_t lastBeatSentMs = 0;
+        int64_t backoffMs = 0;
+        int64_t respawnAtMs = 0;
+        std::string killReason;    ///< "hang" when we SIGKILLed it
+    };
+
+    struct Outgoing
+    {
+        Respond respond;
+        std::string line;
+    };
+
+    void monitorLoop();
+    void metricsLoop();
+    void writeMetricsSnapshotNow();
+
+    bool spawnWorkerLocked(Worker &w);
+    void pumpWorkerLocked(Worker &w);
+    void flushOutbufLocked(Worker &w);
+    /** Forwarded line for one attempt (id rewritten, fault stripped
+     *  on retry). */
+    std::string forwardLine(const Pending &p, uint64_t seq) const;
+
+    void readerLoop(int shard, int fd, uint64_t generation);
+    void onWorkerLine(int shard, uint64_t generation,
+                      const std::string &line);
+
+    /** Crash/hang/EOF fallout: retry or answer every in-flight
+     *  request of the dead worker, schedule the respawn. */
+    void handleWorkerDownLocked(Worker &w, const std::string &why,
+                                std::vector<Outgoing> &out);
+    void reapLocked(std::vector<Outgoing> &out);
+
+    /** Resolve one pending: respond `line`, count it, journal the
+     *  outcome. The caller removes the seq from worker containers. */
+    void finishLocked(uint64_t seq, const std::string &line,
+                      const std::string &outcome,
+                      std::atomic<uint64_t> &counter,
+                      std::vector<Outgoing> &out);
+    static void deliver(std::vector<Outgoing> &out);
+
+    /** Park a dead worker's reader thread + fd; `joinRetired` joins
+     *  the threads and only then closes the fds (no reuse races). */
+    void retireReaderLocked(Worker &w);
+    void joinRetired();
+
+    int64_t effectiveDeadlineMs(const Request &req) const;
+    /** The `workers` array, dumped ("[{...},...]"). */
+    std::string workersDump() const;
+
+    SupervisorOptions opts_;
+    std::unique_ptr<Journal> journal_;
+
+    mutable std::mutex mu_;
+    std::condition_variable cv_;       ///< pending-set changes + ticks
+    std::vector<std::unique_ptr<Worker>> workers_;
+    std::map<uint64_t, Pending> pending_;
+    std::map<pid_t, int> pidToShard_;
+    std::vector<std::pair<std::thread, int>> retired_;
+    uint64_t seq_ = 0;
+    std::atomic<bool> stop_{false};
+    int64_t lastJournalSyncMs_ = 0;
+
+    std::thread monitor_;
+    /** Serializes drain(); the loser of a drain race blocks until the
+     *  winner has fully shut the workers down. */
+    std::mutex drainMutex_;
+    std::atomic<bool> draining_{false};
+    std::atomic<bool> drained_{false};
+    std::atomic<bool> started_{false};
+    int64_t startedAtMs_ = 0;
+
+    std::thread metricsThread_;
+    std::mutex metricsMutex_;
+    std::condition_variable metricsCv_;
+    bool metricsStop_ = false;
+    std::unique_ptr<std::ofstream> metricsOut_;
+    std::mutex metricsFileMutex_;
+
+    std::atomic<uint64_t> received_{0}, accepted_{0}, completed_{0},
+        shed_{0}, cancelled_{0}, errors_{0};
+};
+
+} // namespace serve
+} // namespace memoria
+
+#endif // MEMORIA_SERVE_SUPERVISOR_HH

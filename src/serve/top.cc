@@ -102,6 +102,22 @@ parseTopSample(const json::Value &v)
     if (const json::Value *b = v.get("breakers"); b && b->isObject())
         for (const auto &[stage, val] : b->members())
             s.breakers[stage] = val.getString("state", "?");
+
+    if (const json::Value *w = v.get("workers"); w && w->isArray())
+        for (const json::Value &row : w->items()) {
+            if (!row.isObject())
+                continue;
+            TopSample::WorkerInfo wi;
+            wi.shard = row.getInt("shard", 0);
+            wi.pid = row.getInt("pid", -1);
+            wi.state = row.getString("state", "?");
+            wi.inflight = row.getInt("inflight", 0);
+            wi.queued = row.getInt("queued", 0);
+            wi.respawns = row.getInt("respawns", 0);
+            wi.crashes = row.getInt("crashes", 0);
+            wi.heartbeatAgeMs = row.getInt("heartbeat_age_ms", -1);
+            s.workers.push_back(std::move(wi));
+        }
     return s;
 }
 
@@ -168,6 +184,27 @@ renderTopFrame(const TopSample &cur, const TopSample *prev)
     for (const char *stage :
          {"queue", "load", "optimize", "verify", "simulate", "total"})
         latencyRow(stage, std::string("serve.stage.") + stage + "_us");
+
+    if (!cur.workers.empty()) {
+        out << "\n" << pad("worker", 10) << lpad("pid", 8)
+            << lpad("state", 7) << lpad("inflight", 10)
+            << lpad("queued", 8) << lpad("respawns", 10)
+            << lpad("crashes", 9) << lpad("hb", 8) << "\n";
+        for (const TopSample::WorkerInfo &w : cur.workers) {
+            out << pad("  shard" + std::to_string(w.shard), 10)
+                << lpad(w.pid > 0 ? std::to_string(w.pid) : "-", 8)
+                << lpad(w.state, 7)
+                << lpad(std::to_string(w.inflight), 10)
+                << lpad(std::to_string(w.queued), 8)
+                << lpad(std::to_string(w.respawns), 10)
+                << lpad(std::to_string(w.crashes), 9)
+                << lpad(w.heartbeatAgeMs >= 0
+                            ? std::to_string(w.heartbeatAgeMs) + "ms"
+                            : "-",
+                        8)
+                << "\n";
+        }
+    }
 
     if (!cur.breakers.empty()) {
         out << "\nbreakers";

@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <vector>
 
 namespace memoria {
 namespace json {
@@ -53,6 +54,20 @@ struct TopSample
 
     /** Breaker stage -> state name ("closed", "open", "half-open"). */
     std::map<std::string, std::string> breakers;
+
+    /** Shard-worker rows (supervised serve only; empty otherwise). */
+    struct WorkerInfo
+    {
+        int64_t shard = 0;
+        int64_t pid = -1;
+        std::string state;  ///< "up" | "down"
+        int64_t inflight = 0;
+        int64_t queued = 0;
+        int64_t respawns = 0;
+        int64_t crashes = 0;
+        int64_t heartbeatAgeMs = -1;
+    };
+    std::vector<WorkerInfo> workers;
 };
 
 /**

@@ -47,8 +47,8 @@ class Parser
     run()
     {
         if (opts_.maxBytes && text_.size() > opts_.maxBytes)
-            return fail("input exceeds " +
-                        std::to_string(opts_.maxBytes) + " bytes");
+            return failLimit("input exceeds " +
+                             std::to_string(opts_.maxBytes) + " bytes");
         skipWs();
         Result<Value> v = parseValue(0);
         if (!v.ok())
@@ -65,6 +65,16 @@ class Parser
     {
         return Result<Value>::err(Diag::error(
             "json.parse",
+            why + " at offset " + std::to_string(pos_)));
+    }
+
+    /** A resource-cap rejection, distinguishable from bad syntax so
+     *  protocol layers can answer `protocol.too-large`. */
+    Result<Value>
+    failLimit(const std::string &why)
+    {
+        return Result<Value>::err(Diag::error(
+            "json.limit",
             why + " at offset " + std::to_string(pos_)));
     }
 
@@ -97,8 +107,12 @@ class Parser
     parseValue(int depth)
     {
         if (depth > opts_.maxDepth)
-            return fail("nesting deeper than " +
-                        std::to_string(opts_.maxDepth));
+            return failLimit("nesting deeper than " +
+                             std::to_string(opts_.maxDepth));
+        if (opts_.maxNodes && ++nodes_ > opts_.maxNodes)
+            return failLimit("more than " +
+                             std::to_string(opts_.maxNodes) +
+                             " values");
         if (atEnd())
             return fail("unexpected end of input");
         switch (peek()) {
@@ -311,6 +325,7 @@ class Parser
     const std::string &text_;
     ParseOptions opts_;
     size_t pos_ = 0;
+    size_t nodes_ = 0;
 };
 
 /** Shortest round-trippable double rendering, JSON-valid. */
@@ -473,8 +488,18 @@ Value::set(std::string key, Value v)
 {
     if (kind_ == Kind::Null)
         kind_ = Kind::Object;
-    if (kind_ == Kind::Object)
-        members_.emplace_back(std::move(key), std::move(v));
+    if (kind_ != Kind::Object)
+        return;
+    // Replace in place: duplicate keys would be invisible to get()
+    // (first match wins) yet still serialize — the serve supervisor
+    // rewrites response ids and relies on set() being a true upsert.
+    for (auto &[k, existing] : members_) {
+        if (k == key) {
+            existing = std::move(v);
+            return;
+        }
+    }
+    members_.emplace_back(std::move(key), std::move(v));
 }
 
 std::string

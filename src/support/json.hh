@@ -110,11 +110,21 @@ struct ParseOptions
 
     /** Maximum input size in bytes (0 = unlimited). */
     size_t maxBytes = 4u << 20;
+
+    /**
+     * Maximum number of parsed values (0 = unlimited). A `Value` is
+     * much larger than its two-byte source ("[]"), so without this cap
+     * a small hostile input amplifies ~60x into parsed-tree memory.
+     */
+    size_t maxNodes = 1u << 20;
 };
 
 /**
  * Parse one complete JSON value from `text`. Errors come back as a
- * Diag with code "json.parse" and the byte offset in the message.
+ * Diag with the byte offset in the message and one of two codes:
+ * "json.parse" for malformed input, "json.limit" when the input is
+ * well-formed but exceeds a ParseOptions resource cap (size, nesting
+ * depth, node count) — servers map the latter to `protocol.too-large`.
  */
 Result<Value> parse(const std::string &text, const ParseOptions &opts = {});
 

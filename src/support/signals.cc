@@ -15,6 +15,7 @@ namespace {
 
 std::atomic<int> gDrainSignal{0};
 std::atomic<bool> gFlushRan{false};
+std::atomic<bool> gChildPending{false};
 
 /** Callback list is append-only and set up before handlers fire. */
 std::mutex gCallbackMutex;
@@ -46,6 +47,12 @@ flushAndExitHandler(int sig)
 {
     runFlushWork();
     _exit(128 + sig);
+}
+
+extern "C" void
+childHandler(int)
+{
+    gChildPending.store(true, std::memory_order_relaxed);
 }
 
 extern "C" void
@@ -92,6 +99,31 @@ installDrainHandler()
     install(drainHandler, /*restart=*/false);
 }
 
+void
+installChildHandler()
+{
+    struct sigaction sa = {};
+    sa.sa_handler = childHandler;
+    sigemptyset(&sa.sa_mask);
+    // No SA_RESTART (the monitor loop must wake with EINTR);
+    // SA_NOCLDSTOP so a SIGSTOP'd worker doesn't look like an exit —
+    // hung-worker detection is the heartbeat's job.
+    sa.sa_flags = SA_NOCLDSTOP;
+    sigaction(SIGCHLD, &sa, nullptr);
+}
+
+bool
+childEventPending()
+{
+    return gChildPending.load(std::memory_order_relaxed);
+}
+
+void
+consumeChildEvent()
+{
+    gChildPending.store(false, std::memory_order_relaxed);
+}
+
 bool
 drainRequested()
 {
@@ -116,6 +148,7 @@ resetForTest()
 {
     gDrainSignal.store(0);
     gFlushRan.store(false);
+    gChildPending.store(false);
 }
 
 } // namespace signals

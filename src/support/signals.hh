@@ -65,6 +65,21 @@ int drainSignal();
 /** Programmatic drain request (the serve `shutdown` op uses this). */
 void requestDrain();
 
+/**
+ * SIGCHLD support for the serve supervisor: the handler only sets an
+ * atomic flag (SA_NOCLDSTOP, no SA_RESTART — a supervisor blocked in
+ * poll() wakes with EINTR and reaps). Consumers poll
+ * `childEventPending()` and reap with waitpid(WNOHANG).
+ */
+void installChildHandler();
+
+/** True when a SIGCHLD arrived since the last consume. */
+bool childEventPending();
+
+/** Clear the SIGCHLD flag (call before waitpid so a signal racing the
+ *  reap loop re-sets it). */
+void consumeChildEvent();
+
 /** Test hook: clear the drain flag. */
 void resetForTest();
 

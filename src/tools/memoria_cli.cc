@@ -60,6 +60,12 @@
  *   --allow-faults         honor per-request fault-injection hooks
  *   --no-incidents         don't write incident bundles
  *   --incidents-dir DIR    bundle root (default artifacts/incidents)
+ *   --workers N            fork N shard-worker processes behind a
+ *                          crash-respawn supervisor (0 = in-process)
+ *   --journal PATH|none    write-ahead admission journal (default
+ *                          artifacts/serve/journal.jsonl with --workers)
+ *   --heartbeat-ms N       worker liveness probe cadence (default 500)
+ *   --max-request-bytes N  reject longer request lines up front
  *
  * `memoria reduce` re-minimizes an incident bundle directory (using its
  * recorded failure signature and fault plan) or a bare .mem file (the
@@ -122,6 +128,7 @@
 #include "harness/fault.hh"
 #include "harness/incident.hh"
 #include "serve/listener.hh"
+#include "serve/supervisor.hh"
 #include "serve/top.hh"
 #include "support/json.hh"
 #include "support/logging.hh"
@@ -423,6 +430,15 @@ struct Options
     int64_t metricsIntervalMs = 0;///< --metrics-interval-ms
     std::string metricsFile;      ///< --metrics-file PATH
 
+    // serve supervision (multi-process shard workers)
+    int workers = 0;              ///< --workers (0 = single-process)
+    std::string journalPath;      ///< --journal PATH|none
+    int64_t heartbeatMs = 0;      ///< --heartbeat-ms
+    int64_t maxRequestBytes = 0;  ///< --max-request-bytes
+    int workerFd = -1;            ///< --worker-fd (internal)
+    int shard = -1;               ///< --shard (internal)
+    std::string argv0;            ///< how this binary was invoked
+
     // top
     std::string topFile;          ///< top: --file (tail snapshots)
     int64_t topIntervalMs = 1000; ///< top: --interval-ms
@@ -433,6 +449,8 @@ Options
 parseArgs(int argc, char **argv)
 {
     Options opts;
+    if (argc > 0)
+        opts.argv0 = argv[0];
 
     // Flags taking a value, as "--flag V" or "--flag=V".
     const std::map<std::string, std::function<void(const std::string &)>>
@@ -516,6 +534,28 @@ parseArgs(int argc, char **argv)
              }},
             {"--metrics-file",
              [&](const std::string &v) { opts.metricsFile = v; }},
+            {"--workers",
+             [&](const std::string &v) {
+                 opts.workers = std::atoi(v.c_str());
+             }},
+            {"--journal",
+             [&](const std::string &v) { opts.journalPath = v; }},
+            {"--heartbeat-ms",
+             [&](const std::string &v) {
+                 opts.heartbeatMs = std::atoll(v.c_str());
+             }},
+            {"--max-request-bytes",
+             [&](const std::string &v) {
+                 opts.maxRequestBytes = std::atoll(v.c_str());
+             }},
+            {"--worker-fd",
+             [&](const std::string &v) {
+                 opts.workerFd = std::atoi(v.c_str());
+             }},
+            {"--shard",
+             [&](const std::string &v) {
+                 opts.shard = std::atoi(v.c_str());
+             }},
             {"--file",
              [&](const std::string &v) { opts.topFile = v; }},
             {"--interval-ms",
@@ -620,6 +660,9 @@ usageText()
         " [--no-incidents]\n"
         "               [--metrics-port N] [--metrics-file PATH] "
         "[--metrics-interval-ms N]\n"
+        "               [--workers N] [--journal PATH|none] "
+        "[--heartbeat-ms N]\n"
+        "               [--max-request-bytes N]\n"
         "       memoria top [host:port] [--file SNAPSHOTS.jsonl] "
         "[--interval-ms N] [--once]\n"
         "       memoria reduce <bundle-dir|file.mem> [--deadline-ms N]"
@@ -990,21 +1033,97 @@ cmdServe(const Options &opts)
     if (!opts.incidentsDir.empty())
         sopts.incidents.dir = opts.incidentsDir;
 
+    if (opts.maxRequestBytes > 0)
+        sopts.maxRequestBytes =
+            static_cast<size_t>(opts.maxRequestBytes);
+
+    // Shard-worker mode (spawned by the supervisor, never by hand):
+    // a plain single-process Server speaking the protocol over the
+    // inherited socketpair fd. Metrics export stays with the parent.
+    if (opts.workerFd >= 0) {
+        serve::Server server(sopts);
+        return serve::runWorkerFd(server, opts.workerFd);
+    }
+
     sopts.metricsPath = opts.metricsFile;
     if (opts.metricsIntervalMs > 0)
         sopts.metricsIntervalMs = opts.metricsIntervalMs;
 
-    serve::Server server(sopts);
-    if (opts.port >= 0 || !opts.socketPath.empty()) {
-        serve::TransportOptions topts;
-        topts.stdio = false;
-        topts.host = opts.host;
-        topts.port = opts.port;
-        topts.unixPath = opts.socketPath;
-        topts.metricsPort = opts.metricsPort;
-        return serve::runListener(server, topts);
+    serve::TransportOptions topts;
+    const bool sockets = opts.port >= 0 || !opts.socketPath.empty();
+    topts.stdio = !sockets;
+    topts.host = opts.host;
+    topts.port = opts.port;
+    topts.unixPath = opts.socketPath;
+    topts.metricsPort = opts.metricsPort;
+
+    if (opts.workers > 0) {
+        serve::SupervisorOptions supopts;
+        supopts.workers = opts.workers;
+        supopts.serve = sopts;
+        if (opts.heartbeatMs > 0)
+            supopts.heartbeatMs = opts.heartbeatMs;
+        if (opts.journalPath != "none") {
+            supopts.journalPath =
+                opts.journalPath.empty()
+                    ? "artifacts/serve/journal.jsonl"
+                    : opts.journalPath;
+        }
+
+        // Workers re-exec this binary; /proc/self/exe survives PATH
+        // lookups and cwd changes, argv[0] is the fallback.
+        std::string self = opts.argv0;
+        char buf[4096];
+        ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+        if (n > 0) {
+            buf[n] = '\0';
+            self = buf;
+        }
+        std::vector<std::string> cmd = {self, "serve"};
+        auto flag = [&cmd](const std::string &name, int64_t v) {
+            cmd.push_back(name);
+            cmd.push_back(std::to_string(v));
+        };
+        if (opts.jobs > 0)
+            flag("--jobs", opts.jobs);
+        if (opts.queueCapacity > 0)
+            flag("--queue", opts.queueCapacity);
+        if (opts.deadlineMs > 0)
+            flag("--deadline-ms", opts.deadlineMs);
+        if (opts.maxIterations > 0)
+            flag("--max-iterations", opts.maxIterations);
+        if (opts.maxIrNodes > 0)
+            flag("--max-ir-nodes", opts.maxIrNodes);
+        if (opts.maxDeadlineMs > 0)
+            flag("--max-deadline-ms", opts.maxDeadlineMs);
+        if (opts.drainDeadlineMs > 0)
+            flag("--drain-deadline-ms", opts.drainDeadlineMs);
+        if (opts.retryAfterMs > 0)
+            flag("--retry-after-ms", opts.retryAfterMs);
+        if (opts.maxRequestBytes > 0)
+            flag("--max-request-bytes", opts.maxRequestBytes);
+        if (opts.allowFaults)
+            cmd.push_back("--allow-faults");
+        if (opts.noIncidents)
+            cmd.push_back("--no-incidents");
+        if (!opts.incidentsDir.empty()) {
+            cmd.push_back("--incidents-dir");
+            cmd.push_back(opts.incidentsDir);
+        }
+        if (!opts.caches.empty()) {
+            cmd.push_back("--caches");
+            cmd.push_back(opts.caches);
+        }
+        supopts.workerCommand = std::move(cmd);
+
+        serve::Supervisor supervisor(std::move(supopts));
+        return sockets ? serve::runListener(supervisor, topts)
+                       : serve::runStdio(supervisor);
     }
-    return serve::runStdio(server);
+
+    serve::Server server(sopts);
+    return sockets ? serve::runListener(server, topts)
+                   : serve::runStdio(server);
 }
 
 /**

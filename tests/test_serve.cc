@@ -13,11 +13,19 @@
 #include <thread>
 #include <vector>
 
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <set>
+
 #include "serve/breaker.hh"
+#include "serve/journal.hh"
 #include "serve/protocol.hh"
 #include "serve/server.hh"
+#include "serve/supervisor.hh"
 #include "serve/top.hh"
 #include "support/json.hh"
+#include "support/signals.hh"
 #include "support/stats.hh"
 
 namespace memoria {
@@ -230,12 +238,15 @@ TEST(Serve, FullQueueShedsWithRetryAfter)
                                       "analyze", kSmallProgram),
                           out.fn());
 
-    // Two admitted silently, two shed immediately.
+    // Two admitted silently, two shed immediately. retry_after_ms is
+    // jittered ±20% around the configured base so a shed burst does
+    // not come back as a synchronized retry storm.
     ASSERT_EQ(out.lines.size(), 2u);
     for (size_t i = 0; i < out.lines.size(); ++i) {
         json::Value v = out.parsed(i);
         EXPECT_EQ(v.getString("type"), "overloaded");
-        EXPECT_EQ(v.getInt("retry_after_ms"), 123);
+        EXPECT_GE(v.getInt("retry_after_ms"), 99);   // 123 - 20%
+        EXPECT_LE(v.getInt("retry_after_ms"), 147);  // 123 + 20%
     }
     EXPECT_EQ(server.requestCounters().shed, 2u);
     EXPECT_EQ(server.requestCounters().accepted, 2u);
@@ -554,6 +565,581 @@ TEST(Top, ParsesSnapshotFileLines)
     EXPECT_NE(renderTopFrame(bad, nullptr).find("no metrics"),
               std::string::npos);
 }
+
+TEST(Top, RendersWorkerRowsFromSupervisedMetrics)
+{
+    const char *line =
+        "{\"ts_ms\":1000,\"uptime_ms\":2000,\"queue_depth\":0,"
+        "\"queue_capacity\":64,\"draining\":false,"
+        "\"workers\":[{\"shard\":0,\"pid\":100,\"state\":\"up\","
+        "\"inflight\":1,\"queued\":2,\"respawns\":3,\"crashes\":4,"
+        "\"heartbeat_age_ms\":5},{\"shard\":1,\"pid\":-1,"
+        "\"state\":\"down\",\"heartbeat_age_ms\":-1}],"
+        "\"registry\":{\"counters\":{\"serve.requests_total\":1}}}";
+    Result<json::Value> v = json::parse(line);
+    ASSERT_TRUE(v.ok());
+    TopSample s = parseTopSample(v.value());
+    ASSERT_TRUE(s.valid);
+    ASSERT_EQ(s.workers.size(), 2u);
+    EXPECT_EQ(s.workers[0].pid, 100);
+    EXPECT_EQ(s.workers[0].respawns, 3);
+    EXPECT_EQ(s.workers[1].state, "down");
+
+    std::string frame = renderTopFrame(s, nullptr);
+    EXPECT_NE(frame.find("shard0"), std::string::npos) << frame;
+    EXPECT_NE(frame.find("shard1"), std::string::npos);
+    EXPECT_NE(frame.find("down"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Retry jitter
+
+TEST(Protocol, RetryAfterJitterStaysInBounds)
+{
+    const int64_t base = 1000;
+    std::set<int64_t> seen;
+    for (int i = 0; i < 1000; ++i) {
+        int64_t v = jitteredRetryAfterMs(base);
+        EXPECT_GE(v, 800) << "more than 20% below base";
+        EXPECT_LE(v, 1200) << "more than 20% above base";
+        seen.insert(v);
+    }
+    // A constant would re-synchronize shed clients — the whole point
+    // of the jitter is that it spreads.
+    EXPECT_GT(seen.size(), 10u);
+
+    // Degenerate bases still return something positive.
+    EXPECT_GE(jitteredRetryAfterMs(0), 1);
+    EXPECT_GE(jitteredRetryAfterMs(1), 1);
+}
+
+// ---------------------------------------------------------------------
+// Hostile input: oversized lines, nesting bombs, node-count bombs
+
+TEST(Protocol, OversizedLineRejectedAsTooLargeWithoutParsing)
+{
+    std::string big(1 << 20, 'x');
+    Result<Request> r = parseRequest(big, 4096);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.diag().code, "protocol.too-large");
+}
+
+TEST(Protocol, DeepNestingRejectedAsTooLarge)
+{
+    // 4 MiB budget, but 1000 levels of nesting: depth, not size,
+    // must trip the cap.
+    std::string bomb = "{\"id\":\"d\",\"kind\":\"health\",\"x\":";
+    for (int i = 0; i < 1000; ++i)
+        bomb += "[";
+    bomb += "1";
+    for (int i = 0; i < 1000; ++i)
+        bomb += "]";
+    bomb += "}";
+    Result<Request> r = parseRequest(bomb);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.diag().code, "protocol.too-large");
+}
+
+TEST(Json, NodeCountBombTripsTheLimitDiag)
+{
+    // Tiny input, huge node count: "[],[],[]..." amplifies ~60x in
+    // memory. The parser's maxNodes cap reports "json.limit", the
+    // code protocol.cc maps to protocol.too-large.
+    std::string bomb = "[";
+    for (int i = 0; i < 5000; ++i)
+        bomb += "[],";
+    bomb += "[]]";
+    json::ParseOptions popts;
+    popts.maxNodes = 1000;
+    Result<json::Value> r = json::parse(bomb, popts);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.diag().code, "json.limit");
+
+    // Same input under the default (1M) cap parses fine — the limit
+    // exists for bombs, not for real requests.
+    EXPECT_TRUE(json::parse(bomb).ok());
+}
+
+TEST(Serve, HostileInputFuzzGetsStructuredRejections)
+{
+    ServeOptions opts = quietOptions();
+    opts.maxRequestBytes = 4096;
+    Server server(opts);  // never started: rejections are inline
+    Collector out;
+
+    std::vector<std::string> hostile;
+    hostile.push_back(std::string(8192, 'A'));            // oversized
+    hostile.push_back("{\"id\":\"x\",\"kind\":");          // truncated
+    hostile.push_back(std::string("\x00\xff\xfe garbage", 11));  // binary
+    hostile.push_back("[[[[[[[[[[[[[[[[[[[[");             // unclosed
+    {
+        std::string deep = "{\"a\":";                      // deep
+        for (int i = 0; i < 64; ++i)
+            deep += "{\"a\":";
+        deep += "1";
+        for (int i = 0; i < 64; ++i)
+            deep += "}";
+        deep += "}";
+        hostile.push_back(deep);
+    }
+    for (const std::string &line : hostile)
+        server.handleLine(line, out.fn());
+
+    ASSERT_EQ(out.lines.size(), hostile.size())
+        << "every hostile line gets exactly one structured rejection";
+    int tooLarge = 0;
+    for (size_t i = 0; i < out.lines.size(); ++i) {
+        json::Value v = out.parsed(i);
+        EXPECT_EQ(v.getString("type"), "error") << out.lines[i];
+        std::string code = v.getString("code");
+        EXPECT_TRUE(code == "serve.request" ||
+                    code == "protocol.too-large")
+            << code;
+        if (code == "protocol.too-large")
+            ++tooLarge;
+    }
+    EXPECT_GE(tooLarge, 2) << "size and depth caps both engage";
+}
+
+// ---------------------------------------------------------------------
+// Write-ahead journal
+
+TEST(Journal, AdmitDoneLifecycleAndReadback)
+{
+    std::string path =
+        (std::filesystem::temp_directory_path() / "memoria_j1.jsonl")
+            .string();
+    {
+        Result<std::unique_ptr<Journal>> j = Journal::open(path);
+        ASSERT_TRUE(j.ok()) << j.diag().str();
+        Journal &journal = *j.value();
+        journal.appendAdmit(1, "a", "analyze", 0, true, "{\"id\":\"a\"}");
+        journal.appendAdmit(2, "b", "compound", 1, false,
+                            "{\"id\":\"b\"}");
+        journal.appendDone(1, "ok");
+        journal.appendEvent("crash", {{"shard", "1"}, {"why", "test"}});
+        EXPECT_EQ(journal.depth(), 1u);
+        journal.sync();
+
+        // seq 2 was admitted but never answered: readIncomplete must
+        // surface exactly it.
+        Result<std::vector<JournalEntry>> open =
+            Journal::readIncomplete(path);
+        ASSERT_TRUE(open.ok());
+        ASSERT_EQ(open.value().size(), 1u);
+        EXPECT_EQ(open.value()[0].seq, 2u);
+        EXPECT_EQ(open.value()[0].id, "b");
+        EXPECT_EQ(open.value()[0].kind, "compound");
+        EXPECT_FALSE(open.value()[0].replay);
+        EXPECT_EQ(open.value()[0].line, "{\"id\":\"b\"}");
+
+        journal.appendDone(2, "worker-crashed");
+        EXPECT_EQ(journal.depth(), 0u);
+        journal.sync();
+    }
+    Result<std::vector<JournalEntry>> open = Journal::readIncomplete(path);
+    ASSERT_TRUE(open.ok());
+    EXPECT_TRUE(open.value().empty()) << "clean close leaves no orphans";
+    std::remove(path.c_str());
+}
+
+TEST(Journal, RotatesOnlyWhenQuiescentAndOverBudget)
+{
+    std::string path =
+        (std::filesystem::temp_directory_path() / "memoria_j2.jsonl")
+            .string();
+    JournalOptions jopts;
+    jopts.maxBytes = 512;
+    jopts.syncEveryRecords = 1;
+    Result<std::unique_ptr<Journal>> j = Journal::open(path, jopts);
+    ASSERT_TRUE(j.ok());
+    Journal &journal = *j.value();
+
+    // Push well past maxBytes with an admit held open: no rotation
+    // while any request is unanswered.
+    journal.appendAdmit(1, "pin", "analyze", 0, true, "{}");
+    for (int i = 0; i < 20; ++i)
+        journal.appendEvent("spawn", {{"shard", "0"}});
+    size_t before = journal.bytes();
+    EXPECT_GT(before, jopts.maxBytes);
+
+    // The done both closes the window and triggers the rotation.
+    journal.appendDone(1, "ok");
+    EXPECT_LT(journal.bytes(), before);
+    EXPECT_EQ(journal.depth(), 0u);
+    std::remove(path.c_str());
+}
+
+TEST(Journal, TornFinalLineIsSkippedOnReadback)
+{
+    std::string path =
+        (std::filesystem::temp_directory_path() / "memoria_j3.jsonl")
+            .string();
+    {
+        std::ofstream out(path);
+        out << "{\"op\":\"admit\",\"seq\":7,\"id\":\"x\","
+               "\"kind\":\"analyze\",\"shard\":0,\"replay\":true,"
+               "\"line\":\"{}\"}\n";
+        out << "{\"op\":\"done\",\"se";  // killed mid-append
+    }
+    Result<std::vector<JournalEntry>> open = Journal::readIncomplete(path);
+    ASSERT_TRUE(open.ok());
+    ASSERT_EQ(open.value().size(), 1u)
+        << "torn tail ignored, whole records honored";
+    EXPECT_EQ(open.value()[0].seq, 7u);
+    std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------
+// Drain racing a signal under saturation
+
+TEST(Serve, DrainRacingSignalUnderSaturationLosesNothing)
+{
+    signals::resetForTest();
+    std::string snapshots =
+        (std::filesystem::temp_directory_path() /
+         "memoria_drain_race.jsonl")
+            .string();
+    std::remove(snapshots.c_str());
+
+    ServeOptions opts = quietOptions();
+    opts.jobs = 2;
+    opts.queueCapacity = 4;  // saturates under the burst below
+    opts.metricsPath = snapshots;
+    Server server(opts);
+    server.start();
+
+    Collector out;
+    const int kBurst = 32;
+    for (int i = 0; i < kBurst; ++i)
+        server.handleLine(requestLine("r" + std::to_string(i),
+                                      "analyze", kSmallProgram),
+                          out.fn());
+
+    // A SIGTERM-style drain request lands while a scraper hammers the
+    // inline metrics path and a second drainer races the first.
+    std::thread scraper([&server, &out] {
+        for (int i = 0; i < 50; ++i) {
+            server.handleLine("{\"id\":\"m\",\"kind\":\"metrics\"}",
+                              out.fn());
+            std::this_thread::sleep_for(std::chrono::microseconds(200));
+        }
+    });
+    signals::requestDrain();
+    std::thread racer([&server] { server.drain(); });
+    server.drain();
+    racer.join();
+    scraper.join();
+    EXPECT_TRUE(signals::drainRequested());
+
+    // Exactly one terminal response per work request — completed or
+    // shed, never silence, never duplicates.
+    std::map<std::string, int> perId;
+    int metricsSeen = 0;
+    {
+        std::lock_guard<std::mutex> lock(out.mutex);
+        for (const std::string &line : out.lines) {
+            Result<json::Value> v = json::parse(line);
+            ASSERT_TRUE(v.ok()) << line;
+            if (v.value().getString("type") == "metrics") {
+                ++metricsSeen;
+                continue;
+            }
+            ++perId[v.value().getString("id")];
+        }
+    }
+    EXPECT_EQ(perId.size(), static_cast<size_t>(kBurst));
+    for (const auto &[id, n] : perId)
+        EXPECT_EQ(n, 1) << "duplicate terminal response for " << id;
+    EXPECT_EQ(metricsSeen, 50);
+
+    // The drain wrote the final snapshot despite the race.
+    std::ifstream in(snapshots);
+    ASSERT_TRUE(in.good());
+    std::string line;
+    int snapshotLines = 0;
+    while (std::getline(in, line))
+        if (!line.empty())
+            ++snapshotLines;
+    EXPECT_EQ(snapshotLines, 1)
+        << "exactly one final snapshot, no duplicate from the racer";
+    std::remove(snapshots.c_str());
+    signals::resetForTest();
+}
+
+// ---------------------------------------------------------------------
+// Supervisor: multi-process shard workers (spawns the real binary)
+
+#ifdef MEMORIA_BIN
+
+SupervisorOptions
+supervisedOptions(int workers)
+{
+    SupervisorOptions opts;
+    opts.workers = workers;
+    opts.workerCommand = {MEMORIA_BIN, "serve", "--jobs", "2",
+                          "--no-incidents", "--allow-faults"};
+    opts.serve.writeIncidents = false;
+    opts.serve.allowFaultRequests = true;
+    opts.backoffBaseMs = 50;  // fast respawns keep the test short
+    opts.journalPath =
+        (std::filesystem::temp_directory_path() /
+         ("memoria_sup_j" + std::to_string(::getpid()) + ".jsonl"))
+            .string();
+    return opts;
+}
+
+/** A parseable program whose text varies with `i` (and therefore its
+ *  shard assignment). */
+std::string
+shardProgram(int i)
+{
+    std::string s = kSmallProgram;
+    auto pos = s.find("PROGRAM t");
+    return s.substr(0, pos) + "PROGRAM t" + std::to_string(i) +
+           s.substr(pos + 9);
+}
+
+/** First program variant the consistent hash lands on `shard`. */
+std::string
+programOnShard(const Supervisor &sup, int shard)
+{
+    for (int i = 0; i < 256; ++i) {
+        std::string p = shardProgram(i);
+        if (sup.shardOf(p) == shard)
+            return p;
+    }
+    ADD_FAILURE() << "no program variant hashed to shard " << shard;
+    return shardProgram(0);
+}
+
+/** Wait until `pred` holds or ~deadlineMs passes. */
+template <typename Pred>
+bool
+waitFor(Pred pred, int64_t deadlineMs = 10000)
+{
+    auto until = std::chrono::steady_clock::now() +
+                 std::chrono::milliseconds(deadlineMs);
+    while (std::chrono::steady_clock::now() < until) {
+        if (pred())
+            return true;
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    return pred();
+}
+
+TEST(Supervisor, ShardHashIsStableAndCoversWorkers)
+{
+    Supervisor sup(supervisedOptions(2));  // never started: pure hash
+    std::set<int> hit;
+    for (int i = 0; i < 64; ++i) {
+        std::string p = shardProgram(i);
+        int s = sup.shardOf(p);
+        EXPECT_EQ(s, sup.shardOf(p)) << "hash must be deterministic";
+        ASSERT_GE(s, 0);
+        ASSERT_LT(s, 2);
+        hit.insert(s);
+    }
+    EXPECT_EQ(hit.size(), 2u) << "64 variants must cover both shards";
+}
+
+TEST(Supervisor, ServesWorkThroughShardWorkers)
+{
+    signals::resetForTest();
+    SupervisorOptions opts = supervisedOptions(2);
+    std::string journalPath = opts.journalPath;
+    Supervisor sup(opts);
+    sup.start();
+
+    Collector out;
+    const int kRequests = 8;
+    for (int i = 0; i < kRequests; ++i)
+        sup.handleLine(requestLine("w" + std::to_string(i), "analyze",
+                                   shardProgram(i)),
+                       out.fn());
+    ASSERT_TRUE(waitFor([&] {
+        std::lock_guard<std::mutex> lock(out.mutex);
+        return out.lines.size() >= static_cast<size_t>(kRequests);
+    })) << "workers must answer all forwarded requests";
+
+    std::map<std::string, int> perId;
+    for (int i = 0; i < kRequests; ++i) {
+        json::Value v = out.parsed(i);
+        EXPECT_EQ(v.getString("type"), "result") << out.lines[i];
+        ++perId[v.getString("id")];
+    }
+    EXPECT_EQ(perId.size(), static_cast<size_t>(kRequests));
+    for (const auto &[id, n] : perId)
+        EXPECT_EQ(n, 1) << id;
+
+    sup.drain();
+    EXPECT_EQ(sup.requestCounters().completed,
+              static_cast<uint64_t>(kRequests));
+
+    // Post-drain the journal audits clean: every admit has a done.
+    Result<std::vector<JournalEntry>> open =
+        Journal::readIncomplete(journalPath);
+    ASSERT_TRUE(open.ok());
+    EXPECT_TRUE(open.value().empty());
+    std::remove(journalPath.c_str());
+}
+
+TEST(Supervisor, WorkerCrashRetriesIdempotentAndRespawns)
+{
+    signals::resetForTest();
+    obs::statsRegistry().resetValues();
+    SupervisorOptions opts = supervisedOptions(2);
+    std::string journalPath = opts.journalPath;
+    Supervisor sup(opts);
+    sup.start();
+
+    const std::string victim = programOnShard(sup, 0);
+    const std::string bystander = programOnShard(sup, 1);
+
+    Collector out;
+    // Park legitimate work on the sibling shard first.
+    sup.handleLine(requestLine("calm", "analyze", bystander), out.fn());
+
+    // An idempotent request whose processing aborts the shard-0
+    // worker: the supervisor must respawn the worker and transparently
+    // retry (the fault spec is stripped on the second attempt).
+    sup.handleLine("{\"id\":\"boom\",\"kind\":\"analyze\",\"program\":" +
+                       json::quote(victim) +
+                       ",\"fault\":\"serve.worker.crash:abort\"}",
+                   out.fn());
+
+    ASSERT_TRUE(waitFor([&] {
+        std::lock_guard<std::mutex> lock(out.mutex);
+        return out.lines.size() >= 2u;
+    })) << "both requests must resolve despite the crash";
+
+    json::Value calm, boom;
+    for (size_t i = 0; i < 2; ++i) {
+        json::Value v = out.parsed(i);
+        if (v.getString("id") == "calm")
+            calm = std::move(v);
+        else if (v.getString("id") == "boom")
+            boom = std::move(v);
+    }
+    EXPECT_EQ(calm.getString("type"), "result")
+        << "sibling shard must be unaffected by the crash";
+    EXPECT_EQ(boom.getString("type"), "result")
+        << "idempotent request must be retried, not failed";
+    EXPECT_TRUE(boom.getBool("retried"))
+        << "the response must disclose it came from a retry";
+
+    // The respawn is visible: worker rows and the counters both say
+    // shard 0 died once and came back.
+    ASSERT_TRUE(waitFor([&] {
+        std::vector<WorkerRow> rows = sup.workerRows();
+        return rows[0].state == "up" && rows[0].respawns >= 1;
+    })) << "shard 0 must respawn after the abort";
+    std::vector<WorkerRow> rows = sup.workerRows();
+    EXPECT_GE(rows[0].crashes, 1u);
+    EXPECT_EQ(rows[1].crashes, 0u) << "sibling never died";
+    EXPECT_GE(obs::counter("serve.worker.respawns").value(), 1u);
+    EXPECT_GE(obs::counter("serve.worker.retries").value(), 1u);
+
+    // The crash kind was classified from the wait status.
+    EXPECT_GE(obs::counter("serve.worker.crash.sigabrt").value(), 1u);
+
+    // And `memoria top` renders the respawn from the metrics line.
+    Result<json::Value> metrics = json::parse(sup.metricsLine("t"));
+    ASSERT_TRUE(metrics.ok());
+    TopSample sample = parseTopSample(metrics.value());
+    ASSERT_TRUE(sample.valid);
+    ASSERT_EQ(sample.workers.size(), 2u);
+    EXPECT_GE(sample.workers[0].respawns, 1);
+
+    sup.drain();
+    Result<std::vector<JournalEntry>> open =
+        Journal::readIncomplete(journalPath);
+    ASSERT_TRUE(open.ok());
+    EXPECT_TRUE(open.value().empty())
+        << "crash-retried requests still audit as answered";
+    std::remove(journalPath.c_str());
+}
+
+TEST(Supervisor, NonIdempotentCrashGetsWorkerCrashedError)
+{
+    signals::resetForTest();
+    SupervisorOptions opts = supervisedOptions(2);
+    std::string journalPath = opts.journalPath;
+    Supervisor sup(opts);
+    sup.start();
+
+    const std::string victim = programOnShard(sup, 0);
+
+    Collector out;
+    // compound without "replay": the supervisor must NOT re-run it.
+    sup.handleLine("{\"id\":\"nc\",\"kind\":\"compound\",\"program\":" +
+                       json::quote(victim) +
+                       ",\"fault\":\"serve.worker.crash:abort\"}",
+                   out.fn());
+    ASSERT_TRUE(waitFor([&] {
+        std::lock_guard<std::mutex> lock(out.mutex);
+        return out.lines.size() >= 1u;
+    }));
+    json::Value v = out.parsed(0);
+    EXPECT_EQ(v.getString("type"), "error") << out.lines[0];
+    EXPECT_EQ(v.getString("code"), "serve.worker-crashed");
+
+    // With explicit opt-in, the same compound IS replayed and
+    // succeeds on the respawned worker.
+    sup.handleLine("{\"id\":\"rc\",\"kind\":\"compound\",\"program\":" +
+                       json::quote(victim) +
+                       ",\"fault\":\"serve.worker.crash:abort\"" +
+                       ",\"replay\":true}",
+                   out.fn());
+    ASSERT_TRUE(waitFor([&] {
+        std::lock_guard<std::mutex> lock(out.mutex);
+        return out.lines.size() >= 2u;
+    }));
+    json::Value rv = out.parsed(1);
+    EXPECT_EQ(rv.getString("type"), "result") << out.lines[1];
+    EXPECT_TRUE(rv.getBool("retried"));
+
+    sup.drain();
+    std::remove(journalPath.c_str());
+}
+
+TEST(Supervisor, DrainCancelsQueuedAndExitsWorkersCleanly)
+{
+    signals::resetForTest();
+    SupervisorOptions opts = supervisedOptions(2);
+    std::string journalPath = opts.journalPath;
+    Supervisor sup(opts);
+    sup.start();
+
+    Collector out;
+    for (int i = 0; i < 4; ++i)
+        sup.handleLine(requestLine("d" + std::to_string(i), "analyze",
+                                   shardProgram(i)),
+                       out.fn());
+    sup.drain();
+
+    // Every admitted request resolved (result or cancelled), and new
+    // work is refused.
+    {
+        std::lock_guard<std::mutex> lock(out.mutex);
+        EXPECT_EQ(out.lines.size(), 4u);
+    }
+    sup.handleLine(requestLine("late", "analyze", shardProgram(9)),
+                   out.fn());
+    {
+        std::lock_guard<std::mutex> lock(out.mutex);
+        ASSERT_EQ(out.lines.size(), 5u);
+    }
+    EXPECT_EQ(out.parsed(4).getString("type"), "cancelled");
+
+    Result<std::vector<JournalEntry>> open =
+        Journal::readIncomplete(journalPath);
+    ASSERT_TRUE(open.ok());
+    EXPECT_TRUE(open.value().empty());
+    std::remove(journalPath.c_str());
+}
+
+#endif  // MEMORIA_BIN
 
 } // namespace
 } // namespace serve
