@@ -34,12 +34,32 @@ It asserts the supervision contract:
   * the admission journal is empty after drain: every `admit` record
     has a matching `done` (torn trailing lines tolerated).
 
+Restart mode (--restart-supervisor, implies --chaos) additionally
+exercises the durable result cache and journal-replay recovery:
+
+  * a warmup corpus establishes a baseline cache hit rate (response
+    `cache_hit`/`dedup_follower` stamps) and checks each cached
+    response is bitwise identical to its fresh counterpart modulo the
+    volatile fields (id, trace_id, queue/total timings, stamps);
+  * after the chaos phase, slow requests are stranded in flight and
+    the supervisor is SIGKILLed (no drain); the orphaned workers see
+    EOF, drain, and persist their cache snapshots;
+  * one shard snapshot is corrupted on disk, the supervisor is
+    relaunched on the same journal and snapshot dir, and the gates
+    assert: a `recovery` block in `health` naming the journal's
+    admitted-but-unanswered requests (all of which are resent and
+    answered — zero lost/duplicated across both instances), a warm
+    hit rate at least half the baseline (the corrupted shard cold-
+    starts, the rest stay warm), and serve.cache.snapshot_rejected
+    >= 1 mirrored through the worker heartbeats.
+
 A JSON soak report — client-side latency p50/p95/p99 per request kind,
 RPS, the server's own serve.latency_us.* percentiles, and (in chaos
 mode) the chaos/respawn tallies — is printed and, when SOAK_REPORT
 (or the report positional) names a path, written there.
 
-Usage: scripts/serve_soak.py [--chaos] [--workers N]
+Usage: scripts/serve_soak.py [--chaos] [--restart-supervisor]
+                             [--workers N]
                              [path-to-memoria] [request-count] [report]
 """
 
@@ -59,6 +79,10 @@ ARGS = [a for a in sys.argv[1:]]
 CHAOS = "--chaos" in ARGS
 if CHAOS:
     ARGS.remove("--chaos")
+RESTART = "--restart-supervisor" in ARGS
+if RESTART:
+    ARGS.remove("--restart-supervisor")
+    CHAOS = True
 WORKERS = 0
 if "--workers" in ARGS:
     i = ARGS.index("--workers")
@@ -76,6 +100,9 @@ SNAPSHOTS = os.environ.get("SOAK_SNAPSHOTS", "")
 # Where the chaos run's admission journal goes; default scratch,
 # set SOAK_JOURNAL to keep it for archiving.
 JOURNAL = os.environ.get("SOAK_JOURNAL", "")
+# Where the restart leg's cache snapshots go; default scratch, set
+# SOAK_CACHE_SNAPSHOTS to keep them for archiving.
+CACHE_SNAPDIR = os.environ.get("SOAK_CACHE_SNAPSHOTS", "")
 
 SMALL = (
     "PROGRAM t\n"
@@ -583,13 +610,261 @@ def check_journal_empty(journal_path):
     return admits
 
 
+# --------------------------------------------------------------------
+# Restart leg (--restart-supervisor)
+# --------------------------------------------------------------------
+
+# Fields the cache replay is allowed (and expected) to differ in: the
+# request identity, the request-scoped trace, the replay-side queue and
+# total timings, and the replay stamps themselves. Everything else must
+# be bitwise identical between a fresh compute and a cache hit.
+VOLATILE_RESPONSE_KEYS = ("id", "trace_id", "cache_hit",
+                          "dedup_follower", "retried")
+
+
+def normalized_result(resp):
+    out = {k: v for k, v in resp.items()
+           if k not in VOLATILE_RESPONSE_KEYS}
+    timings = out.get("timings")
+    if isinstance(timings, dict):
+        out["timings"] = {k: v for k, v in timings.items()
+                          if k not in ("queue_us", "total_us")}
+    return out
+
+
+def warm_corpus():
+    """Distinct cacheable programs; names vary so the shard hash
+    spreads them across workers."""
+    return [SMALL.replace("PROGRAM t", f"PROGRAM warm{i}")
+            for i in range(16)]
+
+
+def send_warm_wave(client, tag, programs):
+    """One paced request per warm program (no shedding), each required
+    to come back as a result. Returns the request ids."""
+    ids = []
+    for i, program in enumerate(programs):
+        rid = f"{tag}-{i}"
+        client.send({"id": rid, "kind": "compound",
+                     "program": program})
+        ids.append(rid)
+        if not client.wait_response_for(rid):
+            fail(f"no response for warm request {rid}")
+        resp = client.response_for(rid)
+        if resp.get("type") != "result":
+            fail(f"warm request {rid} got type {resp.get('type')!r}, "
+                 "want result")
+    return ids
+
+
+def cache_hit_rate(client, ids):
+    hits = 0
+    for rid in ids:
+        resp = client.response_for(rid) or {}
+        if resp.get("cache_hit") or resp.get("dedup_follower"):
+            hits += 1
+    return hits / max(1, len(ids))
+
+
+def read_dangling_admits(journal_path):
+    """seq -> id of admits with no matching done; torn trailing lines
+    tolerated (the supervisor died mid-append)."""
+    dangling = {}
+    try:
+        with open(journal_path) as fh:
+            for raw in fh:
+                raw = raw.strip()
+                if not raw:
+                    continue
+                try:
+                    rec = json.loads(raw)
+                except json.JSONDecodeError:
+                    continue
+                if rec.get("op") == "admit":
+                    dangling[rec.get("seq")] = rec.get("id", "")
+                elif rec.get("op") == "done":
+                    dangling.pop(rec.get("seq"), None)
+    except OSError:
+        return {}
+    return dangling
+
+
+def restart_leg(client, server_argv, metrics_file, journal_path,
+                snap_dir, programs, cleanup):
+    """SIGKILL the supervisor with work in flight, corrupt one shard
+    snapshot, relaunch on the same journal + snapshot dir, and assert
+    the recovery contract. Returns (snapshots, admits, cache_block,
+    restart_block) for the report."""
+    # Re-prime the cache after the chaos phase so every warm key is in
+    # some live worker's memory when the kill lands (a worker SIGKILLed
+    # during chaos loses whatever its periodic snapshot had not yet
+    # persisted; the EOF drain below snapshots everything that is).
+    send_warm_wave(client, "warm-refresh", programs)
+
+    victims = worker_pids_from_snapshot(metrics_file, client.proc.pid)
+    if len(victims) != WORKERS:
+        fail(f"expected {WORKERS} live workers before the restart, "
+             f"saw {len(victims)}")
+
+    # --- Strand slow work in flight: distinct heavy programs so they
+    # spread across shards and none of them dedup-joins another.
+    strand_prog = {}
+    for i in range(8):
+        rid = f"strand-{i}"
+        strand_prog[rid] = HEAVY.replace("PROGRAM heavy",
+                                         f"PROGRAM strand{i}")
+        client.send({"id": rid, "kind": "simulate",
+                     "program": strand_prog[rid]})
+    # Kill the moment the journal shows an admitted-but-unfinished
+    # strand request, so the replay has something real to find.
+    deadline = time.monotonic() + 10.0
+    while time.monotonic() < deadline:
+        if any(str(rid).startswith("strand-") for rid in
+               read_dangling_admits(journal_path).values()):
+            break
+        time.sleep(0.002)
+    else:
+        fail("no strand request was admitted within 10s")
+    client.proc.kill()  # SIGKILL: no drain, no journal truncation
+    client.proc.wait(timeout=30)
+
+    # --- The orphaned workers see EOF on the supervisor socket, drain,
+    # persist their cache snapshots, and exit on their own.
+    deadline = time.monotonic() + 30.0
+    for _, pid in victims:
+        while time.monotonic() < deadline and \
+                os.path.exists(f"/proc/{pid}"):
+            time.sleep(0.02)
+        if os.path.exists(f"/proc/{pid}"):
+            fail(f"worker pid {pid} still alive 30s after the "
+                 "supervisor was SIGKILLed")
+    snaps = sorted(e for e in os.listdir(snap_dir)
+                   if e.endswith(".snap"))
+    if len(snaps) != WORKERS:
+        fail(f"want {WORKERS} shard snapshots after worker drain, "
+             f"found {snaps}")
+
+    # The journal's final word on what was admitted and never
+    # answered; read it before the relaunch truncates the file.
+    dangling = read_dangling_admits(journal_path)
+    if not dangling:
+        fail("journal has no dangling admits despite the mid-flight "
+             "SIGKILL")
+    unanswered = [rid for rid in strand_prog
+                  if rid not in client.recv_at]
+
+    # --- Corrupt one shard snapshot on disk: that shard must cold-
+    # start (and count a rejection); the rest stay warm.
+    corrupt_path = os.path.join(snap_dir, snaps[0])
+    with open(corrupt_path, "r+b") as fh:
+        data = fh.read()
+        at = len(data) // 2
+        fh.seek(at)
+        fh.write(bytes([data[at] ^ 0x01]))
+    print(f"restart: corrupted {snaps[0]} at byte {at}",
+          file=sys.stderr)
+
+    # --- Relaunch on the same journal and snapshot dir.
+    client2 = ServeClient(server_argv)
+    cleanup.append(client2)
+    deadline = time.monotonic() + 10.0
+    while time.monotonic() < deadline and not \
+            worker_pids_from_snapshot(metrics_file, client2.proc.pid):
+        time.sleep(0.05)
+    if not worker_pids_from_snapshot(metrics_file, client2.proc.pid):
+        fail("restarted supervisor's workers never came up")
+
+    # --- health names the journal's unanswered admissions.
+    client2.send({"id": "restart-health", "kind": "health"})
+    if not client2.wait_response_for("restart-health"):
+        fail("no response to the post-restart health probe")
+    rec = client2.response_for("restart-health").get("recovery")
+    if not isinstance(rec, dict):
+        fail("post-restart health has no recovery block despite "
+             f"{len(dangling)} dangling journal admit(s)")
+    if not rec.get("journal_replayed"):
+        fail("recovery block does not mark journal_replayed")
+    if rec.get("unanswered") != len(dangling):
+        fail(f"recovery.unanswered={rec.get('unanswered')}, the "
+             f"journal shows {len(dangling)} dangling admit(s)")
+
+    # --- Zero lost: resend everything instance 1 never answered; zero
+    # duplicated: exactly one answer per strand id across instances.
+    for rid in unanswered:
+        client2.send({"id": rid, "kind": "simulate",
+                      "program": strand_prog[rid]})
+    for rid in unanswered:
+        if not client2.wait_response_for(rid):
+            fail(f"resent request {rid} got no response after the "
+                 "restart")
+    for rid in strand_prog:
+        n = ((1 if rid in client.recv_at else 0)
+             + (1 if rid in client2.recv_at else 0))
+        if n != 1:
+            fail(f"strand request {rid} answered {n} times across the "
+                 "restart, want exactly once")
+
+    # --- Warm restart: the uncorrupted shards serve from their
+    # snapshots, so the hit rate recovers to at least half the
+    # pre-kill baseline.
+    post_ids = send_warm_wave(client2, "warm-post", programs)
+    post_rate = cache_hit_rate(client2, post_ids)
+
+    # --- The corrupted shard counted its rejection; worker heartbeats
+    # mirror it into the supervisor's gauges.
+    rejected = 0
+    deadline = time.monotonic() + 10.0
+    probe = 0
+    while time.monotonic() < deadline:
+        probe += 1
+        resp = scrape_metrics(client2, f"restart-metrics-{probe}")
+        gauges = resp.get("registry", {}).get("gauges", {})
+        rejected = gauges.get("serve.cache.snapshot_rejected", 0)
+        if rejected >= 1:
+            break
+        time.sleep(0.2)
+    if rejected < 1:
+        fail("serve.cache.snapshot_rejected never reached 1 after the "
+             "corrupted snapshot")
+
+    check_exactly_one_response(client2, list(client2.sent_at), 0)
+
+    # --- Graceful drain of the restarted instance; its final snapshot
+    # reconciles against what this client sent it, and the journal is
+    # clean again.
+    client2.sigterm_and_wait()
+    snapshots, last = read_final_snapshot(metrics_file)
+    snap_total = (last.get("stats", {}).get("counters", {})
+                  .get("serve.requests_total"))
+    if snap_total != client2.parsed_sent:
+        fail(f"final snapshot serve.requests_total={snap_total}, "
+             f"restarted client sent {client2.parsed_sent}")
+    admits = check_journal_empty(journal_path)
+
+    cache_block = {
+        "post_restart_hit_rate": round(post_rate, 3),
+        "snapshot_files": len(snaps),
+        "corrupted_snapshot": snaps[0],
+        "snapshot_rejected": rejected,
+    }
+    restart_block = {
+        "stranded": len(strand_prog),
+        "journal_dangling": len(dangling),
+        "recovery_unanswered": rec.get("unanswered"),
+        "resent": len(unanswered),
+    }
+    return snapshots, admits, cache_block, restart_block
+
+
 def chaos_main():
     scratch = tempfile.mkdtemp(prefix="memoria-chaos-soak-")
     metrics_file = SNAPSHOTS or os.path.join(scratch,
                                              "snapshots.jsonl")
     journal_path = JOURNAL or os.path.join(scratch, "journal.jsonl")
+    snap_dir = CACHE_SNAPDIR or os.path.join(scratch,
+                                             "cache-snapshots")
     max_request_bytes = 32768
-    client = ServeClient([
+    server_argv = [
         BIN, "serve",
         "--workers", str(WORKERS),
         "--jobs", "2",
@@ -601,7 +876,12 @@ def chaos_main():
         "--no-incidents",
         "--metrics-file", metrics_file,
         "--metrics-interval-ms", "50",
-    ])
+    ]
+    if RESTART:
+        server_argv += ["--cache-snapshot-dir", snap_dir,
+                        "--cache-snapshot-interval-ms", "200"]
+    client = ServeClient(server_argv)
+    cleanup = [client]
 
     stop_chaos = threading.Event()
     tally = {"kills": 0, "stops": 0}
@@ -621,12 +901,35 @@ def chaos_main():
         if not worker_pids_from_snapshot(metrics_file,
                                          client.proc.pid):
             fail("workers never showed up in the metrics snapshots")
+
+        # --- Restart mode: warm the result cache before the violence
+        # and measure the baseline. The first wave computes fresh, the
+        # second must come back stamped cache_hit/dedup_follower and
+        # bitwise identical modulo the volatile fields.
+        programs = warm_corpus() if RESTART else []
+        baseline_rate = 0.0
+        warm_ids = []
+        if RESTART:
+            fresh_ids = send_warm_wave(client, "warm-fresh", programs)
+            hot_ids = send_warm_wave(client, "warm-hot", programs)
+            warm_ids = fresh_ids + hot_ids
+            baseline_rate = cache_hit_rate(client, hot_ids)
+            if baseline_rate <= 0.0:
+                fail("warmup produced no cache hits")
+            for fid, hid in zip(fresh_ids, hot_ids):
+                fresh = normalized_result(client.response_for(fid))
+                hot = normalized_result(client.response_for(hid))
+                if fresh != hot:
+                    fail(f"cached response {hid} differs from fresh "
+                         f"{fid} beyond the volatile fields:\n"
+                         f"  fresh: {fresh}\n  cached: {hot}")
+
         chaos.start()
 
         # --- The corpus, lightly paced so crashes land while work is
         # in flight. Programs vary so the shard hash spreads them.
         soak_started = time.monotonic()
-        sent_ids = []
+        sent_ids = list(warm_ids)
         hostile = 0  # malformed + oversized: id-less error responses
         for i in range(COUNT):
             rid = f"req-{i}"
@@ -728,18 +1031,34 @@ def chaos_main():
             1 for l in client.lines
             if json.loads(l).get("code") == "serve.worker-crashed")
 
-        # --- Graceful drain amid the wreckage: SIGTERM exits 0 and
-        # the final snapshot reconciles too.
-        client.sigterm_and_wait()
-        snapshots, last = read_final_snapshot(metrics_file)
-        snap_total = (last.get("stats", {}).get("counters", {})
-                      .get("serve.requests_total"))
-        if snap_total != client.parsed_sent:
-            fail(f"final snapshot serve.requests_total={snap_total}, "
-                 f"client sent {client.parsed_sent}")
+        cache_block = restart_block = None
+        if RESTART:
+            # --- SIGKILL the supervisor with work in flight, corrupt
+            # a shard snapshot, relaunch, and assert recovery.
+            snapshots, admits, cache_block, restart_block = \
+                restart_leg(client, server_argv, metrics_file,
+                            journal_path, snap_dir, programs, cleanup)
+            cache_block["baseline_hit_rate"] = round(baseline_rate, 3)
+            cache_block["bitwise_identical"] = True
+            if cache_block["post_restart_hit_rate"] < \
+                    0.5 * baseline_rate:
+                fail(f"post-restart hit rate "
+                     f"{cache_block['post_restart_hit_rate']} is "
+                     f"below half the {baseline_rate:.3f} baseline")
+        else:
+            # --- Graceful drain amid the wreckage: SIGTERM exits 0
+            # and the final snapshot reconciles too.
+            client.sigterm_and_wait()
+            snapshots, last = read_final_snapshot(metrics_file)
+            snap_total = (last.get("stats", {}).get("counters", {})
+                          .get("serve.requests_total"))
+            if snap_total != client.parsed_sent:
+                fail(f"final snapshot "
+                     f"serve.requests_total={snap_total}, "
+                     f"client sent {client.parsed_sent}")
 
-        # --- The admission journal closed every record it opened.
-        admits = check_journal_empty(journal_path)
+            # --- The admission journal closed every record it opened.
+            admits = check_journal_empty(journal_path)
 
         report = {
             "mode": "chaos",
@@ -765,6 +1084,9 @@ def chaos_main():
                 "journal_admits": admits,
             },
         }
+        if cache_block is not None:
+            report["cache"] = cache_block
+            report["restart"] = restart_block
         print(json.dumps(report, indent=2))
         if REPORT:
             with open(REPORT, "w") as fh:
@@ -777,9 +1099,18 @@ def chaos_main():
               f"{respawns} respawns, {retried} retried, "
               f"{worker_crashed} worker-crashed; journal clean, "
               "exit 0 on SIGTERM")
+        if restart_block is not None:
+            print(f"restart leg ok: {restart_block['stranded']} "
+                  f"stranded, {restart_block['journal_dangling']} "
+                  f"replayed from the journal, "
+                  f"{restart_block['resent']} resent, hit rate "
+                  f"{cache_block['baseline_hit_rate']} -> "
+                  f"{cache_block['post_restart_hit_rate']} across the "
+                  "restart, corrupted snapshot rejected")
     finally:
         stop_chaos.set()
-        client.kill_if_alive()
+        for c in cleanup:
+            c.kill_if_alive()
         shutil.rmtree(scratch, ignore_errors=True)
 
 

@@ -1,5 +1,6 @@
 #include "harness/incident.hh"
 
+#include <algorithm>
 #include <filesystem>
 #include <fstream>
 
@@ -104,8 +105,47 @@ pipelineFailurePredicate(std::string name, harness::BatchOptions opts,
     };
 }
 
+namespace {
+
+/**
+ * Keep only the newest `maxRetained` bundle directories under `root`,
+ * deleting the rest oldest-first by modification time. Best-effort:
+ * retention must never fail the bundle write that triggered it.
+ */
+void
+pruneOldBundles(const fs::path &root, int maxRetained)
+{
+    if (maxRetained <= 0)
+        return;
+    std::error_code ec;
+    std::vector<std::pair<fs::file_time_type, fs::path>> bundles;
+    for (const fs::directory_entry &e :
+         fs::directory_iterator(root, ec)) {
+        if (ec)
+            return;
+        if (!e.is_directory(ec) || ec)
+            continue;
+        fs::file_time_type t = e.last_write_time(ec);
+        if (ec)
+            continue;
+        bundles.emplace_back(t, e.path());
+    }
+    if (bundles.size() <= static_cast<size_t>(maxRetained))
+        return;
+    std::sort(bundles.begin(), bundles.end());
+    size_t excess = bundles.size() - static_cast<size_t>(maxRetained);
+    for (size_t i = 0; i < excess; ++i) {
+        fs::remove_all(bundles[i].second, ec);
+        if (!ec)
+            ++obs::counter("incident.retention_pruned");
+    }
+}
+
+} // namespace
+
 Result<std::string>
-writeBundle(const Incident &inc, const std::string &root)
+writeBundle(const Incident &inc, const std::string &root,
+            int maxRetained)
 {
     auto ioErr = [](const std::string &what) {
         return Result<std::string>::err(
@@ -185,6 +225,7 @@ writeBundle(const Incident &inc, const std::string &root)
             return ioErr("cannot write trace.jsonl in '" + dir.string() +
                          "'");
     }
+    pruneOldBundles(root, maxRetained);
     return Result<std::string>(dir.string());
 }
 
@@ -221,7 +262,8 @@ captureIncident(Incident inc, const Program &program,
         inc.traceTail.assign(lines.begin() + start, lines.end());
     }
 
-    Result<std::string> written = writeBundle(inc, policy.dir);
+    Result<std::string> written =
+        writeBundle(inc, policy.dir, policy.maxRetained);
     if (written.ok()) {
         ++obs::counter("incident.bundles");
         obs::traceEvent("incident", "bundle",

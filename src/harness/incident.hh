@@ -105,15 +105,24 @@ struct IncidentPolicy
 
     /** Cap per processing pass; the rest are dropped (and counted). */
     int maxIncidents = 8;
+
+    /** Total bundles kept under `dir`: after each write the oldest
+     *  directories beyond this are deleted (<= 0 = unbounded). A
+     *  long-lived serve must not grow artifacts/ without bound. */
+    int maxRetained = 100;
 };
 
 /**
  * Write `inc` as a bundle directory under `root`; a numeric suffix
- * de-collides repeat incidents of the same program and kind. Returns
- * the bundle path, or a Diag ("incident.write") on I/O failure.
+ * de-collides repeat incidents of the same program and kind. After a
+ * successful write, bundle directories beyond `maxRetained` are
+ * pruned oldest-first (by modification time; <= 0 disables pruning).
+ * Returns the bundle path, or a Diag ("incident.write") on I/O
+ * failure.
  */
 Result<std::string> writeBundle(const Incident &inc,
-                                const std::string &root);
+                                const std::string &root,
+                                int maxRetained = 100);
 
 /**
  * Core capture path: minimize `program` against `pred` under the

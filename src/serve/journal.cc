@@ -10,6 +10,7 @@
 
 #include "support/json.hh"
 #include "support/stats.hh"
+#include "support/trace.hh"
 
 namespace memoria {
 namespace serve {
@@ -20,6 +21,18 @@ Diag
 journalError(const std::string &path, const std::string &why)
 {
     return Diag::error("serve.journal", "'" + path + "': " + why);
+}
+
+/** fsync with EINTR retry: a signal (SIGCHLD from a reaped worker,
+ *  the chaos soak's SIGSTOP/SIGCONT) must not silently skip a sync. */
+int
+fsyncRetry(int fd)
+{
+    int rc;
+    do {
+        rc = ::fsync(fd);
+    } while (rc < 0 && errno == EINTR);
+    return rc;
 }
 
 } // namespace
@@ -55,7 +68,7 @@ Journal::Journal(std::string path, int fd, JournalOptions opts)
 Journal::~Journal()
 {
     if (fd_ >= 0) {
-        ::fsync(fd_);
+        fsyncRetry(fd_);
         ::close(fd_);
     }
 }
@@ -63,6 +76,8 @@ Journal::~Journal()
 void
 Journal::appendLocked(const std::string &line)
 {
+    if (disabled_)
+        return;
     std::string rec = line + "\n";
     size_t off = 0;
     while (off < rec.size()) {
@@ -70,8 +85,19 @@ Journal::appendLocked(const std::string &line)
         if (n < 0) {
             if (errno == EINTR)
                 continue;
-            // A journal write error must not take requests down with
-            // it; count it and keep serving.
+            if (errno == ENOSPC) {
+                // A full disk is a structured degradation: the
+                // journal goes dark, the service keeps answering.
+                // Crash-retry auditing is lost until restart; that is
+                // strictly better than taking the worker down.
+                disabled_ = true;
+                ++obs::counter("serve.journal.disabled");
+                obs::traceEvent("serve", "journal_disabled",
+                                {{"path", path_}});
+                return;
+            }
+            // Any other journal write error must not take requests
+            // down with it; count it and keep serving.
             ++obs::counter("serve.worker.journal_errors");
             return;
         }
@@ -80,7 +106,7 @@ Journal::appendLocked(const std::string &line)
     bytes_ += rec.size();
     if (opts_.syncEveryRecords > 0 &&
         ++unsynced_ >= opts_.syncEveryRecords) {
-        ::fsync(fd_);
+        fsyncRetry(fd_);
         unsynced_ = 0;
     }
 }
@@ -155,7 +181,7 @@ Journal::sync()
 {
     std::lock_guard<std::mutex> lock(mutex_);
     if (unsynced_ > 0) {
-        ::fsync(fd_);
+        fsyncRetry(fd_);
         unsynced_ = 0;
     }
 }
@@ -172,6 +198,13 @@ Journal::bytes() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
     return bytes_;
+}
+
+bool
+Journal::disabled() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return disabled_;
 }
 
 Result<std::vector<JournalEntry>>

@@ -100,6 +100,9 @@ class Journal
     /** Bytes appended to the current file generation. */
     size_t bytes() const;
 
+    /** True once ENOSPC turned durability off (serving continues). */
+    bool disabled() const;
+
     const std::string &path() const { return path_; }
 
     /**
@@ -124,6 +127,8 @@ class Journal
     int fd_ = -1;
     size_t bytes_ = 0;
     int unsynced_ = 0;
+    bool disabled_ = false;  ///< ENOSPC: journal off, service on
+
     std::map<uint64_t, bool> open_;  ///< admitted seqs awaiting done
 };
 

@@ -192,6 +192,59 @@ resultResponse(const std::string &id, const harness::ProgramOutcome &out,
 }
 
 std::string
+cachedResultResponse(const std::string &cachedBody,
+                     const std::string &id, const ResponseMeta &meta,
+                     bool dedupFollower)
+{
+    Result<json::Value> parsed = json::parse(cachedBody);
+    if (!parsed.ok() || !parsed.value().isObject()) {
+        // A cache entry that no longer parses is a bug or corruption
+        // that slipped past the snapshot checksums; fail the request
+        // honestly rather than emit garbage.
+        return errorResponse(id, "serve.cache",
+                             "cached response body unusable");
+    }
+    const json::Value &body = parsed.value();
+
+    // Rebuild member-by-member (json::Value::set appends, it does not
+    // replace), swapping in the requester-specific fields and keeping
+    // the member order of a fresh response.
+    json::Value r = json::Value::object();
+    for (const auto &[key, val] : body.members()) {
+        if (key == "id") {
+            r.set("id", json::Value::string(id));
+            continue;
+        }
+        if (key == "trace_id")
+            continue;  // re-inserted after "type" below
+        if (key == "type") {
+            r.set("type", val);
+            if (!meta.traceId.empty())
+                r.set("trace_id", json::Value::string(meta.traceId));
+            continue;
+        }
+        if (key == "timings" && val.isObject()) {
+            json::Value t = json::Value::object();
+            for (const auto &[tk, tv] : val.members()) {
+                if (tk == "queue_us")
+                    t.set("queue_us", json::Value::number(meta.queueUs));
+                else if (tk == "total_us" && meta.totalUs > 0.0)
+                    t.set("total_us",
+                          json::Value::number(meta.totalUs));
+                else
+                    t.set(tk, tv);
+            }
+            r.set("timings", std::move(t));
+            continue;
+        }
+        r.set(key, val);
+    }
+    r.set(dedupFollower ? "dedup_follower" : "cache_hit",
+          json::Value::boolean(true));
+    return r.dump();
+}
+
+std::string
 errorResponse(const std::string &id, const std::string &code,
               const std::string &message)
 {

@@ -134,6 +134,21 @@ std::string resultResponse(const std::string &id,
                            const std::string &incidentDir,
                            const ResponseMeta &meta = {});
 
+/**
+ * "result" replayed from the result cache. `cachedBody` is a response
+ * the cache stored (a resultResponse built with empty id and default
+ * meta); this re-stamps the requester's own `id`/`trace_id`, patches
+ * `timings.queue_us`/`timings.total_us` with the replay-side values
+ * (stage timings stay the leader's — they describe the computation),
+ * and marks the provenance: `"cache_hit":true` for an LRU hit,
+ * `"dedup_follower":true` for a response received from a single-
+ * flight leader. Everything else is byte-identical to a fresh run.
+ */
+std::string cachedResultResponse(const std::string &cachedBody,
+                                 const std::string &id,
+                                 const ResponseMeta &meta,
+                                 bool dedupFollower);
+
 /** "error" with a stable dotted code. */
 std::string errorResponse(const std::string &id, const std::string &code,
                           const std::string &message);

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <chrono>
+#include <filesystem>
 #include <sstream>
 
 #include "harness/fault.hh"
+#include "serve/snapshot.hh"
 #include "support/export.hh"
 #include "support/json.hh"
 #include "support/stats.hh"
@@ -84,6 +86,31 @@ breakerJson(const CircuitBreaker::Snapshot &s)
  */
 harness::FaultSite gWorkerCrashSite("serve.worker.crash");
 
+/**
+ * Fires on the single-flight leader after election, before it
+ * computes. An armed `throw` makes the leader die with its followers
+ * still waiting — proving they re-elect instead of hanging (the
+ * whole point of the abandon/re-elect protocol). Unarmed cost: one
+ * relaxed atomic load per led flight.
+ */
+harness::FaultSite gLeaderCrashSite("serve.cache.leader-crash");
+
+/** Abandons a led flight on any exit path that did not publish —
+ *  without it, a throwing leader would strand its followers until
+ *  their own deadlines. */
+struct FlightGuard
+{
+    ResultCache *cache = nullptr;
+    const ResultCache::Ticket *ticket = nullptr;
+    bool armed = false;
+
+    ~FlightGuard()
+    {
+        if (armed && cache)
+            cache->abandon(*ticket);
+    }
+};
+
 } // namespace
 
 Server::Server(ServeOptions opts) : opts_(std::move(opts))
@@ -92,6 +119,16 @@ Server::Server(ServeOptions opts) : opts_(std::move(opts))
         breakers_[i] = std::make_unique<CircuitBreaker>(
             stageName(Stage(i)), opts_.breaker);
     startedAtMs_ = nowMs();
+
+    // The digest covers the *effective* simulation geometry: an empty
+    // cacheConfigs means the batch driver's default (i860), and the
+    // key must not change depending on how the default was spelled.
+    std::vector<CacheConfig> effective = opts_.cacheConfigs;
+    if (effective.empty())
+        effective.push_back(CacheConfig::i860());
+    configDigest_ = serveConfigDigest(opts_.params, effective);
+    if (opts_.resultCache.maxEntries > 0)
+        cache_ = std::make_unique<ResultCache>(opts_.resultCache);
 }
 
 Server::~Server()
@@ -118,6 +155,12 @@ Server::start()
         } else if (opts_.metricsIntervalMs > 0) {
             metricsThread_ = std::thread([this] { metricsLoop(); });
         }
+    }
+
+    if (cache_ && !opts_.cacheSnapshotPath.empty()) {
+        loadCacheSnapshot();
+        if (opts_.cacheSnapshotIntervalMs > 0)
+            snapshotThread_ = std::thread([this] { snapshotLoop(); });
     }
 
     obs::traceEvent("serve", "start",
@@ -326,6 +369,50 @@ Server::process(const Job &job)
         fault->program = name;
     }
 
+    // --- Result cache + single-flight. Fault-armed and breaker-
+    // degraded requests bypass it: the former are nondeterministic by
+    // design, the latter ran with less work than their key describes.
+    ResultCache::Ticket ticket;
+    FlightGuard flightGuard;
+    bool leading = false;
+    if (cache_ && !fault && !degraded) {
+        ticket = cache_->begin(resultCacheKey(
+            req.program, requestKindName(req.kind), bopts.simulate,
+            static_cast<int>(bopts.startRung), configDigest_));
+        for (;;) {
+            if (ticket.role == ResultCache::Role::Hit) {
+                respondCached(job, ticket.body, startUs, queueUs,
+                              traceId, false);
+                return;
+            }
+            if (ticket.role == ResultCache::Role::Leader) {
+                leading = true;
+                break;
+            }
+            // Follower: wait on the leader up to this request's own
+            // deadline. Value answers from the leader's result;
+            // Elected means the leader abandoned and this request
+            // takes over; TimedOut detaches and computes alone.
+            ResultCache::WaitOutcome w =
+                cache_->wait(ticket, bopts.budget.deadlineMs);
+            if (w == ResultCache::WaitOutcome::Value) {
+                respondCached(job, ticket.body, startUs, queueUs,
+                              traceId, true);
+                return;
+            }
+            if (w == ResultCache::WaitOutcome::Elected) {
+                leading = true;
+                break;
+            }
+            break;
+        }
+        if (leading) {
+            flightGuard.cache = cache_.get();
+            flightGuard.ticket = &ticket;
+            flightGuard.armed = true;
+        }
+    }
+
     harness::ProgramOutcome out;
     {
         // Fault-armed requests serialize: the fault plan is process-
@@ -335,12 +422,16 @@ Server::process(const Job &job)
             flock.lock();
             harness::armFault(*fault);
         }
-        // The crash site fires inside the request's program context so
+        // The crash sites fire inside the request's program context so
         // a plan filtered to this request's name matches; an armed
-        // `abort` takes the whole process down right here.
+        // `abort` takes the whole process down right here. A throwing
+        // leader-crash unwinds through the FlightGuard, which wakes
+        // the followers to re-elect.
         {
             harness::ProgramContext pctx(name);
             gWorkerCrashSite.fireNoDiag();
+            if (leading)
+                gLeaderCrashSite.fireNoDiag();
         }
         out = harness::runIsolated(harness::namedInput(name, req.program),
                                    bopts);
@@ -387,6 +478,24 @@ Server::process(const Job &job)
             obs::traceEvent("serve", "incident_skip",
                             {{"id", req.id},
                              {"why", written.diag().str()}});
+    }
+
+    // --- Publish or abandon the led flight. Only deterministic
+    // outcomes are publishable: ok and diag replay bit-identically,
+    // while timeouts, contained panics, degraded runs, and anything
+    // that produced an incident bundle must be recomputed per request.
+    if (leading) {
+        flightGuard.armed = false;
+        bool publishable =
+            !failed &&
+            (out.status == harness::BatchStatus::Ok ||
+             out.status == harness::BatchStatus::Diag) &&
+            incidentDir.empty();
+        if (publishable)
+            cache_->publish(ticket,
+                            resultResponse("", out, false, "", {}));
+        else
+            cache_->abandon(ticket);
     }
 
     ++completed_;
@@ -460,7 +569,113 @@ Server::drain()
         metricsOut_.reset();
     }
 
+    // Durability on the way out: stop the periodic cache-snapshot
+    // writer and persist the warm cache once more, so a drained (or
+    // EOF'd, or SIGTERM'd) worker restarts warm.
+    {
+        std::lock_guard<std::mutex> lock(snapshotMutex_);
+        snapshotStop_ = true;
+    }
+    snapshotCv_.notify_all();
+    if (snapshotThread_.joinable())
+        snapshotThread_.join();
+    writeCacheSnapshotNow();
+
     obs::flushTrace();
+}
+
+void
+Server::snapshotLoop()
+{
+    std::unique_lock<std::mutex> lock(snapshotMutex_);
+    while (!snapshotStop_) {
+        snapshotCv_.wait_for(
+            lock,
+            std::chrono::milliseconds(opts_.cacheSnapshotIntervalMs),
+            [this] { return snapshotStop_; });
+        if (snapshotStop_)
+            break;
+        lock.unlock();
+        writeCacheSnapshotNow();
+        lock.lock();
+    }
+}
+
+void
+Server::writeCacheSnapshotNow()
+{
+    if (!cache_ || opts_.cacheSnapshotPath.empty() ||
+        snapshotDisabled_.load())
+        return;
+    Status written =
+        writeCacheSnapshot(opts_.cacheSnapshotPath, cache_->entries(),
+                           opts_.shard, configDigest_);
+    if (written.ok())
+        return;
+    if (written.diag().code == "serve.snapshot.enospc") {
+        // Out of disk is a degradation, not a crash: durability goes
+        // dark, serving continues on the in-memory cache.
+        snapshotDisabled_.store(true);
+        ++obs::counter("serve.journal.disabled");
+        obs::traceEvent("serve", "snapshot_disabled",
+                        {{"why", written.diag().str()}});
+    } else {
+        ++obs::counter("serve.cache.snapshot_errors");
+        obs::traceEvent("serve", "snapshot_error",
+                        {{"why", written.diag().str()}});
+    }
+}
+
+void
+Server::loadCacheSnapshot()
+{
+    // A missing file is a normal cold start, not a rejection.
+    std::error_code ec;
+    if (!std::filesystem::exists(opts_.cacheSnapshotPath, ec))
+        return;
+    Result<std::vector<std::pair<std::string, std::string>>> loaded =
+        readCacheSnapshot(opts_.cacheSnapshotPath, configDigest_);
+    if (!loaded.ok()) {
+        // readCacheSnapshot counted serve.cache.snapshot_rejected;
+        // cold start is the fallback, never a crash.
+        obs::traceEvent("serve", "snapshot_cold_start",
+                        {{"why", loaded.diag().str()}});
+        return;
+    }
+    for (const auto &[key, body] : loaded.value()) {
+        cache_->seed(key, body);
+        ++obs::counter("serve.cache.snapshot_loaded_entries");
+    }
+    obs::traceEvent(
+        "serve", "snapshot_warm_start",
+        {{"path", opts_.cacheSnapshotPath},
+         {"entries",
+          static_cast<int64_t>(loaded.value().size())}});
+}
+
+void
+Server::respondCached(const Job &job, const std::string &body,
+                      double startUs, double queueUs,
+                      const std::string &traceId, bool dedupFollower)
+{
+    ResponseMeta meta;
+    meta.traceId = traceId;
+    meta.queueUs = queueUs;
+    meta.totalUs = queueUs + (nowUs() - startUs);
+    obs::histogram(std::string("serve.latency_us.") +
+                   requestKindName(job.req.kind))
+        .sample(meta.totalUs);
+    obs::histogram("serve.stage.queue_us").sample(queueUs);
+    obs::histogram("serve.stage.total_us").sample(meta.totalUs);
+    ++completed_;
+    job.respond(
+        cachedResultResponse(body, job.req.id, meta, dedupFollower));
+}
+
+ResultCacheStats
+Server::cacheStats() const
+{
+    return cache_ ? cache_->stats() : ResultCacheStats{};
 }
 
 void
@@ -561,6 +776,37 @@ Server::healthLine(const std::string &id) const
         brs.set(stageName(Stage(i)),
                 breakerJson(breakers_[i]->snapshot()));
     r.set("breakers", std::move(brs));
+
+    // The result-cache block doubles as the supervisor's aggregation
+    // feed: workers answer the heartbeat `health` probe with it, and
+    // the supervisor folds the numbers into its own gauges for
+    // `memoria top` and the chaos soak's hit-rate gate.
+    if (cache_) {
+        ResultCacheStats cs = cache_->stats();
+        json::Value cj = json::Value::object();
+        cj.set("hits",
+               json::Value::number(static_cast<int64_t>(cs.hits)));
+        cj.set("misses",
+               json::Value::number(static_cast<int64_t>(cs.misses)));
+        cj.set("inflight_joins",
+               json::Value::number(
+                   static_cast<int64_t>(cs.inflightJoins)));
+        cj.set("evictions",
+               json::Value::number(static_cast<int64_t>(cs.evictions)));
+        cj.set("entries",
+               json::Value::number(static_cast<int64_t>(cs.entries)));
+        cj.set("bytes",
+               json::Value::number(static_cast<int64_t>(cs.bytes)));
+        cj.set("snapshot_rejected",
+               json::Value::number(static_cast<int64_t>(
+                   obs::counter("serve.cache.snapshot_rejected")
+                       .value())));
+        cj.set("snapshot_loaded_entries",
+               json::Value::number(static_cast<int64_t>(
+                   obs::counter("serve.cache.snapshot_loaded_entries")
+                       .value())));
+        r.set("cache", std::move(cj));
+    }
     return r.dump();
 }
 

@@ -50,6 +50,7 @@
 #include "harness/incident.hh"
 #include "harness/batch.hh"
 #include "serve/breaker.hh"
+#include "serve/cache.hh"
 #include "serve/protocol.hh"
 
 namespace memoria {
@@ -104,6 +105,21 @@ struct ServeOptions
      *  interpreter pass per program version (cachesim/sweep.hh).
      *  Empty means the batch driver's default (i860). */
     std::vector<CacheConfig> cacheConfigs;
+
+    /** Result-cache bounds (resultCache.maxEntries == 0 disables the
+     *  cache and single-flight dedup entirely). */
+    CacheOptions resultCache;
+
+    /**
+     * Durable cache snapshots (serve/snapshot.hh): written here
+     * periodically and on drain, loaded (after validation) at start.
+     * Empty disables durability; the in-memory cache still works.
+     */
+    std::string cacheSnapshotPath;
+    int64_t cacheSnapshotIntervalMs = 0;  ///< 0 = only on drain
+
+    /** Shard index stamped into snapshot headers (-1 single-process). */
+    int shard = -1;
 };
 
 /**
@@ -183,6 +199,9 @@ class Server : public LineService
     size_t queueDepth() const;
     CircuitBreaker &breaker(Stage s) { return *breakers_[int(s)]; }
 
+    /** Result-cache counters (zeroed stats when the cache is off). */
+    ResultCacheStats cacheStats() const;
+
     /** The `health` response body (also used by transports' tests). */
     std::string healthLine(const std::string &id) const;
 
@@ -205,6 +224,12 @@ class Server : public LineService
     void process(const Job &job);
     void metricsLoop();
     void writeMetricsSnapshotNow();
+    void snapshotLoop();
+    void writeCacheSnapshotNow();
+    void loadCacheSnapshot();
+    void respondCached(const Job &job, const std::string &body,
+                       double startUs, double queueUs,
+                       const std::string &traceId, bool dedupFollower);
 
     ServeOptions opts_;
     std::unique_ptr<CircuitBreaker> breakers_[kNumStages];
@@ -238,6 +263,18 @@ class Server : public LineService
 
     std::atomic<uint64_t> received_{0}, accepted_{0}, completed_{0},
         shed_{0}, cancelled_{0}, errors_{0};
+
+    /** Content-addressed result cache (null when disabled). */
+    std::unique_ptr<ResultCache> cache_;
+    std::string configDigest_;
+
+    /** Periodic cache-snapshot writer (opts_.cacheSnapshotPath). */
+    std::thread snapshotThread_;
+    std::mutex snapshotMutex_;
+    std::condition_variable snapshotCv_;
+    bool snapshotStop_ = false;
+    /** Set on ENOSPC: durability is off, serving continues. */
+    std::atomic<bool> snapshotDisabled_{false};
 };
 
 } // namespace serve

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Durable, checksummed snapshots of the serve result cache.
+ *
+ * A snapshot is a versioned JSONL file:
+ *
+ *   {"schema":"memoria.cache-snapshot","version":1,"shard":K,
+ *    "config":"<digest>","entries":N}            (header)
+ *   {"key":"...","body":"...","crc":"<16hex>"}   (N entry lines)
+ *   {"footer":true,"crc":"<16hex>"}              (running checksum)
+ *
+ * Writes are crash-safe: the content goes to `<path>.tmp`, is fsync'd
+ * (EINTR retried), and atomically renamed over `path` — a reader never
+ * observes a half-written file from our own crash. Corruption from
+ * outside (disk damage, truncation, a hostile edit) is what the
+ * checksums are for, and validation is all-or-nothing: a torn tail, a
+ * flipped byte, a version or configuration mismatch each reject the
+ * *whole* snapshot (`serve.cache.snapshot_rejected`) and the worker
+ * cold-starts — a cache must never serve bytes it cannot vouch for.
+ *
+ * ENOSPC on write is a structured degradation, not a crash: the caller
+ * gets code `serve.snapshot.enospc`, disables further snapshots, and
+ * keeps serving (satellite of the journal's `serve.journal.disabled`).
+ *
+ * Fault site `serve.cache.corrupt-snapshot` fires inside the writer;
+ * an armed Throw makes it deliberately corrupt the bytes it just wrote
+ * (before the rename), so tests and the chaos soak can prove the
+ * reject-and-cold-start path end to end.
+ */
+
+#ifndef MEMORIA_SERVE_SNAPSHOT_HH
+#define MEMORIA_SERVE_SNAPSHOT_HH
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "check/diag.hh"
+
+namespace memoria {
+namespace serve {
+
+/** Current snapshot format version. */
+constexpr int kCacheSnapshotVersion = 1;
+
+/**
+ * Write `entries` (MRU-first, as ResultCache::entries() returns them)
+ * as a snapshot at `path`. Returns a Diag on failure: code
+ * `serve.snapshot.enospc` for out-of-space (degrade, do not retry),
+ * `serve.snapshot` for anything else.
+ */
+Status writeCacheSnapshot(
+    const std::string &path,
+    const std::vector<std::pair<std::string, std::string>> &entries,
+    int shard, const std::string &configDigest);
+
+/**
+ * Read and fully validate a snapshot. On success returns the entries
+ * in file order. Any defect — unreadable file, bad header, version or
+ * config mismatch, entry checksum failure, truncated tail, bad footer
+ * — returns a Diag (code `serve.snapshot.rejected`) whose message
+ * names the defect; the caller counts it and cold-starts.
+ */
+Result<std::vector<std::pair<std::string, std::string>>>
+readCacheSnapshot(const std::string &path,
+                  const std::string &configDigest);
+
+} // namespace serve
+} // namespace memoria
+
+#endif // MEMORIA_SERVE_SNAPSHOT_HH

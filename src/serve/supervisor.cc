@@ -12,6 +12,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <filesystem>
 #include <sstream>
 
 #include "support/export.hh"
@@ -130,6 +131,27 @@ Supervisor::Supervisor(SupervisorOptions opts) : opts_(std::move(opts))
         workers_.push_back(std::move(w));
     }
     if (!opts_.journalPath.empty()) {
+        // Recovery replay MUST precede open(): open() truncates, and
+        // the previous incarnation's admitted-but-unanswered requests
+        // are only recorded in the old file. What it finds is exactly
+        // the set of requests a restarted supervisor owes an answer
+        // for — surfaced in the `health` response's `recovery` block
+        // so clients (and the chaos soak) can resubmit them.
+        std::error_code ec;
+        if (std::filesystem::exists(opts_.journalPath, ec)) {
+            Result<std::vector<JournalEntry>> prev =
+                Journal::readIncomplete(opts_.journalPath);
+            if (prev.ok() && !prev.value().empty()) {
+                recovery_ = std::move(prev.value());
+                for (size_t i = 0; i < recovery_.size(); ++i)
+                    ++obs::counter("serve.recovery.unanswered");
+                obs::traceEvent(
+                    "serve", "journal_replay",
+                    {{"path", opts_.journalPath},
+                     {"unanswered",
+                      static_cast<int64_t>(recovery_.size())}});
+            }
+        }
         Result<std::unique_ptr<Journal>> j =
             Journal::open(opts_.journalPath, opts_.journal);
         if (j.ok())
@@ -497,8 +519,27 @@ Supervisor::onWorkerLine(int shard, uint64_t generation,
         }
         json::Value &v = parsed.value();
         const std::string id = v.getString("id");
-        if (id == "hb")
-            return;  // heartbeat answer; the timestamp was the point
+        if (id == "hb") {
+            // The heartbeat is a worker `health` response; besides the
+            // liveness timestamp it carries the worker's result-cache
+            // counters, which live in the worker process and would
+            // otherwise be invisible to the supervisor's registry.
+            if (const json::Value *cj = v.get("cache");
+                cj && cj->isObject()) {
+                w.cache.hits = cj->getInt("hits");
+                w.cache.misses = cj->getInt("misses");
+                w.cache.inflightJoins = cj->getInt("inflight_joins");
+                w.cache.evictions = cj->getInt("evictions");
+                w.cache.entries = cj->getInt("entries");
+                w.cache.bytes = cj->getInt("bytes");
+                w.cache.snapshotRejected =
+                    cj->getInt("snapshot_rejected");
+                w.cache.snapshotLoaded =
+                    cj->getInt("snapshot_loaded_entries");
+                publishCacheGaugesLocked();
+            }
+            return;
+        }
         if (id.empty() || id[0] != 's') {
             ++obs::counter("serve.worker.protocol_errors");
             return;
@@ -963,6 +1004,40 @@ Supervisor::workerRows() const
     return rows;
 }
 
+void
+Supervisor::publishCacheGaugesLocked()
+{
+    // Sums across shard workers, mirrored into supervisor gauges so
+    // `memoria top` and the metrics snapshots see serve.cache.* from
+    // the front process. Counters in the workers, gauges here: a
+    // respawned worker restarts its counters, and a gauge can move
+    // backwards without lying.
+    uint64_t hits = 0, misses = 0, joins = 0, evictions = 0;
+    uint64_t entries = 0, bytes = 0, rejected = 0, loaded = 0;
+    for (const auto &wp : workers_) {
+        hits += wp->cache.hits;
+        misses += wp->cache.misses;
+        joins += wp->cache.inflightJoins;
+        evictions += wp->cache.evictions;
+        entries += wp->cache.entries;
+        bytes += wp->cache.bytes;
+        rejected += wp->cache.snapshotRejected;
+        loaded += wp->cache.snapshotLoaded;
+    }
+    obs::gauge("serve.cache.hits").set(static_cast<double>(hits));
+    obs::gauge("serve.cache.misses").set(static_cast<double>(misses));
+    obs::gauge("serve.cache.inflight_joins")
+        .set(static_cast<double>(joins));
+    obs::gauge("serve.cache.evictions")
+        .set(static_cast<double>(evictions));
+    obs::gauge("serve.cache.entries").set(static_cast<double>(entries));
+    obs::gauge("serve.cache.bytes").set(static_cast<double>(bytes));
+    obs::gauge("serve.cache.snapshot_rejected")
+        .set(static_cast<double>(rejected));
+    obs::gauge("serve.cache.snapshot_loaded_entries")
+        .set(static_cast<double>(loaded));
+}
+
 std::string
 Supervisor::workersDump() const
 {
@@ -1024,6 +1099,31 @@ Supervisor::healthLine(const std::string &id) const
     reqs.set("errors",
              json::Value::number(static_cast<int64_t>(c.errors)));
     r.set("requests", std::move(reqs));
+
+    // Admitted-but-unanswered requests found by the journal replay at
+    // construction: what the previous incarnation owed its clients.
+    if (!recovery_.empty()) {
+        json::Value rec = json::Value::object();
+        rec.set("journal_replayed", json::Value::boolean(true));
+        rec.set("unanswered",
+                json::Value::number(
+                    static_cast<int64_t>(recovery_.size())));
+        json::Value arr = json::Value::array();
+        constexpr size_t kMaxListed = 16;
+        for (size_t i = 0; i < recovery_.size() && i < kMaxListed;
+             ++i) {
+            const JournalEntry &e = recovery_[i];
+            json::Value o = json::Value::object();
+            o.set("seq", json::Value::number(
+                             static_cast<int64_t>(e.seq)));
+            o.set("id", json::Value::string(e.id));
+            o.set("kind", json::Value::string(e.kind));
+            o.set("shard", json::Value::number(int64_t{e.shard}));
+            arr.push(std::move(o));
+        }
+        rec.set("entries", std::move(arr));
+        r.set("recovery", std::move(rec));
+    }
 
     std::string line = r.dump();
     // Splice the workers array in (it is already dumped JSON).

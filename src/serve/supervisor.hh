@@ -181,6 +181,19 @@ class Supervisor : public LineService
         int64_t deadlineAtMs = 0;  ///< hang cutoff once forwarded
     };
 
+    /** Last-heartbeat view of one worker's result-cache counters. */
+    struct WorkerCacheStats
+    {
+        uint64_t hits = 0;
+        uint64_t misses = 0;
+        uint64_t inflightJoins = 0;
+        uint64_t evictions = 0;
+        uint64_t entries = 0;
+        uint64_t bytes = 0;
+        uint64_t snapshotRejected = 0;
+        uint64_t snapshotLoaded = 0;
+    };
+
     /** One shard worker slot. */
     struct Worker
     {
@@ -201,6 +214,7 @@ class Supervisor : public LineService
         int64_t backoffMs = 0;
         int64_t respawnAtMs = 0;
         std::string killReason;    ///< "hang" when we SIGKILLed it
+        WorkerCacheStats cache;    ///< from the last heartbeat answer
     };
 
     struct Outgoing
@@ -246,9 +260,15 @@ class Supervisor : public LineService
     int64_t effectiveDeadlineMs(const Request &req) const;
     /** The `workers` array, dumped ("[{...},...]"). */
     std::string workersDump() const;
+    /** Mirror summed worker cache counters into serve.cache.* gauges. */
+    void publishCacheGaugesLocked();
 
     SupervisorOptions opts_;
     std::unique_ptr<Journal> journal_;
+
+    /** Admitted-but-unanswered entries replayed from the previous
+     *  incarnation's journal (constructor; immutable afterwards). */
+    std::vector<JournalEntry> recovery_;
 
     mutable std::mutex mu_;
     std::condition_variable cv_;       ///< pending-set changes + ticks

@@ -87,6 +87,11 @@ parseTopSample(const json::Value &v)
             s.counters[name] = static_cast<uint64_t>(
                 std::max<int64_t>(0, val.asInt()));
 
+    if (const json::Value *g = registry->get("gauges");
+        g && g->isObject())
+        for (const auto &[name, val] : g->members())
+            s.gauges[name] = val.asNumber();
+
     if (const json::Value *h = registry->get("histograms");
         h && h->isObject())
         for (const auto &[name, val] : h->members()) {
@@ -132,18 +137,31 @@ renderTopFrame(const TopSample &cur, const TopSample *prev)
         counterOr0(cur.counters, "serve.requests_total");
 
     // RPS from the delta against the previous sample; lifetime average
-    // over uptime when there is no usable baseline.
+    // over uptime when there is no usable baseline. A total below the
+    // previous sample's means the process restarted (counters start
+    // from zero again): fall back to the lifetime average of the new
+    // incarnation and say so, rather than rendering a huge negative
+    // (or wrapped) rate.
     double rps = 0.0;
+    bool restarted = false;
     if (prev && prev->valid && cur.tsMs > prev->tsMs) {
         uint64_t prevTotal =
             counterOr0(prev->counters, "serve.requests_total");
-        if (total >= prevTotal)
+        if (total >= prevTotal) {
             rps = 1000.0 * static_cast<double>(total - prevTotal) /
                   static_cast<double>(cur.tsMs - prev->tsMs);
+        } else {
+            restarted = true;
+            if (cur.uptimeMs > 0)
+                rps = 1000.0 * static_cast<double>(total) /
+                      static_cast<double>(cur.uptimeMs);
+        }
     } else if (cur.uptimeMs > 0) {
         rps = 1000.0 * static_cast<double>(total) /
               static_cast<double>(cur.uptimeMs);
     }
+    if (rps < 0.0)
+        rps = 0.0;
 
     out << "memoria top";
     if (cur.uptimeMs > 0)
@@ -155,8 +173,11 @@ renderTopFrame(const TopSample &cur, const TopSample *prev)
     out << "\n";
 
     out << "requests " << total << " total   " << std::fixed
-        << std::setprecision(1) << rps << " rps   shed "
-        << counterOr0(cur.counters, "serve.shed") << "   errors "
+        << std::setprecision(1) << rps << " rps";
+    if (restarted)
+        out << " (restarted)";
+    out << "   shed " << counterOr0(cur.counters, "serve.shed")
+        << "   errors "
         << counterOr0(cur.counters, "serve.request_errors") << "\n";
 
     out << "\n" << pad("latency", 22) << lpad("count", 10)
@@ -184,6 +205,42 @@ renderTopFrame(const TopSample &cur, const TopSample *prev)
     for (const char *stage :
          {"queue", "load", "optimize", "verify", "simulate", "total"})
         latencyRow(stage, std::string("serve.stage.") + stage + "_us");
+
+    // Result-cache panel. Single-process serve exposes real counters;
+    // a supervisor has no cache of its own and instead mirrors the
+    // summed worker heartbeat stats into same-named gauges — prefer
+    // the counter when present, fall back to the gauge.
+    {
+        auto cacheStat = [&](const std::string &suffix) -> uint64_t {
+            std::string name = "serve.cache." + suffix;
+            if (auto it = cur.counters.find(name);
+                it != cur.counters.end())
+                return it->second;
+            if (auto it = cur.gauges.find(name); it != cur.gauges.end())
+                return static_cast<uint64_t>(
+                    std::max(0.0, it->second));
+            return 0;
+        };
+        uint64_t hits = cacheStat("hits");
+        uint64_t misses = cacheStat("misses");
+        uint64_t entries = cacheStat("entries");
+        uint64_t bytes = cacheStat("bytes");
+        if (hits + misses + entries > 0) {
+            double hitPct =
+                hits + misses > 0
+                    ? 100.0 * static_cast<double>(hits) /
+                          static_cast<double>(hits + misses)
+                    : 0.0;
+            out << "cache " << hits << " hits / " << misses
+                << " misses (" << std::fixed << std::setprecision(1)
+                << hitPct << "%)   joins " << cacheStat("inflight_joins")
+                << "   evict " << cacheStat("evictions") << "   "
+                << entries << " entries " << bytes / 1024 << "KiB";
+            if (uint64_t rej = cacheStat("snapshot_rejected"); rej > 0)
+                out << "   snap-rejected " << rej;
+            out << "\n";
+        }
+    }
 
     if (!cur.workers.empty()) {
         out << "\n" << pad("worker", 10) << lpad("pid", 8)

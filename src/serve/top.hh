@@ -42,6 +42,10 @@ struct TopSample
     /** All counters from the registry dump, by full dotted name. */
     std::map<std::string, uint64_t> counters;
 
+    /** All gauges from the registry dump (the supervisor mirrors its
+     *  workers' cache counters here). */
+    std::map<std::string, double> gauges;
+
     /** Histogram summaries from the registry dump. */
     struct HistSummary
     {

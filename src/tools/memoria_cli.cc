@@ -66,6 +66,15 @@
  *                          artifacts/serve/journal.jsonl with --workers)
  *   --heartbeat-ms N       worker liveness probe cadence (default 500)
  *   --max-request-bytes N  reject longer request lines up front
+ *   --cache-entries N      result-cache entry bound (default 512)
+ *   --cache-bytes N        result-cache byte bound (default 32 MiB)
+ *   --no-cache             disable the result cache entirely
+ *   --cache-snapshot-dir DIR
+ *                          durable cache snapshots (cache-shardK.snap
+ *                          per shard; warm restarts load them back)
+ *   --cache-snapshot-interval-ms N
+ *                          periodic snapshot cadence (also written at
+ *                          drain; 0 = drain-only)
  *
  * `memoria reduce` re-minimizes an incident bundle directory (using its
  * recorded failure signature and fault plan) or a bare .mem file (the
@@ -439,6 +448,13 @@ struct Options
     int shard = -1;               ///< --shard (internal)
     std::string argv0;            ///< how this binary was invoked
 
+    // serve result cache
+    int64_t cacheEntries = -1;    ///< --cache-entries (-1 = default)
+    int64_t cacheBytes = 0;       ///< --cache-bytes (0 = default)
+    bool noCache = false;         ///< --no-cache
+    std::string cacheSnapshotDir; ///< --cache-snapshot-dir DIR
+    int64_t cacheSnapshotIntervalMs = 0;  ///< --cache-snapshot-interval-ms
+
     // top
     std::string topFile;          ///< top: --file (tail snapshots)
     int64_t topIntervalMs = 1000; ///< top: --interval-ms
@@ -548,6 +564,22 @@ parseArgs(int argc, char **argv)
              [&](const std::string &v) {
                  opts.maxRequestBytes = std::atoll(v.c_str());
              }},
+            {"--cache-entries",
+             [&](const std::string &v) {
+                 opts.cacheEntries = std::atoll(v.c_str());
+             }},
+            {"--cache-bytes",
+             [&](const std::string &v) {
+                 opts.cacheBytes = std::atoll(v.c_str());
+             }},
+            {"--cache-snapshot-dir",
+             [&](const std::string &v) {
+                 opts.cacheSnapshotDir = v;
+             }},
+            {"--cache-snapshot-interval-ms",
+             [&](const std::string &v) {
+                 opts.cacheSnapshotIntervalMs = std::atoll(v.c_str());
+             }},
             {"--worker-fd",
              [&](const std::string &v) {
                  opts.workerFd = std::atoi(v.c_str());
@@ -603,6 +635,8 @@ parseArgs(int argc, char **argv)
             opts.listFaults = true;
         } else if (arg == "--once") {
             opts.topOnce = true;
+        } else if (arg == "--no-cache") {
+            opts.noCache = true;
         } else if (valuedIt != valued.end()) {
             if (eq != std::string::npos) {
                 valuedIt->second(arg.substr(eq + 1));
@@ -662,7 +696,10 @@ usageText()
         "[--metrics-interval-ms N]\n"
         "               [--workers N] [--journal PATH|none] "
         "[--heartbeat-ms N]\n"
-        "               [--max-request-bytes N]\n"
+        "               [--max-request-bytes N] [--cache-entries N] "
+        "[--cache-bytes N]\n"
+        "               [--no-cache] [--cache-snapshot-dir DIR]\n"
+        "               [--cache-snapshot-interval-ms N]\n"
         "       memoria top [host:port] [--file SNAPSHOTS.jsonl] "
         "[--interval-ms N] [--once]\n"
         "       memoria reduce <bundle-dir|file.mem> [--deadline-ms N]"
@@ -1037,6 +1074,25 @@ cmdServe(const Options &opts)
         sopts.maxRequestBytes =
             static_cast<size_t>(opts.maxRequestBytes);
 
+    // Result cache: bounds, and the per-shard durable snapshot path
+    // (shard -1 — plain single-process serve — uses shard 0's file).
+    if (opts.noCache)
+        sopts.resultCache.maxEntries = 0;
+    else if (opts.cacheEntries >= 0)
+        sopts.resultCache.maxEntries =
+            static_cast<size_t>(opts.cacheEntries);
+    if (opts.cacheBytes > 0)
+        sopts.resultCache.maxBytes =
+            static_cast<size_t>(opts.cacheBytes);
+    sopts.shard = opts.shard;
+    if (!opts.cacheSnapshotDir.empty()) {
+        sopts.cacheSnapshotPath =
+            opts.cacheSnapshotDir + "/cache-shard" +
+            std::to_string(std::max(0, opts.shard)) + ".snap";
+        if (opts.cacheSnapshotIntervalMs > 0)
+            sopts.cacheSnapshotIntervalMs = opts.cacheSnapshotIntervalMs;
+    }
+
     // Shard-worker mode (spawned by the supervisor, never by hand):
     // a plain single-process Server speaking the protocol over the
     // inherited socketpair fd. Metrics export stays with the parent.
@@ -1113,6 +1169,19 @@ cmdServe(const Options &opts)
         if (!opts.caches.empty()) {
             cmd.push_back("--caches");
             cmd.push_back(opts.caches);
+        }
+        if (opts.noCache)
+            cmd.push_back("--no-cache");
+        if (opts.cacheEntries >= 0)
+            flag("--cache-entries", opts.cacheEntries);
+        if (opts.cacheBytes > 0)
+            flag("--cache-bytes", opts.cacheBytes);
+        if (!opts.cacheSnapshotDir.empty()) {
+            cmd.push_back("--cache-snapshot-dir");
+            cmd.push_back(opts.cacheSnapshotDir);
+            if (opts.cacheSnapshotIntervalMs > 0)
+                flag("--cache-snapshot-interval-ms",
+                     opts.cacheSnapshotIntervalMs);
         }
         supopts.workerCommand = std::move(cmd);
 
