@@ -58,8 +58,27 @@ RPS, the server's own serve.latency_us.* percentiles, and (in chaos
 mode) the chaos/respawn tallies — is printed and, when SOAK_REPORT
 (or the report positional) names a path, written there.
 
+Overload mode (--overload, implies --workers >= 2) runs the supervised
+server at roughly twice its service capacity with three client
+classes — a paced interactive client ("alice"), a batch flooder
+("bruce"), and a tight-deadline client ("carol") — and fires a SIGHUP
+rolling restart mid-load. It asserts the adaptive overload-control
+contract:
+
+  * zero lost responses: every request gets exactly one terminal
+    response (result, overloaded, or deadline error — never silence);
+  * the flooder is the one shed: bruce draws `client-capped` sheds
+    while alice is never shed and her p99 stays bounded;
+  * infeasible deadlines are shed at admission (`deadline-infeasible`)
+    or answered `serve.deadline-exceeded` without occupying a worker;
+  * the SIGHUP roll gracefully recycles every shard worker (recycles
+    >= workers, zero crashes) and the post-roll cache hit rate is at
+    least half the pre-roll baseline (warm snapshot restarts);
+  * `serve.requests_total` reconciles exactly and the admission
+    journal audits clean after drain.
+
 Usage: scripts/serve_soak.py [--chaos] [--restart-supervisor]
-                             [--workers N]
+                             [--overload] [--workers N]
                              [path-to-memoria] [request-count] [report]
 """
 
@@ -83,12 +102,15 @@ RESTART = "--restart-supervisor" in ARGS
 if RESTART:
     ARGS.remove("--restart-supervisor")
     CHAOS = True
+OVERLOAD = "--overload" in ARGS
+if OVERLOAD:
+    ARGS.remove("--overload")
 WORKERS = 0
 if "--workers" in ARGS:
     i = ARGS.index("--workers")
     WORKERS = int(ARGS[i + 1])
     del ARGS[i:i + 2]
-if CHAOS and WORKERS <= 0:
+if (CHAOS or OVERLOAD) and WORKERS <= 0:
     WORKERS = 2
 
 BIN = ARGS[0] if len(ARGS) > 0 else "./build/src/tools/memoria"
@@ -208,6 +230,9 @@ class ServeClient:
         self.sent_at = {}   # request id -> monotonic send time
         self.sent_kind = {} # request id -> kind
         self.parsed_sent = 0  # requests the server should parse
+        # Overload mode sends from several client threads over the one
+        # stdin pipe; a partial-line interleave would corrupt the wire.
+        self.send_lock = threading.Lock()
         self.thread = threading.Thread(target=self._reader,
                                        daemon=True)
         self.thread.start()
@@ -227,16 +252,19 @@ class ServeClient:
                     self.recv_at[rid] = now
 
     def send_raw(self, text):
-        self.proc.stdin.write(text + "\n")
-        self.proc.stdin.flush()
+        with self.send_lock:
+            self.proc.stdin.write(text + "\n")
+            self.proc.stdin.flush()
 
     def send(self, obj):
         rid = obj.get("id", "")
         if rid:
             self.sent_at[rid] = time.monotonic()
             self.sent_kind[rid] = obj.get("kind", "compound")
-        self.parsed_sent += 1
-        self.send_raw(json.dumps(obj))
+        with self.send_lock:
+            self.parsed_sent += 1
+            self.proc.stdin.write(json.dumps(obj) + "\n")
+            self.proc.stdin.flush()
 
     def wait_responses(self, n, timeout=120.0):
         deadline = time.monotonic() + timeout
@@ -1114,5 +1142,315 @@ def chaos_main():
         shutil.rmtree(scratch, ignore_errors=True)
 
 
+# --------------------------------------------------------------------
+# Overload mode (--overload)
+# --------------------------------------------------------------------
+
+def wait_ids(client, ids, timeout=180.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        missing = [r for r in ids if r not in client.recv_at]
+        if not missing:
+            return []
+        time.sleep(0.02)
+    return [r for r in ids if r not in client.recv_at]
+
+
+def latency_p99_ms(client, ids):
+    samples = sorted(
+        (client.recv_at[r] - client.sent_at[r]) * 1e3
+        for r in ids if r in client.recv_at and r in client.sent_at)
+    return percentile(samples, 0.99)
+
+
+def shed_reasons(client, ids):
+    """Counter of overloaded-shed reasons plus deadline-exceeded
+    errors across `ids`."""
+    reasons = Counter()
+    for rid in ids:
+        resp = client.response_for(rid) or {}
+        if resp.get("type") == "overloaded":
+            reasons[resp.get("reason", "queue-full")] += 1
+        elif resp.get("code") == "serve.deadline-exceeded":
+            reasons["deadline-exceeded"] += 1
+    return reasons
+
+
+def overload_main():
+    scratch = tempfile.mkdtemp(prefix="memoria-overload-soak-")
+    metrics_file = SNAPSHOTS or os.path.join(scratch,
+                                             "snapshots.jsonl")
+    journal_path = JOURNAL or os.path.join(scratch, "journal.jsonl")
+    snap_dir = CACHE_SNAPDIR or os.path.join(scratch,
+                                             "cache-snapshots")
+    server_argv = [
+        BIN, "serve",
+        "--workers", str(WORKERS),
+        "--jobs", "2",
+        "--queue", "16",
+        "--deadline-ms", "1000",
+        "--heartbeat-ms", "100",
+        "--client-cap", "6",
+        "--age-ms", "1000",
+        "--journal", journal_path,
+        "--no-incidents",
+        "--metrics-file", metrics_file,
+        "--metrics-interval-ms", "50",
+        "--cache-snapshot-dir", snap_dir,
+        "--cache-snapshot-interval-ms", "200",
+    ]
+    client = ServeClient(server_argv)
+
+    try:
+        deadline = time.monotonic() + 10.0
+        while time.monotonic() < deadline and not \
+                worker_pids_from_snapshot(metrics_file,
+                                          client.proc.pid):
+            time.sleep(0.05)
+        if not worker_pids_from_snapshot(metrics_file,
+                                         client.proc.pid):
+            fail("workers never showed up in the metrics snapshots")
+
+        # --- Warmup: alice's working set, twice — the second wave
+        # establishes the uncontended latency and cache-hit baselines
+        # the overload gates compare against.
+        programs = warm_corpus()
+
+        def alice_wave(tag):
+            ids = []
+            for i, program in enumerate(programs):
+                rid = f"{tag}-{i}"
+                client.send({"id": rid, "kind": "compound",
+                             "program": program,
+                             "client_id": "alice",
+                             "priority": "interactive"})
+                ids.append(rid)
+                if not client.wait_response_for(rid):
+                    fail(f"no response for warm request {rid}")
+                resp = client.response_for(rid)
+                if resp.get("type") != "result":
+                    fail(f"warm request {rid} got "
+                         f"{resp.get('type')!r}, want result")
+            return ids
+
+        alice_wave("warm-fresh")
+        hot_ids = alice_wave("warm-hot")
+        baseline_rate = cache_hit_rate(client, hot_ids)
+        if baseline_rate <= 0.0:
+            fail("warmup produced no cache hits")
+        baseline_p99_ms = latency_p99_ms(client, hot_ids)
+
+        # --- The overload: three client classes at ~2x capacity, with
+        # a SIGHUP rolling restart landing mid-flood.
+        soak_started = time.monotonic()
+        scale = max(1, COUNT // 200)
+        alice_ids, bruce_ids, carol_ids = [], [], []
+        hup_sent = threading.Event()
+
+        def alice_loop():
+            # Paced interactive traffic over the warm working set: the
+            # well-behaved client fair share must protect.
+            for i in range(50 * scale):
+                rid = f"alice-{i}"
+                alice_ids.append(rid)
+                client.send({"id": rid, "kind": "compound",
+                             "program": programs[i % len(programs)],
+                             "client_id": "alice",
+                             "priority": "interactive"})
+                if i == 15:
+                    os.kill(client.proc.pid, signal.SIGHUP)
+                    hup_sent.set()
+                    print("overload: SIGHUP rolling restart requested",
+                          file=sys.stderr)
+                time.sleep(0.02)
+
+        def bruce_loop():
+            # The batch flooder: far more than his per-client cap can
+            # hold, nearly unpaced. He must be the one shed.
+            for i in range(150 * scale):
+                rid = f"bruce-{i}"
+                bruce_ids.append(rid)
+                program = SMALL.replace("PROGRAM t",
+                                        f"PROGRAM bruce{i % 12}")
+                client.send({"id": rid, "kind": "compound",
+                             "program": program,
+                             "client_id": "bruce",
+                             "priority": "batch"})
+                time.sleep(0.002)
+
+        def carol_loop():
+            # Tight deadlines on heavy work: once the service-time
+            # estimate reflects reality, these shed on arrival.
+            for i in range(30 * scale):
+                rid = f"carol-{i}"
+                carol_ids.append(rid)
+                program = HEAVY.replace("PROGRAM heavy",
+                                        f"PROGRAM carol{i}")
+                client.send({"id": rid, "kind": "simulate",
+                             "program": program,
+                             "client_id": "carol",
+                             "deadline_ms": 20})
+                time.sleep(0.01)
+
+        threads = [threading.Thread(target=fn, daemon=True)
+                   for fn in (alice_loop, bruce_loop, carol_loop)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=120)
+        if not hup_sent.is_set():
+            fail("the SIGHUP was never sent")
+        all_ids = alice_ids + bruce_ids + carol_ids
+
+        # --- Gate 1: zero lost responses under 2x overload.
+        missing = wait_ids(client, all_ids)
+        if missing:
+            fail(f"lost responses under overload: {len(missing)} "
+                 f"missing (sample: {missing[:10]})")
+        soak_duration = time.monotonic() - soak_started
+        check_exactly_one_response(client, all_ids, 0)
+
+        # --- Gate 2: the flooder is shed, the paced client never is,
+        # and her p99 stays bounded.
+        alice_shed = shed_reasons(client, alice_ids)
+        bruce_shed = shed_reasons(client, bruce_ids)
+        carol_shed = shed_reasons(client, carol_ids)
+        if alice_shed:
+            fail(f"the paced interactive client was shed: "
+                 f"{dict(alice_shed)}")
+        if bruce_shed.get("client-capped", 0) < 1:
+            fail(f"the flooder drew no client-capped sheds "
+                 f"(saw: {dict(bruce_shed)})")
+        alice_p99_ms = latency_p99_ms(client, alice_ids)
+        p99_bound_ms = max(2000.0, 10.0 * baseline_p99_ms)
+        if alice_p99_ms > p99_bound_ms:
+            fail(f"interactive p99 {alice_p99_ms:.0f}ms exceeds the "
+                 f"{p99_bound_ms:.0f}ms bound (uncontended baseline "
+                 f"{baseline_p99_ms:.0f}ms)")
+
+        # --- Gate 3: infeasible deadlines never occupy a worker —
+        # shed at admission or answered deadline-exceeded from the
+        # queue.
+        carol_rejected = (carol_shed.get("deadline-infeasible", 0)
+                          + carol_shed.get("deadline-exceeded", 0))
+        if carol_rejected < 1:
+            fail(f"no tight-deadline request was shed as infeasible "
+                 f"or expired (saw: {dict(carol_shed)})")
+
+        # --- Gate 4: the SIGHUP roll gracefully recycled every shard
+        # — zero crashes — and the fleet ended whole.
+        recycles = crashes = 0
+        deadline = time.monotonic() + 30.0
+        probe = 0
+        while time.monotonic() < deadline:
+            probe += 1
+            final = scrape_metrics(client, f"overload-metrics-{probe}")
+            workers = final.get("workers", [])
+            recycles = sum(int(w.get("recycles", 0)) for w in workers)
+            crashes = sum(int(w.get("crashes", 0)) for w in workers)
+            if recycles >= WORKERS and \
+                    all(w.get("state") == "up" for w in workers):
+                break
+            time.sleep(0.2)
+        else:
+            fail(f"rolling restart incomplete 30s after the load: "
+                 f"{recycles} recycles across {WORKERS} workers")
+        if crashes > 0:
+            fail(f"{crashes} worker crash(es) during a graceful roll")
+        counters = final.get("registry", {}).get("counters", {})
+        if counters.get("serve.rolling_restarts", 0) < 1:
+            fail("serve.rolling_restarts never counted the SIGHUP")
+
+        # --- Gate 5: requests_total reconciles exactly (every
+        # response is in hand, nothing hostile was sent).
+        server_total = counters.get("serve.requests_total")
+        if server_total != client.parsed_sent:
+            fail(f"post-overload serve.requests_total={server_total}, "
+                 f"client sent {client.parsed_sent}")
+
+        # --- Gate 6: the roll restarted workers warm — alice's
+        # working set still hits at half the pre-roll baseline or
+        # better.
+        post_ids = alice_wave("warm-post")
+        post_rate = cache_hit_rate(client, post_ids)
+        if post_rate < 0.5 * baseline_rate:
+            fail(f"post-roll hit rate {post_rate:.3f} is below half "
+                 f"the {baseline_rate:.3f} baseline: the recycle "
+                 "cold-started the cache")
+
+        results = sum(1 for l in client.lines
+                      if json.loads(l).get("type") == "result")
+        shed = sum(1 for l in client.lines
+                   if json.loads(l).get("type") == "overloaded")
+        server_latency = server_latency_from(final)
+
+        # --- Graceful drain; the journal audits clean.
+        client.sigterm_and_wait()
+        read_final_snapshot(metrics_file)
+        admits = check_journal_empty(journal_path)
+
+        by_reason = Counter()
+        for ids in (alice_ids, bruce_ids, carol_ids):
+            by_reason.update(shed_reasons(client, ids))
+        report = {
+            "mode": "overload",
+            "workers": WORKERS,
+            "requests": client.parsed_sent,
+            "responses": len(client.lines),
+            "results": results,
+            "shed": shed,
+            "shed_by_reason": dict(by_reason),
+            "duration_s": round(soak_duration, 3),
+            "rps": round(len(all_ids) / max(soak_duration, 1e-9), 1),
+            "client_latency": client.client_latency(),
+            "server_latency": server_latency,
+            "interactive": {
+                "requests": len(alice_ids),
+                "shed": 0,
+                "p99_ms": round(alice_p99_ms, 1),
+                "uncontended_p99_ms": round(baseline_p99_ms, 1),
+                "p99_bound_ms": round(p99_bound_ms, 1),
+            },
+            "batch": {
+                "requests": len(bruce_ids),
+                "shed_by_reason": dict(bruce_shed),
+            },
+            "deadline": {
+                "requests": len(carol_ids),
+                "rejected_infeasible_or_expired": carol_rejected,
+            },
+            "rolling_restart": {
+                "recycles": recycles,
+                "crashes": crashes,
+                "baseline_hit_rate": round(baseline_rate, 3),
+                "post_roll_hit_rate": round(post_rate, 3),
+            },
+            "journal_admits": admits,
+        }
+        print(json.dumps(report, indent=2))
+        if REPORT:
+            with open(REPORT, "w") as fh:
+                json.dump(report, fh, indent=2)
+                fh.write("\n")
+
+        print(f"overload soak ok: {len(all_ids)} requests, zero lost; "
+              f"alice p99 {alice_p99_ms:.0f}ms (bound "
+              f"{p99_bound_ms:.0f}ms), bruce shed "
+              f"{sum(bruce_shed.values())} "
+              f"({bruce_shed.get('client-capped', 0)} client-capped), "
+              f"carol rejected {carol_rejected}; {recycles} graceful "
+              f"recycles, 0 crashes, hit rate "
+              f"{baseline_rate:.2f} -> {post_rate:.2f}; journal clean, "
+              "exit 0 on SIGTERM")
+    finally:
+        client.kill_if_alive()
+        shutil.rmtree(scratch, ignore_errors=True)
+
+
 if __name__ == "__main__":
-    chaos_main() if CHAOS else steady_main()
+    if OVERLOAD:
+        overload_main()
+    elif CHAOS:
+        chaos_main()
+    else:
+        steady_main()

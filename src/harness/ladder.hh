@@ -51,6 +51,19 @@ constexpr int kNumRungs = 4;
 /** Printable name ("full-compound", "no-fusion", ...). */
 const char *rungName(Rung r);
 
+/**
+ * The weaker (higher-numbered, cheaper) of two rungs. Callers that
+ * impose a floor on where the ladder may start — the serve breaker
+ * degrading to Identity, the memory governor forcing a cheaper rung
+ * under RSS pressure — combine it with the configured start rung via
+ * this instead of hand-comparing enum values.
+ */
+constexpr Rung
+weakerRung(Rung a, Rung b)
+{
+    return static_cast<int>(a) >= static_cast<int>(b) ? a : b;
+}
+
 /** The pipeline configuration one rung runs. */
 PipelineOptions rungPipeline(Rung r);
 

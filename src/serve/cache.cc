@@ -215,6 +215,27 @@ ResultCache::seed(const std::string &key, const std::string &body)
     insertLocked(key, body);
 }
 
+size_t
+ResultCache::shrinkTo(size_t maxEntries, size_t maxBytes)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    size_t evicted = 0;
+    while (!lru_.empty() &&
+           ((maxEntries > 0 && lru_.size() > maxEntries) ||
+            (maxBytes > 0 && bytes_ > maxBytes))) {
+        const Entry &victim = lru_.back();
+        bytes_ -= victim.key.size() + victim.body.size();
+        index_.erase(victim.key);
+        lru_.pop_back();
+        ++evictions_;
+        ++evicted;
+        ++obs::counter("serve.cache.evictions");
+    }
+    if (evicted > 0)
+        publishGauges();
+    return evicted;
+}
+
 std::vector<std::pair<std::string, std::string>>
 ResultCache::entries() const
 {

@@ -152,6 +152,15 @@ class ResultCache
     /** Warm-start insert (snapshot load); no counters bumped. */
     void seed(const std::string &key, const std::string &body);
 
+    /**
+     * Evict LRU-order down to at most `maxEntries` entries and
+     * `maxBytes` bytes (0 = leave that bound alone). The configured
+     * bounds are untouched — this is a one-shot squeeze the memory
+     * governor applies under RSS pressure; the cache regrows to its
+     * configured bounds afterwards. Returns the entries evicted.
+     */
+    size_t shrinkTo(size_t maxEntries, size_t maxBytes);
+
     /** MRU-first copy of the LRU for snapshotting. */
     std::vector<std::pair<std::string, std::string>> entries() const;
 

@@ -99,10 +99,12 @@ struct Conn
 };
 
 /** Feed a line-delimited stream to the service. Returns on EOF, read
- *  error, or drain request. */
+ *  error, or drain request. `clientKey` is the fair-share fallback
+ *  for requests that carry no client_id of their own. */
 void
 pumpLines(LineService &service, int fd,
-          const std::function<void(const std::string &)> &respond)
+          const std::function<void(const std::string &)> &respond,
+          const std::string &clientKey = "")
 {
     std::string buffer;
     char chunk[4096];
@@ -122,12 +124,12 @@ pumpLines(LineService &service, int fd,
         while ((pos = buffer.find('\n')) != std::string::npos) {
             std::string line = buffer.substr(0, pos);
             buffer.erase(0, pos + 1);
-            service.handleLine(line, respond);
+            service.handleLine(line, respond, clientKey);
         }
     }
     // A final unterminated line is still a request.
     if (!buffer.empty())
-        service.handleLine(buffer, respond);
+        service.handleLine(buffer, respond, clientKey);
 }
 
 int
@@ -239,7 +241,7 @@ runStdio(LineService &service)
         std::cout.flush();
     };
     service.start();
-    pumpLines(service, STDIN_FILENO, respond);
+    pumpLines(service, STDIN_FILENO, respond, "stdio");
     service.drain();
     return 0;
 }
@@ -346,13 +348,21 @@ runListener(LineService &service, const TransportOptions &topts)
                 continue;
             }
             auto conn = std::make_shared<Conn>(cfd);
+            // Per-connection fair-share fallback key: requests that
+            // carry no client_id are bucketed by connection, so two
+            // anonymous clients on separate connections still get
+            // separate shares.
+            static std::atomic<uint64_t> connSeq{0};
+            const std::string clientKey =
+                "conn:" + std::to_string(++connSeq);
             std::lock_guard<std::mutex> lock(connsMutex);
             conns.push_back(conn);
-            readers.emplace_back([&service, conn] {
+            readers.emplace_back([&service, conn, clientKey] {
                 pumpLines(service, conn->fd,
                           [conn](const std::string &line) {
                               conn->send(line);
-                          });
+                          },
+                          clientKey);
             });
         }
     }

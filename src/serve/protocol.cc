@@ -110,6 +110,13 @@ parseRequest(const std::string &line, size_t maxBytes)
     req.fault = v.getString("fault");
     req.traceId = v.getString("trace_id");
     req.replay = v.getBool("replay", false);
+    req.priority = v.getString("priority");
+    if (!req.priority.empty() && req.priority != "interactive" &&
+        req.priority != "batch") {
+        return badRequest("priority must be \"interactive\" or "
+                          "\"batch\"");
+    }
+    req.clientId = v.getString("client_id");
     return req;
 }
 
@@ -132,7 +139,7 @@ jitteredRetryAfterMs(int64_t baseMs)
 std::string
 resultResponse(const std::string &id, const harness::ProgramOutcome &out,
                bool degradedByBreaker, const std::string &incidentDir,
-               const ResponseMeta &meta)
+               const ResponseMeta &meta, bool degradedByMemory)
 {
     json::Value r = json::Value::object();
     r.set("id", json::Value::string(id));
@@ -163,6 +170,8 @@ resultResponse(const std::string &id, const harness::ProgramOutcome &out,
         r.set("diag", json::Value::string(out.diag));
     if (degradedByBreaker)
         r.set("degraded_by_breaker", json::Value::boolean(true));
+    if (degradedByMemory)
+        r.set("degraded_by_memory", json::Value::boolean(true));
     if (!out.failures.empty()) {
         json::Value fails = json::Value::array();
         for (const harness::AttemptFailure &f : out.failures) {
@@ -257,12 +266,31 @@ errorResponse(const std::string &id, const std::string &code,
 }
 
 std::string
-overloadedResponse(const std::string &id, int64_t retryAfterMs)
+overloadedResponse(const std::string &id, int64_t retryAfterMs,
+                   uint64_t queueDepth, const std::string &reason)
 {
     json::Value r = json::Value::object();
     r.set("id", json::Value::string(id));
     r.set("type", json::Value::string("overloaded"));
     r.set("retry_after_ms", json::Value::number(retryAfterMs));
+    r.set("queue_depth",
+          json::Value::number(static_cast<int64_t>(queueDepth)));
+    r.set("reason", json::Value::string(reason));
+    return r.dump();
+}
+
+std::string
+deadlineExceededResponse(const std::string &id, int64_t waitedMs)
+{
+    json::Value r = json::Value::object();
+    r.set("id", json::Value::string(id));
+    r.set("type", json::Value::string("error"));
+    r.set("code", json::Value::string("serve.deadline-exceeded"));
+    r.set("waited_ms", json::Value::number(waitedMs));
+    r.set("message",
+          json::Value::string("deadline passed after " +
+                              std::to_string(waitedMs) +
+                              "ms in the admission queue"));
     return r.dump();
 }
 

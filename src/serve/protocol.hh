@@ -76,6 +76,15 @@ struct Request
     std::string traceId;               ///< client trace id ("" = mint)
 
     /**
+     * Admission-control fields (serve/admission.hh). `priority` is
+     * "interactive" (the default) or "batch" — anything else is a
+     * request error. `client_id` keys per-client fair-share queuing;
+     * when empty the server falls back to a per-connection key.
+     */
+    std::string priority;
+    std::string clientId;
+
+    /**
      * Client opt-in to replay after a worker crash. `analyze` and
      * `simulate` are idempotent and retried transparently; `compound`
      * is only re-run when the client set `"replay": true` — otherwise
@@ -132,7 +141,8 @@ std::string resultResponse(const std::string &id,
                            const harness::ProgramOutcome &out,
                            bool degradedByBreaker,
                            const std::string &incidentDir,
-                           const ResponseMeta &meta = {});
+                           const ResponseMeta &meta = {},
+                           bool degradedByMemory = false);
 
 /**
  * "result" replayed from the result cache. `cachedBody` is a response
@@ -153,9 +163,24 @@ std::string cachedResultResponse(const std::string &cachedBody,
 std::string errorResponse(const std::string &id, const std::string &code,
                           const std::string &message);
 
-/** "overloaded" load-shed response. */
+/**
+ * "overloaded" load-shed response. `queueDepth` is the admission
+ * queue depth at shed time and `reason` says *why* this request was
+ * shed — "queue-full", "client-capped", or "deadline-infeasible" —
+ * so clients (and the soak harness) can distinguish "back off" from
+ * "you specifically are flooding" from "your deadline cannot be met".
+ */
 std::string overloadedResponse(const std::string &id,
-                               int64_t retryAfterMs);
+                               int64_t retryAfterMs,
+                               uint64_t queueDepth = 0,
+                               const std::string &reason = "queue-full");
+
+/**
+ * "error" with code `serve.deadline-exceeded`: the request's deadline
+ * passed while it sat in the admission queue; it never ran.
+ */
+std::string deadlineExceededResponse(const std::string &id,
+                                     int64_t waitedMs);
 
 /** "cancelled" (accepted, then drained before running). */
 std::string cancelledResponse(const std::string &id,

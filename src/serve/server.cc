@@ -129,6 +129,24 @@ Server::Server(ServeOptions opts) : opts_(std::move(opts))
     configDigest_ = serveConfigDigest(opts_.params, effective);
     if (opts_.resultCache.maxEntries > 0)
         cache_ = std::make_unique<ResultCache>(opts_.resultCache);
+
+    AdmissionOptions aopts;
+    aopts.queueCapacity = opts_.queueCapacity;
+    aopts.perClientCap = opts_.perClientCap;
+    aopts.countInflight = false;  // workers bound in-flight already
+    aopts.retryAfterMs = opts_.retryAfterMs;
+    aopts.ageTargetMs = opts_.ageTargetMs;
+    admission_ = std::make_unique<AdmissionController>(aopts);
+
+    if (opts_.rssSoftBytes > 0 || opts_.rssHardBytes > 0) {
+        GovernorOptions gopts;
+        gopts.softBytes = opts_.rssSoftBytes;
+        gopts.hardBytes = opts_.rssHardBytes;
+        if (opts_.rssSampleMs > 0)
+            gopts.sampleIntervalMs = opts_.rssSampleMs;
+        governor_ =
+            std::make_unique<MemoryGovernor>(gopts, cache_.get());
+    }
 }
 
 Server::~Server()
@@ -163,6 +181,9 @@ Server::start()
             snapshotThread_ = std::thread([this] { snapshotLoop(); });
     }
 
+    if (governor_ && governor_->enabled())
+        governorThread_ = std::thread([this] { governorLoop(); });
+
     obs::traceEvent("serve", "start",
                     {{"jobs", int64_t{jobs}},
                      {"queue_capacity",
@@ -170,7 +191,8 @@ Server::start()
 }
 
 void
-Server::handleLine(const std::string &line, const Respond &respond)
+Server::handleLine(const std::string &line, const Respond &respond,
+                   const std::string &clientKey)
 {
     // Blank lines are keep-alive noise, not requests.
     if (line.find_first_not_of(" \t\r\n") == std::string::npos)
@@ -211,6 +233,15 @@ Server::handleLine(const std::string &line, const Respond &respond)
         return;
     }
 
+    // Fair-share key: the request's own client_id wins, the transport
+    // connection is the fallback, anonymous traffic shares one bucket.
+    const std::string client = !req.clientId.empty()
+                                   ? req.clientId
+                                   : (!clientKey.empty() ? clientKey
+                                                         : "anon");
+    Priority pri = Priority::Interactive;
+    parsePriority(req.priority, pri);  // parseRequest validated it
+
     {
         std::lock_guard<std::mutex> lock(queueMutex_);
         if (draining_.load()) {
@@ -218,16 +249,28 @@ Server::handleLine(const std::string &line, const Respond &respond)
             respond(cancelledResponse(req.id, "server draining"));
             return;
         }
-        if (queue_.size() >= opts_.queueCapacity) {
+        const int64_t now = static_cast<int64_t>(nowUs());
+        int64_t deadlineAtUs = 0;
+        if (req.deadlineMs > 0)
+            deadlineAtUs =
+                now +
+                std::min(req.deadlineMs, opts_.maxDeadlineMs) * 1000;
+        AdmissionDecision d = admission_->decide(
+            client, pri, deadlineAtUs, estimatedServiceUs(req.kind),
+            now);
+        if (!d.admitted) {
             ++shed_;
             ++obs::counter("serve.shed");
-            // Jittered so the shed burst doesn't come back as a
-            // synchronized retry storm.
-            respond(overloadedResponse(
-                req.id, jitteredRetryAfterMs(opts_.retryAfterMs)));
+            // Retry hint is drain-rate-derived and jittered so a shed
+            // burst doesn't come back as a synchronized retry storm.
+            respond(overloadedResponse(req.id, d.retryAfterMs,
+                                       d.queueDepth, d.reason));
             return;
         }
-        queue_.push_back(Job{req, respond, nowUs()});
+        const uint64_t ticket = ++admitSeq_;
+        admission_->enqueue(ticket, client, pri, deadlineAtUs, now);
+        Job job{req, respond, nowUs(), ticket};
+        jobs_.emplace(ticket, std::move(job));
         ++accepted_;
         ++obs::counter("serve.accepted");
     }
@@ -239,30 +282,77 @@ Server::workerLoop()
 {
     for (;;) {
         Job job;
+        bool hasJob = false;
+        // Drops are answered outside the lock; each carries its Job,
+        // whether its own deadline expired (vs CoDel-aged out), and
+        // the queue depth captured under the lock for the response.
+        struct DropOut
+        {
+            Job job;
+            bool expired;
+            size_t depth;
+        };
+        std::vector<DropOut> drops;
         {
             std::unique_lock<std::mutex> lock(queueMutex_);
-            queueCv_.wait(lock,
-                          [&] { return stop_ || !queue_.empty(); });
-            if (queue_.empty()) {
+            // wait_for, not wait: when every queued client is at its
+            // in-flight cap pop() yields nothing, and the wakeup that
+            // un-caps a client can race this wait — the timeout keeps
+            // the loop live without spinning.
+            queueCv_.wait_for(
+                lock, std::chrono::milliseconds(50),
+                [&] { return stop_ || admission_->depth() > 0; });
+            if (admission_->depth() == 0) {
                 if (stop_)
                     return;
                 continue;
             }
-            job = std::move(queue_.front());
-            queue_.pop_front();
+            const int64_t now = static_cast<int64_t>(nowUs());
+            std::vector<AdmissionDrop> dropped;
+            uint64_t ticket = admission_->pop(now, dropped);
+            for (const AdmissionDrop &d : dropped) {
+                auto it = jobs_.find(d.id);
+                if (it == jobs_.end())
+                    continue;
+                drops.push_back(DropOut{std::move(it->second),
+                                        d.expired,
+                                        admission_->depth()});
+                jobs_.erase(it);
+            }
+            if (ticket != 0) {
+                auto it = jobs_.find(ticket);
+                if (it != jobs_.end()) {
+                    job = std::move(it->second);
+                    jobs_.erase(it);
+                    hasJob = true;
+                } else {
+                    // Should be impossible; release the ticket so the
+                    // client's in-flight accounting cannot leak.
+                    admission_->finish(ticket, now);
+                }
+            }
 
             // Past the drain deadline, stranded queue entries are
             // answered rather than run — exactly one terminal response
             // either way.
-            if (draining_.load() &&
+            if (hasJob && draining_.load() &&
                 nowMs() > drainDeadlineAt_.load()) {
+                admission_->finish(job.admitId, now);
                 lock.unlock();
+                queueCv_.notify_all();
                 ++cancelled_;
                 job.respond(cancelledResponse(
                     job.req.id, "drain deadline exceeded"));
+                for (DropOut &d : drops)
+                    answerDrop(d.job, d.expired, d.depth);
                 continue;
             }
         }
+        for (DropOut &d : drops)
+            answerDrop(d.job, d.expired, d.depth);
+        if (!hasJob)
+            continue;
+        const double serviceStartUs = nowUs();
         try {
             process(job);
         } catch (...) {
@@ -278,6 +368,40 @@ Server::workerLoop()
                 // nothing useful left to do for this request.
             }
         }
+        const double serviceUs = nowUs() - serviceStartUs;
+        // Pure service time (queue excluded) is what deadline
+        // feasibility predicts with; latency_us.* stays end-to-end.
+        obs::histogram(std::string("serve.service_us.") +
+                       requestKindName(job.req.kind))
+            .sample(serviceUs);
+        {
+            std::lock_guard<std::mutex> lock(queueMutex_);
+            admission_->finish(job.admitId,
+                               static_cast<int64_t>(nowUs()));
+            admission_->recordService(
+                static_cast<int64_t>(serviceUs));
+        }
+        // A finish can un-cap a client whose work other workers
+        // skipped; wake them all.
+        queueCv_.notify_all();
+    }
+}
+
+/** Terminal response for a pop()-dropped entry (never ran). */
+void
+Server::answerDrop(const Job &job, bool expired, size_t depth)
+{
+    if (expired) {
+        ++errors_;
+        const int64_t waitedMs = static_cast<int64_t>(
+            (nowUs() - job.enqueuedUs) / 1000.0);
+        job.respond(deadlineExceededResponse(job.req.id, waitedMs));
+    } else {
+        ++shed_;
+        ++obs::counter("serve.shed");
+        job.respond(overloadedResponse(
+            job.req.id, jitteredRetryAfterMs(opts_.retryAfterMs),
+            depth, "queue-aged"));
     }
 }
 
@@ -341,6 +465,20 @@ Server::process(const Job &job)
         degraded = true;
     }
 
+    // --- Memory-governor rung floor: under soft RSS pressure the
+    // ladder starts at a cheaper rung (smaller IR peaks), and the
+    // response says so. Analyze already runs at Identity.
+    bool degradedByMemory = false;
+    if (governor_ && req.kind != RequestKind::Analyze) {
+        const harness::Rung floor = governor_->rungFloor();
+        if (floor != harness::Rung::FullCompound) {
+            bopts.startRung =
+                harness::weakerRung(bopts.startRung, floor);
+            degradedByMemory = true;
+            ++obs::counter("serve.governor.degraded_requests");
+        }
+    }
+
     // Unique per-request name: the fault-plan program filter and the
     // incident bundle key off it, and ids may repeat across clients.
     uint64_t seq = ++seq_;
@@ -375,7 +513,7 @@ Server::process(const Job &job)
     ResultCache::Ticket ticket;
     FlightGuard flightGuard;
     bool leading = false;
-    if (cache_ && !fault && !degraded) {
+    if (cache_ && !fault && !degraded && !degradedByMemory) {
         ticket = cache_->begin(resultCacheKey(
             req.program, requestKindName(req.kind), bopts.simulate,
             static_cast<int>(bopts.startRung), configDigest_));
@@ -527,7 +665,39 @@ Server::process(const Job &job)
     ++obs::counter(std::string("serve.rung.") +
                    harness::rungName(out.rung));
 
-    job.respond(resultResponse(req.id, out, degraded, incidentDir, meta));
+    job.respond(resultResponse(req.id, out, degraded, incidentDir,
+                               meta, degradedByMemory));
+}
+
+int64_t
+Server::estimatedServiceUs(RequestKind kind) const
+{
+    // p90 of the live per-kind service-time histogram once it has
+    // enough samples to mean something; before that the admission
+    // controller falls back to its own EWMA (or admits blind).
+    const obs::Histogram &h = obs::histogram(
+        std::string("serve.service_us.") + requestKindName(kind));
+    if (h.count() < 8)
+        return 0;
+    return static_cast<int64_t>(h.quantile(0.9));
+}
+
+void
+Server::governorLoop()
+{
+    std::unique_lock<std::mutex> lock(governorMutex_);
+    while (!governorStop_) {
+        governorCv_.wait_for(
+            lock,
+            std::chrono::milliseconds(
+                governor_->options().sampleIntervalMs),
+            [this] { return governorStop_; });
+        if (governorStop_)
+            break;
+        lock.unlock();
+        governor_->sample();
+        lock.lock();
+    }
 }
 
 void
@@ -542,7 +712,8 @@ Server::drain()
             drainDeadlineAt_.store(nowMs() + opts_.drainDeadlineMs);
             obs::traceEvent(
                 "serve", "drain",
-                {{"queued", static_cast<int64_t>(queue_.size())}});
+                {{"queued",
+                  static_cast<int64_t>(admission_->depth())}});
         }
         stop_ = true;
     }
@@ -580,6 +751,14 @@ Server::drain()
     if (snapshotThread_.joinable())
         snapshotThread_.join();
     writeCacheSnapshotNow();
+
+    {
+        std::lock_guard<std::mutex> lock(governorMutex_);
+        governorStop_ = true;
+    }
+    governorCv_.notify_all();
+    if (governorThread_.joinable())
+        governorThread_.join();
 
     obs::flushTrace();
 }
@@ -735,7 +914,7 @@ size_t
 Server::queueDepth() const
 {
     std::lock_guard<std::mutex> lock(queueMutex_);
-    return queue_.size();
+    return admission_->depth();
 }
 
 std::string
@@ -776,6 +955,49 @@ Server::healthLine(const std::string &id) const
         brs.set(stageName(Stage(i)),
                 breakerJson(breakers_[i]->snapshot()));
     r.set("breakers", std::move(brs));
+
+    // Admission state: per-class depths and in-flight, for `memoria
+    // top` and the overload soak's fairness checks.
+    {
+        std::lock_guard<std::mutex> lock(queueMutex_);
+        json::Value a = json::Value::object();
+        a.set("queued_interactive",
+              json::Value::number(static_cast<int64_t>(
+                  admission_->depth(Priority::Interactive))));
+        a.set("queued_batch",
+              json::Value::number(static_cast<int64_t>(
+                  admission_->depth(Priority::Batch))));
+        a.set("inflight",
+              json::Value::number(
+                  static_cast<int64_t>(admission_->inflight())));
+        r.set("admission", std::move(a));
+    }
+
+    // Governor state rides the heartbeat: the supervisor reads
+    // hard_pressure here and answers with a graceful recycle.
+    if (governor_ && governor_->enabled()) {
+        json::Value g = json::Value::object();
+        g.set("rss_bytes",
+              json::Value::number(
+                  static_cast<int64_t>(governor_->rssBytes())));
+        g.set("soft_bytes",
+              json::Value::number(static_cast<int64_t>(
+                  governor_->options().softBytes)));
+        g.set("hard_bytes",
+              json::Value::number(static_cast<int64_t>(
+                  governor_->options().hardBytes)));
+        g.set("soft_pressure",
+              json::Value::boolean(governor_->softPressure()));
+        g.set("hard_pressure",
+              json::Value::boolean(governor_->hardPressure()));
+        g.set("soft_trips",
+              json::Value::number(
+                  static_cast<int64_t>(governor_->softTrips())));
+        g.set("hard_trips",
+              json::Value::number(
+                  static_cast<int64_t>(governor_->hardTrips())));
+        r.set("governor", std::move(g));
+    }
 
     // The result-cache block doubles as the supervisor's aggregation
     // feed: workers answer the heartbeat `health` probe with it, and

@@ -47,10 +47,14 @@
 #include <thread>
 #include <vector>
 
+#include <map>
+
 #include "harness/incident.hh"
 #include "harness/batch.hh"
+#include "serve/admission.hh"
 #include "serve/breaker.hh"
 #include "serve/cache.hh"
+#include "serve/governor.hh"
 #include "serve/protocol.hh"
 
 namespace memoria {
@@ -67,6 +71,21 @@ struct ServeOptions
 
     /** Suggested client backoff in `overloaded` responses. */
     int64_t retryAfterMs = 50;
+
+    /** Per-client queued + in-flight cap (0 = off); excess sheds
+     *  `client-capped` so one flooding client degrades only itself. */
+    size_t perClientCap = 0;
+
+    /** CoDel-style aging target for the oldest queued request, ms
+     *  (0 = off): standing queues drop stale work, not new arrivals. */
+    int64_t ageTargetMs = 0;
+
+    /** Memory-governor watermarks (bytes, 0 = off): soft shrinks the
+     *  result cache and floors the ladder at a cheaper rung; hard
+     *  asks the supervisor for a graceful recycle. */
+    uint64_t rssSoftBytes = 0;
+    uint64_t rssHardBytes = 0;
+    int64_t rssSampleMs = 200;
 
     /** Default per-request budget (requests may lower, never raise
      *  past maxDeadlineMs). */
@@ -144,10 +163,13 @@ class LineService
      * Handle one request line. Blank lines are ignored; everything
      * else gets exactly one terminal response through `respond`,
      * either inline (parse errors, health/stats, shed, draining) or
-     * later from a worker.
+     * later from a worker. `clientKey` identifies the transport
+     * connection for fair-share queuing when the request carries no
+     * `client_id` of its own ("" = anonymous).
      */
     virtual void handleLine(const std::string &line,
-                            const Respond &respond) = 0;
+                            const Respond &respond,
+                            const std::string &clientKey = "") = 0;
 
     /**
      * Graceful shutdown: stop admitting, finish in-flight work,
@@ -174,8 +196,8 @@ class Server : public LineService
     /** Spawn the worker pool. */
     void start() override;
 
-    void handleLine(const std::string &line,
-                    const Respond &respond) override;
+    void handleLine(const std::string &line, const Respond &respond,
+                    const std::string &clientKey = "") override;
 
     /** Stop admitting, finish in-flight work, cancel what the drain
      *  deadline strands, join workers, flush sinks. Idempotent. */
@@ -202,6 +224,12 @@ class Server : public LineService
     /** Result-cache counters (zeroed stats when the cache is off). */
     ResultCacheStats cacheStats() const;
 
+    /** The memory governor (null unless a watermark is configured). */
+    MemoryGovernor *governor() { return governor_.get(); }
+
+    /** The admission controller (tests poke depths/estimates). */
+    AdmissionController &admission() { return *admission_; }
+
     /** The `health` response body (also used by transports' tests). */
     std::string healthLine(const std::string &id) const;
 
@@ -218,10 +246,16 @@ class Server : public LineService
         Request req;
         Respond respond;
         double enqueuedUs = 0.0;  ///< steady-clock at admission
+        uint64_t admitId = 0;     ///< admission-controller ticket
     };
 
     void workerLoop();
     void process(const Job &job);
+    void answerDrop(const Job &job, bool expired, size_t depth);
+    void governorLoop();
+    /** p90 of the live per-kind service-time histogram (µs; 0 = no
+     *  signal yet) — the admission controller's feasibility input. */
+    int64_t estimatedServiceUs(RequestKind kind) const;
     void metricsLoop();
     void writeMetricsSnapshotNow();
     void snapshotLoop();
@@ -236,7 +270,12 @@ class Server : public LineService
 
     mutable std::mutex queueMutex_;
     std::condition_variable queueCv_;
-    std::deque<Job> queue_;
+    /** Queue order and fair-share policy live in the controller;
+     *  payloads are held here keyed by the admission ticket. Both are
+     *  guarded by queueMutex_. */
+    std::unique_ptr<AdmissionController> admission_;
+    std::map<uint64_t, Job> jobs_;
+    uint64_t admitSeq_ = 0;
     bool stop_ = false;
     /** Serializes drain(): a SIGTERM-initiated drain can race the
      *  destructor's (or a second transport's), and thread::join is
@@ -275,6 +314,13 @@ class Server : public LineService
     bool snapshotStop_ = false;
     /** Set on ENOSPC: durability is off, serving continues. */
     std::atomic<bool> snapshotDisabled_{false};
+
+    /** RSS watermarks (null unless configured) + sampling thread. */
+    std::unique_ptr<MemoryGovernor> governor_;
+    std::thread governorThread_;
+    std::mutex governorMutex_;
+    std::condition_variable governorCv_;
+    bool governorStop_ = false;
 };
 
 } // namespace serve

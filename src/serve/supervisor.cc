@@ -18,6 +18,7 @@
 #include "support/export.hh"
 #include "support/json.hh"
 #include "support/logging.hh"
+#include "support/procstat.hh"
 #include "support/signals.hh"
 #include "support/stats.hh"
 #include "support/trace.hh"
@@ -40,6 +41,15 @@ double
 nowUs()
 {
     return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+/** Integer steady-clock µs for the admission controller's clock. */
+int64_t
+steadyUs()
+{
+    return std::chrono::duration_cast<std::chrono::microseconds>(
                std::chrono::steady_clock::now().time_since_epoch())
         .count();
 }
@@ -125,9 +135,18 @@ Supervisor::Supervisor(SupervisorOptions opts) : opts_(std::move(opts))
 {
     opts_.workers = std::max(1, opts_.workers);
     startedAtMs_ = nowMs();
+    AdmissionOptions aopts;
+    aopts.queueCapacity = opts_.maxQueuedPerWorker;
+    aopts.perClientCap = opts_.serve.perClientCap;
+    aopts.countInflight = true;  // the old backlog check bounded both
+    aopts.retryAfterMs = opts_.serve.retryAfterMs;
+    aopts.ageTargetMs = opts_.serve.ageTargetMs;
+    // One controller per shard; the monitor publishes summed gauges.
+    aopts.publishGauges = false;
     for (int i = 0; i < opts_.workers; ++i) {
         auto w = std::make_unique<Worker>();
         w->shard = i;
+        w->admission = std::make_unique<AdmissionController>(aopts);
         workers_.push_back(std::move(w));
     }
     if (!opts_.journalPath.empty()) {
@@ -179,12 +198,16 @@ Supervisor::start()
     // pipes are ours whatever the transport.
     ::signal(SIGPIPE, SIG_IGN);
     signals::installChildHandler();
+    // SIGHUP = rolling restart of every shard, one at a time.
+    signals::installHupHandler();
 
+    std::vector<Outgoing> out;
     {
         std::lock_guard<std::mutex> lock(mu_);
         for (auto &w : workers_)
-            spawnWorkerLocked(*w);
+            spawnWorkerLocked(*w, out);
     }
+    deliver(out);
 
     if (!opts_.serve.metricsPath.empty()) {
         metricsOut_ = std::make_unique<std::ofstream>(
@@ -246,6 +269,12 @@ Supervisor::forwardLine(const Pending &p, uint64_t seq) const
         o.set("simulate", json::Value::boolean(*p.req.simulate));
     if (!p.req.traceId.empty())
         o.set("trace_id", json::Value::string(p.req.traceId));
+    // Forward the priority class and the *resolved* fair-share key so
+    // the worker's own admission controller buckets consistently.
+    if (!p.req.priority.empty())
+        o.set("priority", json::Value::string(p.req.priority));
+    if (!p.client.empty())
+        o.set("client_id", json::Value::string(p.client));
     // The fault spec rides only on the first attempt: replaying a
     // crash-inducing fault verbatim would kill the fresh worker too.
     if (!p.req.fault.empty() && !p.retried)
@@ -254,7 +283,8 @@ Supervisor::forwardLine(const Pending &p, uint64_t seq) const
 }
 
 void
-Supervisor::handleLine(const std::string &line, const Respond &respond)
+Supervisor::handleLine(const std::string &line, const Respond &respond,
+                       const std::string &clientKey)
 {
     if (line.find_first_not_of(" \t\r\n") == std::string::npos)
         return;
@@ -291,6 +321,7 @@ Supervisor::handleLine(const std::string &line, const Respond &respond)
     }
 
     const int shard = shardOf(req.program);
+    std::vector<Outgoing> out;
     {
         std::lock_guard<std::mutex> lock(mu_);
         if (draining_.load()) {
@@ -299,13 +330,29 @@ Supervisor::handleLine(const std::string &line, const Respond &respond)
             return;
         }
         Worker &w = *workers_[shard];
-        if (w.backlog.size() + w.inflight.size() >=
-            opts_.maxQueuedPerWorker) {
+
+        // Fair-share identity: explicit client_id beats the transport
+        // connection key beats the anonymous bucket.
+        const std::string client =
+            !req.clientId.empty()
+                ? req.clientId
+                : (!clientKey.empty() ? clientKey : "anon");
+        Priority pri = Priority::Interactive;
+        parsePriority(req.priority, pri);
+        const int64_t now = steadyUs();
+        int64_t deadlineAtUs = 0;
+        if (req.deadlineMs > 0)
+            deadlineAtUs =
+                now + std::min(req.deadlineMs,
+                               opts_.serve.maxDeadlineMs) * 1000;
+
+        const AdmissionDecision d =
+            w.admission->decide(client, pri, deadlineAtUs, 0, now);
+        if (!d.admitted) {
             ++shed_;
             ++obs::counter("serve.shed");
-            respond(overloadedResponse(
-                req.id,
-                jitteredRetryAfterMs(opts_.serve.retryAfterMs)));
+            respond(overloadedResponse(req.id, d.retryAfterMs,
+                                       d.queueDepth, d.reason));
             return;
         }
 
@@ -318,35 +365,46 @@ Supervisor::handleLine(const std::string &line, const Respond &respond)
         // client's explicit "replay": true.
         p.replayOk = req.kind != RequestKind::Compound || req.replay;
         p.enqueuedUs = nowUs();
+        p.client = client;
+        p.priority = pri;
+        p.admitDeadlineUs = deadlineAtUs;
         if (journal_)
             journal_->appendAdmit(seq, req.id,
                                   requestKindName(req.kind), shard,
                                   p.replayOk, line);
         pending_.emplace(seq, std::move(p));
-        w.backlog.push_back(seq);
+        w.admission->enqueue(seq, client, pri, deadlineAtUs, now);
         ++accepted_;
         ++obs::counter("serve.accepted");
-        pumpWorkerLocked(w);
+        pumpWorkerLocked(w, out);
     }
+    deliver(out);
     cv_.notify_all();
 }
 
 void
-Supervisor::pumpWorkerLocked(Worker &w)
+Supervisor::pumpWorkerLocked(Worker &w, std::vector<Outgoing> &out)
 {
     const size_t maxInflight =
         opts_.maxInflightPerWorker > 0
             ? opts_.maxInflightPerWorker
             : static_cast<size_t>(std::max(1, opts_.serve.jobs));
-    while (w.up && !w.backlog.empty() &&
+    const int64_t now = steadyUs();
+    std::vector<AdmissionDrop> drops;
+    while (w.up && !w.recycling &&
            w.inflight.size() < maxInflight) {
-        const uint64_t seq = w.backlog.front();
-        w.backlog.pop_front();
+        const uint64_t seq = w.admission->pop(now, drops);
+        if (seq == 0)
+            break;
         auto it = pending_.find(seq);
-        if (it == pending_.end())
+        if (it == pending_.end()) {
+            // Stale ticket (already resolved): release its slot.
+            w.admission->finish(seq, now);
             continue;
+        }
         Pending &p = it->second;
         p.inflight = true;
+        p.forwardedAtUs = nowUs();
         const int64_t eff = effectiveDeadlineMs(p.req);
         p.deadlineAtMs =
             eff > 0 ? nowMs() + eff + opts_.hangGraceMs : 0;
@@ -354,7 +412,106 @@ Supervisor::pumpWorkerLocked(Worker &w)
         w.outbuf += forwardLine(p, seq);
         w.outbuf += "\n";
     }
+    answerDropsLocked(w, drops, out);
     flushOutbufLocked(w);
+    maybeFinishRecycleLocked(w);
+}
+
+void
+Supervisor::answerDropsLocked(Worker &w,
+                              const std::vector<AdmissionDrop> &drops,
+                              std::vector<Outgoing> &out)
+{
+    for (const AdmissionDrop &d : drops) {
+        auto it = pending_.find(d.id);
+        if (it == pending_.end())
+            continue;
+        Pending &p = it->second;
+        if (d.expired) {
+            // Its deadline passed while it sat in the queue: answering
+            // now beats burning a worker on a result nobody can use.
+            const int64_t waitedMs = static_cast<int64_t>(
+                (nowUs() - p.enqueuedUs) / 1000.0);
+            finishLocked(d.id,
+                         deadlineExceededResponse(p.req.id, waitedMs),
+                         "deadline-exceeded", errors_, out);
+        } else {
+            // CoDel aged the standing queue's oldest entry out.
+            ++obs::counter("serve.shed");
+            finishLocked(
+                d.id,
+                overloadedResponse(
+                    p.req.id,
+                    jitteredRetryAfterMs(opts_.serve.retryAfterMs),
+                    w.admission->depth(), "queue-aged"),
+                "queue-aged", shed_, out);
+        }
+    }
+}
+
+void
+Supervisor::beginRecycleLocked(Worker &w, const std::string &reason)
+{
+    if (!w.up || w.recycling)
+        return;
+    w.recycling = true;
+    w.recycleEofSent = false;
+    w.recycleReason = reason;
+    w.recycleStartedMs = nowMs();
+    ++obs::counter("serve.worker.recycle_started");
+    if (journal_)
+        journal_->appendEvent(
+            "recycle_begin",
+            {{"shard", std::to_string(w.shard)},
+             {"reason", reason},
+             {"inflight", std::to_string(w.inflight.size())}});
+    obs::traceEvent("serve", "worker_recycle_begin",
+                    {{"shard", int64_t{w.shard}},
+                     {"reason", reason},
+                     {"inflight",
+                      static_cast<int64_t>(w.inflight.size())}});
+    maybeFinishRecycleLocked(w);
+}
+
+void
+Supervisor::maybeFinishRecycleLocked(Worker &w)
+{
+    if (!w.up || !w.recycling || w.recycleEofSent)
+        return;
+    if (!w.inflight.empty() || !w.outbuf.empty())
+        return;
+    // Half-close: the worker's read loop sees EOF, drains (writing its
+    // cache snapshot for the warm restart), and exits 0. Our read side
+    // stays open so a heartbeat answer already in the pipe still lands.
+    if (w.fd >= 0)
+        ::shutdown(w.fd, SHUT_WR);
+    w.recycleEofSent = true;
+}
+
+void
+Supervisor::workerRecycledLocked(Worker &w, std::vector<Outgoing> &out)
+{
+    w.up = false;
+    ++w.generation;  // invalidate the reader before retiring it
+    retireReaderLocked(w);
+    w.outbuf.clear();
+    ++w.recycles;
+    ++obs::counter("serve.worker.recycled");
+    if (journal_)
+        journal_->appendEvent(
+            "recycle", {{"shard", std::to_string(w.shard)},
+                        {"reason", w.recycleReason}});
+    obs::traceEvent("serve", "worker_recycled",
+                    {{"shard", int64_t{w.shard}},
+                     {"reason", w.recycleReason}});
+    w.recycling = false;
+    w.recycleEofSent = false;
+    w.recycleReason.clear();
+    w.recycleStartedMs = 0;
+    w.backoffMs = 0;  // graceful exit: no crash backoff
+    w.respawnAtMs = 0;
+    if (!draining_.load())
+        spawnWorkerLocked(w, out);
 }
 
 void
@@ -377,7 +534,7 @@ Supervisor::flushOutbufLocked(Worker &w)
 }
 
 bool
-Supervisor::spawnWorkerLocked(Worker &w)
+Supervisor::spawnWorkerLocked(Worker &w, std::vector<Outgoing> &out)
 {
     int sv[2];
     if (::socketpair(AF_UNIX, SOCK_STREAM, 0, sv) < 0) {
@@ -426,6 +583,12 @@ Supervisor::spawnWorkerLocked(Worker &w)
     ++w.generation;
     w.spawnedAtMs = w.lastBeatMs = w.lastBeatSentMs = nowMs();
     w.killReason.clear();
+    w.recycling = false;
+    w.recycleEofSent = false;
+    w.recycleReason.clear();
+    w.recycleStartedMs = 0;
+    w.served = 0;
+    w.rssBytes = 0;
     pidToShard_[pid] = w.shard;
     if (respawn) {
         ++w.respawns;
@@ -445,9 +608,9 @@ Supervisor::spawnWorkerLocked(Worker &w)
     w.reader = std::thread(
         [this, shard, fd, gen] { readerLoop(shard, fd, gen); });
 
-    // A respawn inherits the dead worker's backlog (crash retries sit
-    // at its front); forward what fits immediately.
-    pumpWorkerLocked(w);
+    // A respawn inherits the dead worker's queued admissions (crash
+    // retries included); forward what fits immediately.
+    pumpWorkerLocked(w, out);
     return true;
 }
 
@@ -488,12 +651,14 @@ Supervisor::readerLoop(int shard, int fd, uint64_t generation)
     }
 
     // EOF while the slot still thinks it's up: the reader is the
-    // first to know, so it kicks off the down-handling itself.
+    // first to know, so it kicks off the down-handling itself — except
+    // during a graceful recycle, where EOF is the *expected* end of a
+    // clean exit and the reaper classifies the death instead.
     std::vector<Outgoing> out;
     {
         std::lock_guard<std::mutex> lock(mu_);
         Worker &w = *workers_[shard];
-        if (w.up && w.generation == generation)
+        if (w.up && w.generation == generation && !w.recycling)
             handleWorkerDownLocked(w, "eof", out);
     }
     deliver(out);
@@ -538,6 +703,14 @@ Supervisor::onWorkerLine(int shard, uint64_t generation,
                     cj->getInt("snapshot_loaded_entries");
                 publishCacheGaugesLocked();
             }
+            // The worker's own memory governor rides the heartbeat: a
+            // latched hard watermark is a recycle request — honor it
+            // with a graceful recycle, not a SIGKILL.
+            if (const json::Value *gj = v.get("governor");
+                gj && gj->isObject()) {
+                if (gj->getBool("hard_pressure") && !w.recycling)
+                    beginRecycleLocked(w, "memory");
+            }
             return;
         }
         if (id.empty() || id[0] != 's') {
@@ -553,6 +726,11 @@ Supervisor::onWorkerLine(int shard, uint64_t generation,
 
         Pending &p = it->second;
         w.inflight.erase(seq);
+        // Pure forward-to-answer time feeds the controller's drain-
+        // rate and service-time estimates (queue delay excluded).
+        if (p.forwardedAtUs > 0.0)
+            w.admission->recordService(
+                static_cast<int64_t>(nowUs() - p.forwardedAtUs));
         v.set("id", json::Value::string(p.req.id));
         if (p.retried) {
             v.set("retried", json::Value::boolean(true));
@@ -571,7 +749,11 @@ Supervisor::onWorkerLine(int shard, uint64_t generation,
             ctr = &cancelled_;
         }
         finishLocked(seq, v.dump(), outcome, *ctr, out);
-        pumpWorkerLocked(w);
+        ++w.served;
+        if (opts_.maxRequestsPerWorker > 0 && !w.recycling &&
+            w.served >= opts_.maxRequestsPerWorker)
+            beginRecycleLocked(w, "max-requests");
+        pumpWorkerLocked(w, out);
     }
     deliver(out);
     cv_.notify_all();
@@ -587,6 +769,9 @@ Supervisor::finishLocked(uint64_t seq, const std::string &line,
     if (it == pending_.end())
         return;
     Pending &p = it->second;
+    // Whatever path resolved it, release its admission slot (tolerant
+    // of still-queued and already-unknown ids alike).
+    workers_[p.shard]->admission->finish(seq, steadyUs());
     ++counter;
     if (p.enqueuedUs > 0.0)
         obs::histogram(std::string("serve.latency_us.") +
@@ -651,6 +836,12 @@ Supervisor::handleWorkerDownLocked(Worker &w, const std::string &why,
     ++w.generation;  // invalidate the reader before retiring it
     retireReaderLocked(w);
     w.outbuf.clear();
+    // A recycle that ends here ended *ungracefully* (crash or timeout
+    // mid-drain); clear the state so the respawn starts clean.
+    w.recycling = false;
+    w.recycleEofSent = false;
+    w.recycleReason.clear();
+    w.recycleStartedMs = 0;
     // EOF with the process still alive (closed its pipe but didn't
     // exit) would leave the slot unreapable and the shard down
     // forever; make the death real so waitpid sees it.
@@ -671,12 +862,13 @@ Supervisor::handleWorkerDownLocked(Worker &w, const std::string &why,
                       static_cast<int64_t>(w.inflight.size())}});
 
     // Crash fallout: every in-flight request resolves now — either
-    // back onto the backlog for one retry, or with a structured
-    // worker-crashed error. Exactly one terminal response either way.
+    // re-enqueued for one retry, or with a structured worker-crashed
+    // error. Exactly one terminal response either way.
     std::vector<uint64_t> inflight(w.inflight.begin(),
                                    w.inflight.end());
     w.inflight.clear();
-    for (auto rit = inflight.rbegin(); rit != inflight.rend(); ++rit) {
+    const int64_t nowSteady = steadyUs();
+    for (auto rit = inflight.begin(); rit != inflight.end(); ++rit) {
         const uint64_t seq = *rit;
         auto it = pending_.find(seq);
         if (it == pending_.end())
@@ -686,7 +878,12 @@ Supervisor::handleWorkerDownLocked(Worker &w, const std::string &why,
             p.retried = true;
             p.inflight = false;
             p.deadlineAtMs = 0;
-            w.backlog.push_front(seq);
+            p.forwardedAtUs = 0.0;
+            // Release the popped slot, then queue the retry under the
+            // same fair-share key for the respawned worker.
+            w.admission->finish(seq, nowSteady);
+            w.admission->enqueue(seq, p.client, p.priority,
+                                 p.admitDeadlineUs, nowSteady);
             ++obs::counter("serve.worker.retries");
             if (journal_)
                 journal_->appendEvent(
@@ -730,6 +927,12 @@ Supervisor::reapLocked(std::vector<Outgoing> &out)
         std::string kind =
             !w.killReason.empty() ? w.killReason : crashKind(status);
         w.killReason.clear();
+        // A recycling worker that exits 0 did exactly what it was
+        // asked: that is a recycle, never a crash.
+        if (w.recycling && kind == "exit_0") {
+            workerRecycledLocked(w, out);
+            continue;
+        }
         const bool expected =
             draining_.load() && kind == "exit_0";
         if (!expected)
@@ -752,14 +955,89 @@ Supervisor::monitorLoop()
         reapLocked(out);
 
         const int64_t now = nowMs();
+
+        // SIGHUP: queue a rolling restart of every shard. A HUP that
+        // lands mid-roll is coalesced into the one already running.
+        if (signals::consumeHup() && rollingQueue_.empty() &&
+            !draining_.load()) {
+            for (auto &wp : workers_)
+                rollingQueue_.push_back(wp->shard);
+            ++obs::counter("serve.rolling_restarts");
+            obs::traceEvent("serve", "rolling_restart_begin",
+                            {{"workers", int64_t{opts_.workers}}});
+        }
+        // Advance the roll only when the fleet is whole again — the
+        // previous shard is back up and nothing is mid-recycle — so
+        // capacity dips by at most one worker at a time.
+        if (!rollingQueue_.empty() && !draining_.load()) {
+            bool quiet = true;
+            for (auto &wp : workers_)
+                if (!wp->up || wp->recycling) {
+                    quiet = false;
+                    break;
+                }
+            if (quiet) {
+                const int s = rollingQueue_.front();
+                rollingQueue_.pop_front();
+                beginRecycleLocked(*workers_[s], "sighup");
+            }
+        }
+
+        // Per-worker RSS via /proc/<pid>/statm, plus the summed
+        // admission-depth gauges (the per-shard controllers do not
+        // publish their own).
+        if (now - lastRssSampleMs_ >= 500) {
+            lastRssSampleMs_ = now;
+            uint64_t qInt = 0, qBatch = 0;
+            for (auto &wp : workers_) {
+                Worker &w = *wp;
+                if (w.up && w.pid > 0) {
+                    const uint64_t rss = procstat::rssBytes(w.pid);
+                    if (rss > 0)
+                        w.rssBytes = rss;
+                    if (opts_.serve.rssHardBytes > 0 &&
+                        !w.recycling &&
+                        rss > opts_.serve.rssHardBytes)
+                        beginRecycleLocked(w, "rss");
+                }
+                qInt += w.admission->depth(Priority::Interactive);
+                qBatch += w.admission->depth(Priority::Batch);
+            }
+            obs::gauge("serve.admission.queue.interactive")
+                .set(static_cast<double>(qInt));
+            obs::gauge("serve.admission.queue.batch")
+                .set(static_cast<double>(qBatch));
+        }
+
         for (auto &wp : workers_) {
             Worker &w = *wp;
             if (w.up) {
-                flushOutbufLocked(w);
-                if (now - w.lastBeatSentMs >= opts_.heartbeatMs) {
+                // pump (not just flush): pop-time drops — expired and
+                // CoDel-aged entries — need a periodic tick even when
+                // no new work or answers arrive.
+                pumpWorkerLocked(w, out);
+                if (!w.recycleEofSent &&
+                    now - w.lastBeatSentMs >= opts_.heartbeatMs) {
                     w.outbuf += kHeartbeatLine;
                     w.lastBeatSentMs = now;
                     flushOutbufLocked(w);
+                }
+                if (w.recycling) {
+                    // Hang detection is off mid-recycle (after the
+                    // half-close we cannot heartbeat); the recycle
+                    // grace is the only clock, and blowing it is a
+                    // crash, not a recycle.
+                    if (now - w.recycleStartedMs >
+                        opts_.recycleGraceMs) {
+                        ++obs::counter(
+                            "serve.worker.recycle_timeouts");
+                        w.killReason = "recycle-timeout";
+                        if (w.pid > 0)
+                            ::kill(w.pid, SIGKILL);
+                        handleWorkerDownLocked(w, "recycle-timeout",
+                                               out);
+                    }
+                    continue;
                 }
                 bool hung = now - w.lastBeatMs >
                             opts_.heartbeatMs * opts_.heartbeatMisses;
@@ -783,7 +1061,7 @@ Supervisor::monitorLoop()
             } else if (w.pid < 0 && !draining_.load() &&
                        w.respawnAtMs > 0 && now >= w.respawnAtMs) {
                 w.respawnAtMs = 0;
-                spawnWorkerLocked(w);
+                spawnWorkerLocked(w, out);
             }
         }
 
@@ -836,10 +1114,8 @@ Supervisor::drain()
                                            "drain deadline exceeded"),
                          "cancelled", cancelled_, out);
         }
-        for (auto &wp : workers_) {
-            wp->backlog.clear();
+        for (auto &wp : workers_)
             wp->inflight.clear();
-        }
         stop_.store(true);
     }
     deliver(out);
@@ -993,11 +1269,14 @@ Supervisor::workerRows() const
         WorkerRow r;
         r.shard = w.shard;
         r.pid = w.pid;
-        r.state = w.up ? "up" : "down";
+        r.state = !w.up ? "down" : (w.recycling ? "recycling" : "up");
         r.inflight = w.inflight.size();
-        r.queued = w.backlog.size();
+        r.queued = w.admission->depth();
         r.respawns = w.respawns;
         r.crashes = w.crashes;
+        r.recycles = w.recycles;
+        r.served = w.served;
+        r.rssBytes = w.rssBytes;
         r.heartbeatAgeMs = w.up ? now - w.lastBeatMs : -1;
         rows.push_back(r);
     }
@@ -1055,6 +1334,12 @@ Supervisor::workersDump() const
               json::Value::number(static_cast<int64_t>(r.respawns)));
         o.set("crashes",
               json::Value::number(static_cast<int64_t>(r.crashes)));
+        o.set("recycles",
+              json::Value::number(static_cast<int64_t>(r.recycles)));
+        o.set("served",
+              json::Value::number(static_cast<int64_t>(r.served)));
+        o.set("rss_bytes",
+              json::Value::number(static_cast<int64_t>(r.rssBytes)));
         o.set("heartbeat_age_ms",
               json::Value::number(r.heartbeatAgeMs));
         arr.push(std::move(o));
@@ -1067,9 +1352,17 @@ Supervisor::healthLine(const std::string &id) const
 {
     Server::RequestCounters c = requestCounters();
     size_t depth;
+    uint64_t qInteractive = 0, qBatch = 0, inflight = 0, recycles = 0;
     {
         std::lock_guard<std::mutex> lock(mu_);
         depth = pending_.size();
+        for (const auto &wp : workers_) {
+            qInteractive +=
+                wp->admission->depth(Priority::Interactive);
+            qBatch += wp->admission->depth(Priority::Batch);
+            inflight += wp->inflight.size();
+            recycles += wp->recycles;
+        }
     }
     json::Value r = json::Value::object();
     r.set("id", json::Value::string(id));
@@ -1099,6 +1392,19 @@ Supervisor::healthLine(const std::string &id) const
     reqs.set("errors",
              json::Value::number(static_cast<int64_t>(c.errors)));
     r.set("requests", std::move(reqs));
+
+    // Summed admission state across the per-shard controllers — the
+    // overload-soak's (and `memoria top`'s) one-stop view.
+    json::Value adm = json::Value::object();
+    adm.set("queued_interactive",
+            json::Value::number(static_cast<int64_t>(qInteractive)));
+    adm.set("queued_batch",
+            json::Value::number(static_cast<int64_t>(qBatch)));
+    adm.set("inflight",
+            json::Value::number(static_cast<int64_t>(inflight)));
+    adm.set("recycles",
+            json::Value::number(static_cast<int64_t>(recycles)));
+    r.set("admission", std::move(adm));
 
     // Admitted-but-unanswered requests found by the journal replay at
     // construction: what the previous incarnation owed its clients.

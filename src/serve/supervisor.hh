@@ -37,7 +37,23 @@
  *    `serve.worker-crashed` error;
  *  - journal: every admission is written ahead to a bounded JSONL
  *    journal (serve/journal.hh) and marked done with its outcome, so
- *    "no request was lost" is checkable from disk after the fact.
+ *    "no request was lost" is checkable from disk after the fact;
+ *  - recycling: a worker can be retired *gracefully* — stop forwarding
+ *    it work, wait for its in-flight requests to finish, close its
+ *    pipe's write side (the worker drains, snapshots its cache, exits
+ *    0), respawn immediately with no backoff. Triggered by
+ *    `maxRequestsPerWorker`, by RSS over the hard watermark (sampled
+ *    from /proc/<pid>/statm and from the worker's own governor block
+ *    in heartbeat answers), or by SIGHUP (rolling restart of every
+ *    shard, one at a time, next one only after the previous is back
+ *    up). A recycle loses zero requests and is counted in
+ *    `serve.worker.recycled`, never in `serve.worker.crash.*`.
+ *
+ * Admission is per shard: each worker slot owns an
+ * `AdmissionController` (serve/admission.hh) bounded by
+ * `maxQueuedPerWorker` (queued + in-flight), giving the supervisor
+ * deadline-aware shed-on-arrival, per-client fair-share dequeue, and
+ * CoDel aging in front of every worker pipe.
  *
  * The supervisor answers `health`/`stats`/`metrics` inline from its
  * own registry (adding a `workers` array that `memoria top` renders
@@ -110,6 +126,14 @@ struct SupervisorOptions
      *  thread count, serve.jobs). */
     size_t maxInflightPerWorker = 0;
 
+    /** Gracefully recycle a worker after it has answered this many
+     *  work requests (0 = never). Bounds slow leaks by construction. */
+    uint64_t maxRequestsPerWorker = 0;
+
+    /** How long a recycling worker gets to drain and exit before the
+     *  supervisor gives up and SIGKILLs it (counted as a crash). */
+    int64_t recycleGraceMs = 10000;
+
     /** Write-ahead journal path ("" = no journal). */
     std::string journalPath;
     JournalOptions journal;
@@ -120,11 +144,14 @@ struct WorkerRow
 {
     int shard = 0;
     int64_t pid = -1;
-    std::string state;  ///< "up" | "down"
+    std::string state;  ///< "up" | "recycling" | "down"
     uint64_t inflight = 0;
     uint64_t queued = 0;
     uint64_t respawns = 0;
     uint64_t crashes = 0;
+    uint64_t recycles = 0;
+    uint64_t served = 0;          ///< answered since last (re)spawn
+    uint64_t rssBytes = 0;        ///< last statm sample (0 = unknown)
     int64_t heartbeatAgeMs = -1;  ///< -1 while down
 };
 
@@ -143,8 +170,8 @@ class Supervisor : public LineService
     /** Spawn the shard workers and the monitor thread. */
     void start() override;
 
-    void handleLine(const std::string &line,
-                    const Respond &respond) override;
+    void handleLine(const std::string &line, const Respond &respond,
+                    const std::string &clientKey = "") override;
 
     /** Stop admitting, wait for in-flight work (bounded by
      *  drainDeadlineMs), shut the workers down, reap, flush. */
@@ -178,7 +205,13 @@ class Supervisor : public LineService
         bool retried = false;    ///< crash-retry already spent
         bool inflight = false;   ///< forwarded (vs still queued)
         double enqueuedUs = 0.0;
+        double forwardedAtUs = 0.0;  ///< service-time sample start
         int64_t deadlineAtMs = 0;  ///< hang cutoff once forwarded
+        /** Fair-share identity + class, resolved at admission (the
+         *  crash-retry path re-enqueues under the same key). */
+        std::string client;
+        Priority priority = Priority::Interactive;
+        int64_t admitDeadlineUs = 0;  ///< steady-clock µs, 0 = none
     };
 
     /** Last-heartbeat view of one worker's result-cache counters. */
@@ -204,7 +237,9 @@ class Supervisor : public LineService
         uint64_t generation = 0;   ///< bumps per (re)spawn
         std::thread reader;
         std::string outbuf;        ///< unwritten forwarded bytes
-        std::deque<uint64_t> backlog;
+        /** Per-shard queue order and fair-share policy; payloads stay
+         *  in pending_. Survives the worker process across respawns. */
+        std::unique_ptr<AdmissionController> admission;
         std::set<uint64_t> inflight;
         uint64_t respawns = 0;
         uint64_t crashes = 0;
@@ -215,6 +250,15 @@ class Supervisor : public LineService
         int64_t respawnAtMs = 0;
         std::string killReason;    ///< "hang" when we SIGKILLed it
         WorkerCacheStats cache;    ///< from the last heartbeat answer
+
+        // --- Graceful-recycle state ---
+        bool recycling = false;    ///< no new work; draining to exit
+        bool recycleEofSent = false;  ///< SHUT_WR done; awaiting exit
+        std::string recycleReason;    ///< max-requests | rss | sighup
+        int64_t recycleStartedMs = 0;
+        uint64_t served = 0;       ///< answered since last (re)spawn
+        uint64_t recycles = 0;     ///< graceful recycles completed
+        uint64_t rssBytes = 0;     ///< last statm sample (0 = unknown)
     };
 
     struct Outgoing
@@ -227,9 +271,24 @@ class Supervisor : public LineService
     void metricsLoop();
     void writeMetricsSnapshotNow();
 
-    bool spawnWorkerLocked(Worker &w);
-    void pumpWorkerLocked(Worker &w);
+    bool spawnWorkerLocked(Worker &w, std::vector<Outgoing> &out);
+    void pumpWorkerLocked(Worker &w, std::vector<Outgoing> &out);
     void flushOutbufLocked(Worker &w);
+
+    /** Answer entries the shard controller dropped at pop time:
+     *  deadline-exceeded (expired in queue) or overloaded/queue-aged. */
+    void answerDropsLocked(Worker &w,
+                           const std::vector<AdmissionDrop> &drops,
+                           std::vector<Outgoing> &out);
+
+    /** Start a graceful recycle: stop forwarding, drain in-flight,
+     *  then EOF the pipe so the worker exits 0 (zero requests lost). */
+    void beginRecycleLocked(Worker &w, const std::string &reason);
+    /** Send the pipe EOF once a recycling worker has gone quiet. */
+    void maybeFinishRecycleLocked(Worker &w);
+    /** A recycling worker exited 0: count it, journal it, respawn
+     *  immediately with no backoff. */
+    void workerRecycledLocked(Worker &w, std::vector<Outgoing> &out);
     /** Forwarded line for one attempt (id rewritten, fault stripped
      *  on retry). */
     std::string forwardLine(const Pending &p, uint64_t seq) const;
@@ -279,6 +338,12 @@ class Supervisor : public LineService
     uint64_t seq_ = 0;
     std::atomic<bool> stop_{false};
     int64_t lastJournalSyncMs_ = 0;
+
+    /** SIGHUP rolling restart: shards still awaiting their turn. The
+     *  next one starts only when every worker is up and none is
+     *  recycling, so capacity dips by at most one shard. */
+    std::deque<int> rollingQueue_;
+    int64_t lastRssSampleMs_ = 0;
 
     std::thread monitor_;
     /** Serializes drain(); the loser of a drain race blocks until the

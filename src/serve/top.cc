@@ -120,6 +120,8 @@ parseTopSample(const json::Value &v)
             wi.queued = row.getInt("queued", 0);
             wi.respawns = row.getInt("respawns", 0);
             wi.crashes = row.getInt("crashes", 0);
+            wi.recycles = row.getInt("recycles", 0);
+            wi.rssBytes = row.getInt("rss_bytes", 0);
             wi.heartbeatAgeMs = row.getInt("heartbeat_age_ms", -1);
             s.workers.push_back(std::move(wi));
         }
@@ -242,19 +244,70 @@ renderTopFrame(const TopSample &cur, const TopSample *prev)
         }
     }
 
+    // Admission panel: per-class queue depths, shed-by-reason totals,
+    // in-queue deadline expiries, and memory-governor pressure.
+    {
+        auto gaugeOr0 = [&](const std::string &name) -> double {
+            auto it = cur.gauges.find(name);
+            return it == cur.gauges.end() ? 0.0 : it->second;
+        };
+        auto sheds = bySuffix(cur.counters, "serve.shed.");
+        const uint64_t expired =
+            counterOr0(cur.counters, "serve.deadline_exceeded");
+        const double qInt =
+            gaugeOr0("serve.admission.queue.interactive");
+        const double qBatch = gaugeOr0("serve.admission.queue.batch");
+        if (!sheds.empty() || expired > 0 || qInt + qBatch > 0) {
+            out << "admission  interactive "
+                << static_cast<int64_t>(qInt) << "  batch "
+                << static_cast<int64_t>(qBatch);
+            for (const auto &[reason, n] : sheds)
+                out << "  " << reason << "=" << n;
+            if (expired > 0)
+                out << "  deadline_exceeded=" << expired;
+            out << "\n";
+        }
+        const double rss = gaugeOr0("serve.governor.rss_bytes");
+        if (rss > 0) {
+            out << "governor   rss "
+                << static_cast<int64_t>(rss) / (1024 * 1024) << "MiB";
+            if (gaugeOr0("serve.governor.soft_pressure") > 0)
+                out << "  SOFT-PRESSURE";
+            if (gaugeOr0("serve.governor.hard_pressure") > 0)
+                out << "  HARD-PRESSURE";
+            if (uint64_t st = counterOr0(cur.counters,
+                                         "serve.governor.soft_trips"))
+                out << "  soft_trips=" << st;
+            if (uint64_t deg = counterOr0(
+                    cur.counters, "serve.governor.degraded_requests"))
+                out << "  degraded=" << deg;
+            out << "\n";
+        }
+        if (uint64_t rec =
+                counterOr0(cur.counters, "serve.worker.recycled"))
+            out << "recycled   " << rec << " graceful worker recycles\n";
+    }
+
     if (!cur.workers.empty()) {
         out << "\n" << pad("worker", 10) << lpad("pid", 8)
-            << lpad("state", 7) << lpad("inflight", 10)
+            << lpad("state", 10) << lpad("inflight", 10)
             << lpad("queued", 8) << lpad("respawns", 10)
-            << lpad("crashes", 9) << lpad("hb", 8) << "\n";
+            << lpad("crashes", 9) << lpad("recycles", 10)
+            << lpad("rss", 9) << lpad("hb", 8) << "\n";
         for (const TopSample::WorkerInfo &w : cur.workers) {
             out << pad("  shard" + std::to_string(w.shard), 10)
                 << lpad(w.pid > 0 ? std::to_string(w.pid) : "-", 8)
-                << lpad(w.state, 7)
+                << lpad(w.state, 10)
                 << lpad(std::to_string(w.inflight), 10)
                 << lpad(std::to_string(w.queued), 8)
                 << lpad(std::to_string(w.respawns), 10)
                 << lpad(std::to_string(w.crashes), 9)
+                << lpad(std::to_string(w.recycles), 10)
+                << lpad(w.rssBytes > 0
+                            ? std::to_string(w.rssBytes /
+                                             (1024 * 1024)) + "MiB"
+                            : "-",
+                        9)
                 << lpad(w.heartbeatAgeMs >= 0
                             ? std::to_string(w.heartbeatAgeMs) + "ms"
                             : "-",

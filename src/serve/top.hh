@@ -64,11 +64,13 @@ struct TopSample
     {
         int64_t shard = 0;
         int64_t pid = -1;
-        std::string state;  ///< "up" | "down"
+        std::string state;  ///< "up" | "recycling" | "down"
         int64_t inflight = 0;
         int64_t queued = 0;
         int64_t respawns = 0;
         int64_t crashes = 0;
+        int64_t recycles = 0;
+        int64_t rssBytes = 0;  ///< 0 = unknown
         int64_t heartbeatAgeMs = -1;
     };
     std::vector<WorkerInfo> workers;

@@ -1,0 +1,49 @@
+#include "support/procstat.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+namespace memoria {
+namespace procstat {
+
+uint64_t
+rssBytes(pid_t pid)
+{
+    char path[64];
+    if (pid <= 0)
+        std::snprintf(path, sizeof(path), "/proc/self/statm");
+    else
+        std::snprintf(path, sizeof(path), "/proc/%d/statm",
+                      static_cast<int>(pid));
+
+    // Raw read + manual parse: no stdio buffering, no allocation —
+    // this runs on the supervisor monitor tick and the governor's
+    // sampling thread.
+    int fd = ::open(path, O_RDONLY | O_CLOEXEC);
+    if (fd < 0)
+        return 0;
+    char buf[128];
+    ssize_t n = ::read(fd, buf, sizeof(buf) - 1);
+    ::close(fd);
+    if (n <= 0)
+        return 0;
+    buf[n] = '\0';
+
+    // statm: size resident shared text lib data dt (pages).
+    char *end = nullptr;
+    (void)std::strtoull(buf, &end, 10);  // size — skip
+    if (!end || *end != ' ')
+        return 0;
+    unsigned long long resident = std::strtoull(end + 1, nullptr, 10);
+    long page = ::sysconf(_SC_PAGESIZE);
+    if (page <= 0)
+        page = 4096;
+    return static_cast<uint64_t>(resident) *
+           static_cast<uint64_t>(page);
+}
+
+} // namespace procstat
+} // namespace memoria

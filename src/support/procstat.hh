@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Minimal /proc readers for process-level resource accounting.
+ *
+ * The serve memory governor and the supervisor's per-worker RSS
+ * sampling both need one number — resident set size — cheaply and
+ * without allocating on the hot path. `/proc/<pid>/statm` is the
+ * cheapest source on Linux: two integer fields, no parsing of the
+ * comm field (which can contain spaces and parens, unlike stat).
+ */
+
+#ifndef MEMORIA_SUPPORT_PROCSTAT_HH
+#define MEMORIA_SUPPORT_PROCSTAT_HH
+
+#include <cstdint>
+
+#include <sys/types.h>
+
+namespace memoria {
+namespace procstat {
+
+/**
+ * Resident set size of `pid` in bytes (statm field 2 × page size).
+ * `pid` 0 means the calling process. Returns 0 when the process does
+ * not exist or /proc is unavailable — callers treat 0 as "unknown",
+ * never as "no memory", so watermark checks stay fail-open.
+ */
+uint64_t rssBytes(pid_t pid = 0);
+
+} // namespace procstat
+} // namespace memoria
+
+#endif // MEMORIA_SUPPORT_PROCSTAT_HH

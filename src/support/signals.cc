@@ -16,6 +16,7 @@ namespace {
 std::atomic<int> gDrainSignal{0};
 std::atomic<bool> gFlushRan{false};
 std::atomic<bool> gChildPending{false};
+std::atomic<bool> gHupPending{false};
 
 /** Callback list is append-only and set up before handlers fire. */
 std::mutex gCallbackMutex;
@@ -53,6 +54,12 @@ extern "C" void
 childHandler(int)
 {
     gChildPending.store(true, std::memory_order_relaxed);
+}
+
+extern "C" void
+hupHandler(int)
+{
+    gHupPending.store(true, std::memory_order_relaxed);
 }
 
 extern "C" void
@@ -112,6 +119,36 @@ installChildHandler()
     sigaction(SIGCHLD, &sa, nullptr);
 }
 
+void
+installHupHandler()
+{
+    struct sigaction sa = {};
+    sa.sa_handler = hupHandler;
+    sigemptyset(&sa.sa_mask);
+    // No SA_RESTART: the monitor loop's poll/sleep must wake with
+    // EINTR and notice the rolling-restart request promptly.
+    sa.sa_flags = 0;
+    sigaction(SIGHUP, &sa, nullptr);
+}
+
+bool
+hupPending()
+{
+    return gHupPending.load(std::memory_order_relaxed);
+}
+
+bool
+consumeHup()
+{
+    return gHupPending.exchange(false, std::memory_order_relaxed);
+}
+
+void
+requestHup()
+{
+    gHupPending.store(true, std::memory_order_relaxed);
+}
+
 bool
 childEventPending()
 {
@@ -149,6 +186,7 @@ resetForTest()
     gDrainSignal.store(0);
     gFlushRan.store(false);
     gChildPending.store(false);
+    gHupPending.store(false);
 }
 
 } // namespace signals

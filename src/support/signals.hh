@@ -80,6 +80,23 @@ bool childEventPending();
  *  reap loop re-sets it). */
 void consumeChildEvent();
 
+/**
+ * SIGHUP support for the serve supervisor: the handler only sets an
+ * atomic flag (no SA_RESTART). The supervisor's monitor loop polls
+ * `hupPending()` and starts a rolling recycle of all shard workers —
+ * one at a time, zero requests lost — when it consumes the flag.
+ */
+void installHupHandler();
+
+/** True when a SIGHUP arrived since the last consume. */
+bool hupPending();
+
+/** Test-and-clear the SIGHUP flag: true when one was pending. */
+bool consumeHup();
+
+/** Programmatic SIGHUP (tests drive rolling restarts without kill). */
+void requestHup();
+
 /** Test hook: clear the drain flag. */
 void resetForTest();
 

@@ -426,6 +426,10 @@ struct Options
 
     // serve
     int queueCapacity = 0;        ///< --queue
+    int64_t clientCap = 0;        ///< --client-cap (0 = off)
+    int64_t ageMs = 0;            ///< --age-ms CoDel target (0 = off)
+    int64_t rssSoftMb = 0;        ///< --rss-soft-mb (0 = off)
+    int64_t rssHardMb = 0;        ///< --rss-hard-mb (0 = off)
     int64_t maxDeadlineMs = 0;    ///< --max-deadline-ms
     int64_t drainDeadlineMs = 0;  ///< --drain-deadline-ms
     int64_t retryAfterMs = 0;     ///< --retry-after-ms
@@ -441,6 +445,7 @@ struct Options
 
     // serve supervision (multi-process shard workers)
     int workers = 0;              ///< --workers (0 = single-process)
+    int64_t maxRequestsPerWorker = 0;  ///< --max-requests-per-worker
     std::string journalPath;      ///< --journal PATH|none
     int64_t heartbeatMs = 0;      ///< --heartbeat-ms
     int64_t maxRequestBytes = 0;  ///< --max-request-bytes
@@ -519,6 +524,26 @@ parseArgs(int argc, char **argv)
             {"--queue",
              [&](const std::string &v) {
                  opts.queueCapacity = std::atoi(v.c_str());
+             }},
+            {"--client-cap",
+             [&](const std::string &v) {
+                 opts.clientCap = std::atoll(v.c_str());
+             }},
+            {"--age-ms",
+             [&](const std::string &v) {
+                 opts.ageMs = std::atoll(v.c_str());
+             }},
+            {"--rss-soft-mb",
+             [&](const std::string &v) {
+                 opts.rssSoftMb = std::atoll(v.c_str());
+             }},
+            {"--rss-hard-mb",
+             [&](const std::string &v) {
+                 opts.rssHardMb = std::atoll(v.c_str());
+             }},
+            {"--max-requests-per-worker",
+             [&](const std::string &v) {
+                 opts.maxRequestsPerWorker = std::atoll(v.c_str());
              }},
             {"--max-deadline-ms",
              [&](const std::string &v) {
@@ -700,6 +725,9 @@ usageText()
         "[--cache-bytes N]\n"
         "               [--no-cache] [--cache-snapshot-dir DIR]\n"
         "               [--cache-snapshot-interval-ms N]\n"
+        "               [--client-cap N] [--age-ms N] "
+        "[--rss-soft-mb N] [--rss-hard-mb N]\n"
+        "               [--max-requests-per-worker N]\n"
         "       memoria top [host:port] [--file SNAPSHOTS.jsonl] "
         "[--interval-ms N] [--once]\n"
         "       memoria reduce <bundle-dir|file.mem> [--deadline-ms N]"
@@ -1057,6 +1085,16 @@ cmdServe(const Options &opts)
         sopts.drainDeadlineMs = opts.drainDeadlineMs;
     if (opts.retryAfterMs > 0)
         sopts.retryAfterMs = opts.retryAfterMs;
+    if (opts.clientCap > 0)
+        sopts.perClientCap = static_cast<size_t>(opts.clientCap);
+    if (opts.ageMs > 0)
+        sopts.ageTargetMs = opts.ageMs;
+    if (opts.rssSoftMb > 0)
+        sopts.rssSoftBytes =
+            static_cast<uint64_t>(opts.rssSoftMb) << 20;
+    if (opts.rssHardMb > 0)
+        sopts.rssHardBytes =
+            static_cast<uint64_t>(opts.rssHardMb) << 20;
     sopts.allowFaultRequests = opts.allowFaults;
     sopts.writeIncidents = !opts.noIncidents;
     if (!opts.caches.empty()) {
@@ -1119,6 +1157,9 @@ cmdServe(const Options &opts)
         supopts.serve = sopts;
         if (opts.heartbeatMs > 0)
             supopts.heartbeatMs = opts.heartbeatMs;
+        if (opts.maxRequestsPerWorker > 0)
+            supopts.maxRequestsPerWorker =
+                static_cast<uint64_t>(opts.maxRequestsPerWorker);
         if (opts.journalPath != "none") {
             supopts.journalPath =
                 opts.journalPath.empty()
@@ -1156,6 +1197,16 @@ cmdServe(const Options &opts)
             flag("--drain-deadline-ms", opts.drainDeadlineMs);
         if (opts.retryAfterMs > 0)
             flag("--retry-after-ms", opts.retryAfterMs);
+        if (opts.clientCap > 0)
+            flag("--client-cap", opts.clientCap);
+        if (opts.ageMs > 0)
+            flag("--age-ms", opts.ageMs);
+        // The workers run their own memory governors (soft pressure is
+        // handled in-process; hard pressure rides the heartbeat back).
+        if (opts.rssSoftMb > 0)
+            flag("--rss-soft-mb", opts.rssSoftMb);
+        if (opts.rssHardMb > 0)
+            flag("--rss-hard-mb", opts.rssHardMb);
         if (opts.maxRequestBytes > 0)
             flag("--max-request-bytes", opts.maxRequestBytes);
         if (opts.allowFaults)

@@ -770,6 +770,40 @@ TEST(Journal, RotatesOnlyWhenQuiescentAndOverBudget)
     std::remove(path.c_str());
 }
 
+TEST(Journal, RecycleEventsAndTornTailReadBackAsRecycleNotCrash)
+{
+    // A worker recycled mid-journal-write must audit as a graceful
+    // recycle: the event records pass through readback untouched, the
+    // torn tail is skipped, and only genuinely unanswered admits
+    // surface — exactly the file a max-RSS recycle racing a kill -9
+    // of the supervisor leaves behind.
+    std::string path =
+        (std::filesystem::temp_directory_path() / "memoria_j4.jsonl")
+            .string();
+    {
+        std::ofstream out(path);
+        out << "{\"op\":\"admit\",\"seq\":1,\"id\":\"a\","
+               "\"kind\":\"analyze\",\"shard\":0,\"replay\":true,"
+               "\"line\":\"{}\"}\n";
+        out << "{\"op\":\"recycle_begin\",\"shard\":\"0\","
+               "\"reason\":\"rss\",\"inflight\":\"1\"}\n";
+        out << "{\"op\":\"done\",\"seq\":1,\"outcome\":\"ok\"}\n";
+        out << "{\"op\":\"recycle\",\"shard\":\"0\","
+               "\"reason\":\"rss\"}\n";
+        out << "{\"op\":\"admit\",\"seq\":2,\"id\":\"b\","
+               "\"kind\":\"analyze\",\"shard\":0,\"replay\":true,"
+               "\"line\":\"{}\"}\n";
+        out << "{\"op\":\"recycle_begin\",\"sha";  // torn mid-recycle
+    }
+    Result<std::vector<JournalEntry>> open = Journal::readIncomplete(path);
+    ASSERT_TRUE(open.ok()) << open.diag().str();
+    ASSERT_EQ(open.value().size(), 1u)
+        << "recycle records and the torn tail must not pollute the audit";
+    EXPECT_EQ(open.value()[0].seq, 2u);
+    EXPECT_EQ(open.value()[0].id, "b");
+    std::remove(path.c_str());
+}
+
 TEST(Journal, TornFinalLineIsSkippedOnReadback)
 {
     std::string path =
@@ -1132,6 +1166,146 @@ TEST(Supervisor, DrainCancelsQueuedAndExitsWorkersCleanly)
     }
     EXPECT_EQ(out.parsed(4).getString("type"), "cancelled");
 
+    Result<std::vector<JournalEntry>> open =
+        Journal::readIncomplete(journalPath);
+    ASSERT_TRUE(open.ok());
+    EXPECT_TRUE(open.value().empty());
+    std::remove(journalPath.c_str());
+}
+
+/** The first `n` program variants that hash to `shard`. */
+std::vector<std::string>
+programsOnShard(const Supervisor &sup, int shard, int n)
+{
+    std::vector<std::string> out;
+    for (int i = 0; i < 1024 && static_cast<int>(out.size()) < n; ++i) {
+        std::string p = shardProgram(i);
+        if (sup.shardOf(p) == shard)
+            out.push_back(p);
+    }
+    EXPECT_EQ(out.size(), static_cast<size_t>(n));
+    return out;
+}
+
+TEST(Supervisor, MaxRequestsRecycleIsGracefulAndLosesNothing)
+{
+    signals::resetForTest();
+    obs::statsRegistry().resetValues();
+    SupervisorOptions opts = supervisedOptions(2);
+    opts.maxRequestsPerWorker = 3;  // recycle every third answer
+    std::string journalPath = opts.journalPath;
+    Supervisor sup(opts);
+    sup.start();
+
+    const int kRequests = 8;  // forces at least two recycles on shard 0
+    std::vector<std::string> programs =
+        programsOnShard(sup, 0, kRequests);
+    Collector out;
+    for (int i = 0; i < kRequests; ++i)
+        sup.handleLine(requestLine("g" + std::to_string(i), "analyze",
+                                   programs[i]),
+                       out.fn());
+
+    ASSERT_TRUE(waitFor([&] {
+        std::lock_guard<std::mutex> lock(out.mutex);
+        return out.lines.size() >= static_cast<size_t>(kRequests);
+    })) << "requests spanning a recycle must all be answered";
+
+    // Exactly one *successful* terminal response per id: the recycle
+    // is invisible to clients — no errors, no retries needed (the
+    // worker drains its in-flight before exiting).
+    std::map<std::string, int> perId;
+    for (int i = 0; i < kRequests; ++i) {
+        json::Value v = out.parsed(i);
+        EXPECT_EQ(v.getString("type"), "result") << out.lines[i];
+        ++perId[v.getString("id")];
+    }
+    EXPECT_EQ(perId.size(), static_cast<size_t>(kRequests));
+    for (const auto &[id, n] : perId)
+        EXPECT_EQ(n, 1) << id;
+
+    // The recycle is classified as graceful, not a crash.
+    ASSERT_TRUE(waitFor([&] {
+        std::vector<WorkerRow> rows = sup.workerRows();
+        return rows[0].state == "up" && rows[0].recycles >= 2;
+    })) << "shard 0 must recycle (twice for 8 answers at 3/life) and "
+           "come back up";
+    std::vector<WorkerRow> rows = sup.workerRows();
+    EXPECT_EQ(rows[0].crashes, 0u)
+        << "a graceful recycle must never count as a crash";
+    EXPECT_EQ(rows[1].recycles, 0u) << "sibling shard untouched";
+    EXPECT_GE(obs::counter("serve.worker.recycled").value(), 2u);
+    EXPECT_EQ(obs::counter("serve.worker.crash.sigabrt").value(), 0u);
+    EXPECT_EQ(obs::counter("serve.worker.retries").value(), 0u)
+        << "nothing was re-run; in-flight drained before exit";
+
+    // And the metrics line renders the recycle for `memoria top`.
+    Result<json::Value> metrics = json::parse(sup.metricsLine("t"));
+    ASSERT_TRUE(metrics.ok());
+    TopSample sample = parseTopSample(metrics.value());
+    ASSERT_TRUE(sample.valid);
+    ASSERT_EQ(sample.workers.size(), 2u);
+    EXPECT_GE(sample.workers[0].recycles, 2);
+
+    sup.drain();
+    Result<std::vector<JournalEntry>> open =
+        Journal::readIncomplete(journalPath);
+    ASSERT_TRUE(open.ok());
+    EXPECT_TRUE(open.value().empty())
+        << "recycles admit/done-balance the journal like normal work";
+    std::remove(journalPath.c_str());
+}
+
+TEST(Supervisor, SighupRollingRestartUnderLoadLosesNothing)
+{
+    signals::resetForTest();
+    obs::statsRegistry().resetValues();
+    SupervisorOptions opts = supervisedOptions(2);
+    std::string journalPath = opts.journalPath;
+    Supervisor sup(opts);
+    sup.start();
+
+    // Load both shards, then request the roll mid-stream.
+    Collector out;
+    const int kRequests = 16;
+    for (int i = 0; i < kRequests; ++i) {
+        sup.handleLine(requestLine("h" + std::to_string(i), "analyze",
+                                   shardProgram(i)),
+                       out.fn());
+        if (i == 4)
+            signals::requestHup();
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+
+    // The roll visits every shard, one at a time, and the fleet ends
+    // whole.
+    ASSERT_TRUE(waitFor([&] {
+        std::vector<WorkerRow> rows = sup.workerRows();
+        return rows[0].recycles >= 1 && rows[1].recycles >= 1 &&
+               rows[0].state == "up" && rows[1].state == "up";
+    })) << "SIGHUP must recycle every shard and end with all workers up";
+    EXPECT_GE(obs::counter("serve.rolling_restarts").value(), 1u);
+
+    ASSERT_TRUE(waitFor([&] {
+        std::lock_guard<std::mutex> lock(out.mutex);
+        return out.lines.size() >= static_cast<size_t>(kRequests);
+    })) << "every request sent across the roll must be answered";
+
+    std::map<std::string, int> perId;
+    for (int i = 0; i < kRequests; ++i) {
+        json::Value v = out.parsed(i);
+        EXPECT_EQ(v.getString("type"), "result") << out.lines[i];
+        ++perId[v.getString("id")];
+    }
+    EXPECT_EQ(perId.size(), static_cast<size_t>(kRequests));
+    for (const auto &[id, n] : perId)
+        EXPECT_EQ(n, 1) << "duplicate response for " << id;
+
+    std::vector<WorkerRow> rows = sup.workerRows();
+    EXPECT_EQ(rows[0].crashes, 0u);
+    EXPECT_EQ(rows[1].crashes, 0u);
+
+    sup.drain();
     Result<std::vector<JournalEntry>> open =
         Journal::readIncomplete(journalPath);
     ASSERT_TRUE(open.ok());
