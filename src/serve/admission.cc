@@ -54,6 +54,15 @@ AdmissionController::depth(Priority p) const
 }
 
 size_t
+AdmissionController::clientRecords() const
+{
+    size_t n = 0;
+    for (const ClassState &cls : classes_)
+        n += cls.clients.size();
+    return n;
+}
+
+size_t
 AdmissionController::clientLoad(const std::string &client) const
 {
     size_t load = 0;
@@ -176,7 +185,15 @@ AdmissionController::dropStale(int64_t nowUs,
         for (size_t scanned = 0;
              scanned < cls.ring.size() && !cls.ring.empty();) {
             const std::string key = cls.ring.front();
-            ClientState &cs = cls.clients[key];
+            auto cit = cls.clients.find(key);
+            if (cit == cls.clients.end()) {
+                // Stale ring entry (client erased by finish()): drop
+                // it instead of resurrecting a zombie via operator[].
+                cls.ring.pop_front();
+                ++scanned;
+                continue;
+            }
+            ClientState &cs = cit->second;
             bool droppedHere = false;
             while (!cs.queue.empty() &&
                    cs.queue.front().deadlineAtUs > 0 &&
@@ -191,6 +208,10 @@ AdmissionController::dropStale(int64_t nowUs,
             }
             if (cs.queue.empty()) {
                 cls.ring.pop_front();
+                // Same cleanup finish() does: an idle client record
+                // must not outlive its last entry.
+                if (cs.inflight == 0)
+                    cls.clients.erase(cit);
                 if (!droppedHere)
                     ++scanned;  // stale ring entry, keep scanning
                 continue;
@@ -220,17 +241,27 @@ AdmissionController::dropStale(int64_t nowUs,
     if (nowUs - agingSinceUs_ < targetUs)
         return;
     agingSinceUs_ = nowUs;
+    // Copy what the drop needs first: pop_front() destroys the Entry
+    // `oldest` points into (its client's head), so reading through
+    // `oldest` after the pop is a use-after-free.
+    const uint64_t agedId = oldest->id;
+    const std::string agedClient = oldest->client;
     ClassState &cls = classes_[static_cast<int>(oldest->pri)];
-    ClientState &cs = cls.clients[oldest->client];
-    dropped.push_back(AdmissionDrop{oldest->id, false});
+    auto cit = cls.clients.find(agedClient);
+    if (cit == cls.clients.end())
+        return;  // unreachable: oldestEntry() just saw this client
+    ClientState &cs = cit->second;
+    dropped.push_back(AdmissionDrop{agedId, false});
     cs.queue.pop_front();
     --cls.queued;
     --queued_;
     if (cs.queue.empty()) {
         auto it =
-            std::find(cls.ring.begin(), cls.ring.end(), oldest->client);
+            std::find(cls.ring.begin(), cls.ring.end(), agedClient);
         if (it != cls.ring.end())
             cls.ring.erase(it);
+        if (cs.inflight == 0)
+            cls.clients.erase(cit);
     }
     ++obs::counter("serve.shed.queue_aged");
 }

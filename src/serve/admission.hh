@@ -166,6 +166,10 @@ class AdmissionController
     size_t depth(Priority p) const;
     size_t inflight() const { return inflight_; }
 
+    /** Live client records across both classes (tests: drop and
+     *  finish paths must not leak idle records under client churn). */
+    size_t clientRecords() const;
+
     /** Observed service-time feed (Server/Supervisor call this with
      *  measured per-request service time). */
     void recordService(int64_t serviceUs);

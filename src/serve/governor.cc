@@ -41,9 +41,10 @@ MemoryGovernor::evaluate(uint64_t rssBytes)
                 // repeated trips keep halving, one trip does not wipe
                 // the warm set the next recycle wants to snapshot.
                 ResultCacheStats s = cache_->stats();
-                evicted = cache_->shrinkTo(
-                    s.entries > 1 ? s.entries / 2 : 1,
-                    s.bytes > 1 ? s.bytes / 2 : 1);
+                squeezeEntries_ = s.entries > 1 ? s.entries / 2 : 1;
+                squeezeBytes_ = s.bytes > 1 ? s.bytes / 2 : 1;
+                evicted =
+                    cache_->shrinkTo(squeezeEntries_, squeezeBytes_);
             }
             obs::traceEvent(
                 "serve.governor", "soft-pressure",
@@ -59,11 +60,24 @@ MemoryGovernor::evaluate(uint64_t rssBytes)
             // Hysteresis: release a tenth below the watermark so RSS
             // hovering at the line doesn't flap the rung floor.
             soft_.store(false);
+            squeezeEntries_ = 0;
+            squeezeBytes_ = 0;
             obs::traceEvent(
                 "serve.governor", "soft-release",
                 {{"rss_bytes", static_cast<int64_t>(rssBytes)},
                  {"watermark_bytes",
                   static_cast<int64_t>(opts_.softBytes)}});
+        } else if (wasSoft && cache_ && squeezeEntries_ > 0) {
+            // Soft pressure persists: the trip-time shrink was
+            // one-shot, so without this the cache regrows to its
+            // configured bounds while RSS is still pinned above the
+            // watermark. Hold it at the squeezed bounds until release
+            // (a no-op sample when it hasn't regrown).
+            const size_t evicted =
+                cache_->shrinkTo(squeezeEntries_, squeezeBytes_);
+            if (evicted > 0)
+                obs::counter("serve.governor.squeeze_evictions") +=
+                    evicted;
         }
     }
 

@@ -106,6 +106,14 @@ class MemoryGovernor
     GovernorOptions opts_;
     ResultCache *cache_;
 
+    /** The bounds the soft trip squeezed the cache to. shrinkTo() is
+     *  one-shot — the cache regrows to its configured limits — so
+     *  while soft pressure stays latched every sample re-applies this
+     *  clamp; cleared (0) on release. Touched only by evaluate(), i.e.
+     *  the governor thread. */
+    size_t squeezeEntries_ = 0;
+    size_t squeezeBytes_ = 0;
+
     std::atomic<uint64_t> rss_{0};
     std::atomic<bool> soft_{false};
     std::atomic<bool> hard_{false};

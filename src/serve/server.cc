@@ -269,6 +269,7 @@ Server::handleLine(const std::string &line, const Respond &respond,
         }
         const uint64_t ticket = ++admitSeq_;
         admission_->enqueue(ticket, client, pri, deadlineAtUs, now);
+        ++queueGen_;
         Job job{req, respond, nowUs(), ticket};
         jobs_.emplace(ticket, std::move(job));
         ++accepted_;
@@ -280,6 +281,7 @@ Server::handleLine(const std::string &line, const Respond &respond,
 void
 Server::workerLoop()
 {
+    uint64_t seenGen = 0;
     for (;;) {
         Job job;
         bool hasJob = false;
@@ -295,13 +297,21 @@ Server::workerLoop()
         std::vector<DropOut> drops;
         {
             std::unique_lock<std::mutex> lock(queueMutex_);
-            // wait_for, not wait: when every queued client is at its
-            // in-flight cap pop() yields nothing, and the wakeup that
-            // un-caps a client can race this wait — the timeout keeps
-            // the loop live without spinning.
+            // Wake on "queue generation changed since my last pop
+            // attempt", not "depth > 0": when every queued client is
+            // at its in-flight cap pop() yields nothing, and a depth
+            // predicate would be instantly true again — idle workers
+            // would spin hot on queueMutex_. Every enqueue and finish
+            // bumps the generation (a finish can un-cap a client), and
+            // the timeout keeps periodic deadline/aging sweeps alive.
+            // stop_ alone wakes only once the queue is empty; a
+            // draining queue still advances via generation bumps.
             queueCv_.wait_for(
-                lock, std::chrono::milliseconds(50),
-                [&] { return stop_ || admission_->depth() > 0; });
+                lock, std::chrono::milliseconds(50), [&] {
+                    return (stop_ && admission_->depth() == 0) ||
+                           queueGen_ != seenGen;
+                });
+            seenGen = queueGen_;
             if (admission_->depth() == 0) {
                 if (stop_)
                     return;
@@ -329,6 +339,7 @@ Server::workerLoop()
                     // Should be impossible; release the ticket so the
                     // client's in-flight accounting cannot leak.
                     admission_->finish(ticket, now);
+                    ++queueGen_;
                 }
             }
 
@@ -338,6 +349,7 @@ Server::workerLoop()
             if (hasJob && draining_.load() &&
                 nowMs() > drainDeadlineAt_.load()) {
                 admission_->finish(job.admitId, now);
+                ++queueGen_;
                 lock.unlock();
                 queueCv_.notify_all();
                 ++cancelled_;
@@ -380,6 +392,7 @@ Server::workerLoop()
                                static_cast<int64_t>(nowUs()));
             admission_->recordService(
                 static_cast<int64_t>(serviceUs));
+            ++queueGen_;
         }
         // A finish can un-cap a client whose work other workers
         // skipped; wake them all.
@@ -716,6 +729,7 @@ Server::drain()
                   static_cast<int64_t>(admission_->depth())}});
         }
         stop_ = true;
+        ++queueGen_;  // wake workers into the drain sweep immediately
     }
     queueCv_.notify_all();
     for (std::thread &t : workers_)

@@ -276,6 +276,11 @@ class Server : public LineService
     std::unique_ptr<AdmissionController> admission_;
     std::map<uint64_t, Job> jobs_;
     uint64_t admitSeq_ = 0;
+    /** Bumped (under queueMutex_) on every enqueue and finish. Workers
+     *  wait on "generation changed since my last pop attempt" rather
+     *  than "depth > 0": when every queued client is at its in-flight
+     *  cap, depth alone would turn the wait into a hot spin. */
+    uint64_t queueGen_ = 0;
     bool stop_ = false;
     /** Serializes drain(): a SIGTERM-initiated drain can race the
      *  destructor's (or a second transport's), and thread::join is

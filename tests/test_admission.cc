@@ -339,6 +339,71 @@ TEST(Admission, CodelAgesTheOldestAfterASustainedInterval)
     EXPECT_FALSE(drops[0].expired) << "aged, not deadline-exceeded";
 }
 
+TEST(Admission, CodelAgedDropOfSoleQueuedEntryLeavesCleanState)
+{
+    // Regression: the aged drop used to read through a pointer into
+    // the Entry it had just pop_front'd whenever the drop emptied the
+    // client's queue (the common sole-entry case) — a use-after-free
+    // ASan trips on. Pin the client with an in-flight cap so its
+    // queued entry can only leave via aging.
+    AdmissionOptions o = smallQueue(64);
+    o.ageTargetMs = 10;
+    o.perClientCap = 1;
+    AdmissionController ac(o);
+    int64_t now = 1'000'000;
+    // Long key on purpose: past SSO the destroyed Entry's client
+    // string frees its heap buffer, so the old read-after-pop is a
+    // heap-use-after-free ASan can actually see.
+    const std::string solo(64, 's');
+    ac.enqueue(1, solo, Priority::Interactive, 0, now);
+    std::vector<AdmissionDrop> drops;
+    EXPECT_EQ(ac.pop(now, drops), 1u);
+    ac.enqueue(2, solo, Priority::Interactive, 0, now);
+
+    // Arm the aging clock (nothing dropped), then a full interval
+    // later the sole queued entry is aged out and its queue empties.
+    EXPECT_EQ(ac.pop(now + 12'000, drops), 0u) << "client is capped";
+    EXPECT_TRUE(drops.empty());
+    EXPECT_EQ(ac.pop(now + 24'000, drops), 0u);
+    ASSERT_EQ(drops.size(), 1u);
+    EXPECT_EQ(drops[0].id, 2u);
+    EXPECT_FALSE(drops[0].expired);
+    EXPECT_EQ(ac.depth(), 0u);
+
+    // The controller is still coherent: the in-flight record remains,
+    // finish releases it, and the client can run again.
+    EXPECT_EQ(ac.clientRecords(), 1u) << "in-flight keeps the record";
+    ac.finish(1, now + 25'000);
+    EXPECT_EQ(ac.clientRecords(), 0u);
+    ac.enqueue(3, solo, Priority::Interactive, 0, now + 26'000);
+    drops.clear();
+    EXPECT_EQ(ac.pop(now + 26'000, drops), 3u);
+    EXPECT_TRUE(drops.empty());
+}
+
+TEST(Admission, ExpiredDropsDoNotLeakClientRecordsUnderChurn)
+{
+    // Regression: the expiry sweep used operator[] on the clients map
+    // and never erased emptied records, so one-shot client churn grew
+    // the map without bound.
+    AdmissionController ac(smallQueue(64));
+    int64_t now = 1'000'000;
+    for (uint64_t i = 0; i < 10; ++i)
+        ac.enqueue(i + 1, "oneshot" + std::to_string(i),
+                   Priority::Interactive, now + 1'000, now);
+    ASSERT_EQ(ac.clientRecords(), 10u);
+
+    std::vector<AdmissionDrop> drops;
+    EXPECT_EQ(ac.pop(now + 10'000, drops), 0u)
+        << "everything expired in queue";
+    EXPECT_EQ(drops.size(), 10u);
+    for (const AdmissionDrop &d : drops)
+        EXPECT_TRUE(d.expired);
+    EXPECT_EQ(ac.depth(), 0u);
+    EXPECT_EQ(ac.clientRecords(), 0u)
+        << "idle records must die with their last entry";
+}
+
 TEST(Admission, FinishIsTolerantOfQueuedAndUnknownIds)
 {
     AdmissionController ac(smallQueue(64));
@@ -400,6 +465,46 @@ TEST(Governor, SoftTripShrinksCacheAndFloorsTheLadder)
     EXPECT_FALSE(gov.softPressure());
     EXPECT_EQ(gov.rungFloor(), harness::Rung::FullCompound);
     EXPECT_EQ(gov.softTrips(), 1u) << "release is not a trip";
+}
+
+TEST(Governor, SustainedSoftPressureKeepsTheCacheClamped)
+{
+    // Regression: the squeeze used to run only on the soft-pressure
+    // rising edge; while pressure stayed latched the cache regrew to
+    // its configured bounds, making the reclaim effectively one-shot.
+    ResultCache cache(CacheOptions{});
+    for (int i = 0; i < 8; ++i)
+        cache.seed("k" + std::to_string(i), fatBody('a' + i));
+
+    GovernorOptions gopts;
+    gopts.softBytes = 100 << 20;
+    MemoryGovernor gov(gopts, &cache);
+
+    gov.evaluate(120 << 20);
+    ASSERT_TRUE(gov.softPressure());
+    const size_t clamped = cache.stats().entries;
+    ASSERT_LE(clamped, 4u);
+
+    // Between samples the cache regrows (shrinkTo is one-shot)...
+    for (int i = 10; i < 18; ++i)
+        cache.seed("k" + std::to_string(i), fatBody('z'));
+    ASSERT_GT(cache.stats().entries, clamped);
+
+    // ...but the next sample under sustained pressure re-clamps it,
+    // without counting as a fresh trip.
+    gov.evaluate(120 << 20);
+    EXPECT_TRUE(gov.softPressure());
+    EXPECT_EQ(gov.softTrips(), 1u) << "latched, not re-tripped";
+    EXPECT_LE(cache.stats().entries, clamped);
+
+    // Release clears the clamp: regrowth is free again.
+    gov.evaluate(85 << 20);
+    EXPECT_FALSE(gov.softPressure());
+    for (int i = 20; i < 28; ++i)
+        cache.seed("k" + std::to_string(i), fatBody('w'));
+    gov.evaluate(85 << 20);
+    EXPECT_GT(cache.stats().entries, clamped + 2)
+        << "no squeeze after release";
 }
 
 TEST(Governor, HardPressureLatches)

@@ -317,7 +317,12 @@ TEST(Serve, RequestDeadlineTimesOutAndIsReported)
     server.start();
 
     Collector out;
-    server.handleLine(requestLine("t", "simulate", kHeavyProgram, 1),
+    // 25ms: an order of magnitude under the ~100ms simulate (so the
+    // budget reliably expires mid-execution) but enough headroom that
+    // scheduling delay on a loaded machine cannot expire it in the
+    // admission queue first — deadline_ms=1 flaked as
+    // `deadline-exceeded` whenever the worker popped >1ms late.
+    server.handleLine(requestLine("t", "simulate", kHeavyProgram, 25),
                       out.fn());
     server.drain();
 

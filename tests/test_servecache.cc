@@ -499,7 +499,12 @@ TEST(ServeCache, NoCacheOptionDisablesStamps)
 
 TEST(ServeCache, LeaderCrashFaultStillAnswersAndRecovers)
 {
-    Server server(quietOptions());
+    // One worker, deterministically: with two, "boom" and "after" race
+    // for flight leadership and the one-shot crash plan sometimes
+    // fires for "after" instead (observed ~1/10 under TSan).
+    ServeOptions opts = quietOptions();
+    opts.jobs = 1;
+    Server server(opts);
     server.start();
 
     // Global arm (no program filter): fires for the first led flight.
