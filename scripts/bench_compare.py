@@ -3,6 +3,7 @@
 
 Usage:
     bench_compare.py BASELINE.json PR.json [--max-regress PCT]
+                     [--min-speedup NAME:FACTOR ...]
 
 Work counters (accesses, interpreter passes, iterations, ...) are
 deterministic, so a counter that grows beyond the allowance is a hard
@@ -11,8 +12,14 @@ to one interpreter pass per config). Wall-clock medians are noisy on
 shared CI runners, so time regressions only emit GitHub warning
 annotations; they never fail the job.
 
+--min-speedup NAME:FACTOR asserts the PR median wall time for NAME is
+at least FACTOR times faster than the baseline's. Unlike plain time
+comparisons it IS a hard gate: it is only used against a deliberately
+preserved pre-optimization baseline where the expected margin (e.g.
+5x against a 3x floor) dwarfs runner noise.
+
 Exit status: 0 = clean or time-warnings only; 1 = counter regression,
-missing benchmark, or malformed report.
+unmet --min-speedup floor, missing benchmark, or malformed report.
 """
 
 import argparse
@@ -48,7 +55,27 @@ def main():
         help="allowed growth in % for counters and the time-warning "
         "threshold (default: 25)",
     )
+    ap.add_argument(
+        "--min-speedup",
+        action="append",
+        default=[],
+        metavar="NAME:FACTOR",
+        help="hard-fail unless baseline_median / pr_median for NAME "
+        "is >= FACTOR (repeatable)",
+    )
     args = ap.parse_args()
+
+    floors = {}
+    for spec in args.min_speedup:
+        name, sep, factor = spec.rpartition(":")
+        try:
+            if not sep:
+                raise ValueError
+            floors[name] = float(factor)
+        except ValueError:
+            raise SystemExit(
+                f"--min-speedup wants NAME:FACTOR, got {spec!r}"
+            )
 
     base = index(load(args.baseline))
     pr = index(load(args.pr))
@@ -86,6 +113,29 @@ def main():
             warnings.append(
                 f"{name}: median wall time {bms:.2f}ms -> {pms:.2f}ms "
                 f"(+{(pms / bms - 1) * 100:.1f}%) — advisory only"
+            )
+
+    for name, factor in sorted(floors.items()):
+        b, p = base.get(name), pr.get(name)
+        bms = b.get("wall_ms", {}).get("median") if b else None
+        pms = p.get("wall_ms", {}).get("median") if p else None
+        if not bms or not pms:
+            failures.append(
+                f"--min-speedup {name}:{factor:g}: benchmark or its "
+                "median missing from a report"
+            )
+            continue
+        speedup = bms / pms
+        if speedup < factor:
+            failures.append(
+                f"{name}: speedup {speedup:.2f}x "
+                f"({bms:.2f}ms -> {pms:.2f}ms) below the "
+                f"{factor:g}x floor"
+            )
+        else:
+            print(
+                f"speedup OK: {name} {speedup:.2f}x "
+                f"({bms:.2f}ms -> {pms:.2f}ms, floor {factor:g}x)"
             )
 
     for name in sorted(set(pr) - set(base)):

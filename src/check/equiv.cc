@@ -1,7 +1,11 @@
 #include "check/equiv.hh"
 
+#include <atomic>
 #include <cstring>
+#include <exception>
+#include <mutex>
 #include <sstream>
+#include <thread>
 
 #include "harness/budget.hh"
 #include "harness/fault.hh"
@@ -71,6 +75,20 @@ findArray(const Program &prog, const std::string &name)
     return -1;
 }
 
+/** Mark the arrays a program's statements write to. */
+void
+markWrites(const Node &n, std::vector<uint8_t> &written)
+{
+    if (n.isStmt()) {
+        ArrayId a = n.stmt.write.array;
+        if (a >= 0 && static_cast<size_t>(a) < written.size())
+            written[a] = 1;
+        return;
+    }
+    for (const NodePtr &kid : n.body)
+        markWrites(*kid, written);
+}
+
 } // namespace
 
 EquivResult
@@ -89,79 +107,196 @@ checkEquivalence(const Program &reference, const Program &candidate,
         ++cFail;
         return result;
     }
+    // Candidate arrays by name, resolved once instead of a linear
+    // name scan per array per round (corpus programs carry hundreds
+    // of declarations).
+    std::vector<ArrayId> candIdOf(reference.arrays.size(), -1);
+    for (size_t a = 0; a < reference.arrays.size(); ++a) {
+        // Transforms preserve declaration order, so the overwhelmingly
+        // common case is the identity mapping; only fall back to the
+        // name scan when the tables genuinely diverge.
+        if (a < candidate.arrays.size() &&
+            candidate.arrays[a].name == reference.arrays[a].name)
+            candIdOf[a] = static_cast<ArrayId>(a);
+        else
+            candIdOf[a] = findArray(candidate, reference.arrays[a].name);
+    }
+
+    // Contents only need comparing for arrays at least one side
+    // writes. Both interpreters fill identical seeded initial data
+    // (keyed on array id), so an array neither program stores to —
+    // provided it sits at the same id on both sides — is bit-identical
+    // by construction and its comparison (and the data fill it would
+    // force) is skipped. Id-mismatched arrays keep the full compare.
+    std::vector<uint8_t> compare(reference.arrays.size(), 0);
+    for (const NodePtr &n : reference.body)
+        markWrites(*n, compare);
+    {
+        std::vector<uint8_t> candWritten(candidate.arrays.size(), 0);
+        for (const NodePtr &n : candidate.body)
+            markWrites(*n, candWritten);
+        for (size_t a = 0; a < reference.arrays.size(); ++a) {
+            ArrayId ca = candIdOf[a];
+            if (ca >= 0 && candWritten[ca])
+                compare[a] = 1;
+            if (ca >= 0 && static_cast<size_t>(ca) != a)
+                compare[a] = 1;  // different initial contents
+        }
+    }
+
+    /** Outcome of one (size, seed) round, computed independently —
+     *  possibly on a worker thread — and folded in seed order. */
+    struct Round
+    {
+        bool refOk = false;    ///< reference ran (round is conclusive)
+        bool compared = false; ///< candidate also ran; arrays compared
+        bool equal = true;
+        std::string detail;    ///< set when !equal
+    };
+
+    // One full round: bind, run both sides, compare array states.
+    // Everything it touches is round-local (each round owns its two
+    // interpreters), so rounds are freely parallelizable.
+    auto runRound = [&](int64_t size, uint64_t seed) -> Round {
+        harness::poll("check.equiv.round");
+        Round round;
+        Interpreter refInterp(reference);
+        RunOutcome ref = runOne(reference, refInterp, size, seed);
+        if (!ref.ok) {
+            // The reference itself faults at this trial point:
+            // inconclusive, not a miscompile.
+            return round;
+        }
+        round.refOk = true;
+
+        Interpreter candInterp(candidate);
+        RunOutcome cand = runOne(candidate, candInterp, size, seed);
+        if (!cand.ok) {
+            round.equal = false;
+            std::ostringstream os;
+            os << "candidate '" << candidate.name
+               << "' faults where the reference runs (size=" << size
+               << ", seed=" << seed << "): " << cand.diag.str();
+            round.detail = os.str();
+            return round;
+        }
+
+        round.compared = true;
+        for (size_t a = 0; round.equal && a < reference.arrays.size();
+             ++a) {
+            const ArrayDecl &decl = reference.arrays[a];
+            if (decl.isRegister)
+                continue;  // compiler temporaries, not outputs
+            ArrayId ca = candIdOf[a];
+            // Diagnostics are built only on mismatch: an ostringstream
+            // per array per round dominated the all-equal fast path
+            // for corpus-sized symbol tables.
+            if (ca < 0) {
+                round.equal = false;
+                std::ostringstream os;
+                os << "array '" << decl.name
+                   << "' missing from candidate '" << candidate.name
+                   << "'";
+                round.detail = os.str();
+                break;
+            }
+            uint64_t relems =
+                refInterp.arrayElems(static_cast<ArrayId>(a));
+            uint64_t celems = candInterp.arrayElems(ca);
+            if (relems != celems) {
+                round.equal = false;
+                std::ostringstream os;
+                os << "array '" << decl.name << "' has " << relems
+                   << " elements in the reference, " << celems
+                   << " in the candidate";
+                round.detail = os.str();
+                break;
+            }
+            if (!compare[a])
+                continue;  // written by neither; identical
+            const auto &rv =
+                refInterp.arrayData(static_cast<ArrayId>(a));
+            const auto &cv = candInterp.arrayData(ca);
+            if (rv.empty() ||
+                std::memcmp(rv.data(), cv.data(),
+                            rv.size() * sizeof(double)) == 0)
+                continue;
+            for (size_t i = 0; i < rv.size(); ++i) {
+                if (std::memcmp(&rv[i], &cv[i], sizeof(double)) == 0)
+                    continue;
+                round.equal = false;
+                std::ostringstream os;
+                os << "array '" << decl.name << "' diverges at "
+                   << "element " << i << " (size=" << size
+                   << ", seed=" << seed << "): " << rv[i]
+                   << " != " << cv[i];
+                round.detail = os.str();
+                break;
+            }
+        }
+        return round;
+    };
+
     for (int64_t size : opts.sizes) {
-        for (uint64_t seed : opts.seeds) {
-            harness::poll("check.equiv.round");
-            Interpreter refInterp(reference);
-            RunOutcome ref = runOne(reference, refInterp, size, seed);
-            if (!ref.ok) {
-                // The reference itself faults at this trial point:
-                // inconclusive, not a miscompile.
+        // Every seed round of a size executes (even after a failing
+        // round), so the executed round set — and with it every obs
+        // and sim counter — is a function of the programs alone, not
+        // of the jobs value or of which round failed first.
+        std::vector<Round> rounds(opts.seeds.size());
+        int jobs = std::max(
+            1, std::min<int>(opts.jobs,
+                             static_cast<int>(opts.seeds.size())));
+        if (jobs <= 1) {
+            for (size_t k = 0; k < opts.seeds.size(); ++k)
+                rounds[k] = runRound(size, opts.seeds[k]);
+        } else {
+            std::atomic<size_t> next{0};
+            std::exception_ptr firstError;
+            std::mutex errorMu;
+            harness::CancelToken *parent = harness::currentToken();
+            auto work = [&]() {
+                // Workers share the caller's budget, so deadlines and
+                // iteration budgets cancel the whole check.
+                harness::BudgetScope scope(parent);
+                for (;;) {
+                    size_t k =
+                        next.fetch_add(1, std::memory_order_relaxed);
+                    if (k >= opts.seeds.size())
+                        break;
+                    try {
+                        rounds[k] = runRound(size, opts.seeds[k]);
+                    } catch (...) {
+                        std::lock_guard<std::mutex> lock(errorMu);
+                        if (!firstError)
+                            firstError = std::current_exception();
+                        break;
+                    }
+                }
+            };
+            std::vector<std::thread> pool;
+            for (int j = 1; j < jobs; ++j)
+                pool.emplace_back(work);
+            work();
+            for (std::thread &t : pool)
+                t.join();
+            if (firstError)
+                std::rethrow_exception(firstError);
+        }
+
+        // Serial fold in seed order: identical verdicts and details
+        // for every jobs value.
+        for (const Round &round : rounds) {
+            if (!round.refOk) {
                 ++result.skippedRuns;
                 continue;
             }
-
-            Interpreter candInterp(candidate);
-            RunOutcome cand = runOne(candidate, candInterp, size, seed);
             ++cRuns;
-            if (!cand.ok) {
+            if (round.compared)
+                ++result.comparedRuns;
+            if (result.equivalent && !round.equal) {
                 result.equivalent = false;
-                std::ostringstream os;
-                os << "candidate '" << candidate.name
-                   << "' faults where the reference runs (size="
-                   << size << ", seed=" << seed
-                   << "): " << cand.diag.str();
-                result.detail = os.str();
-                break;
+                result.detail = round.detail;
             }
-
-            ++result.comparedRuns;
-            for (size_t a = 0;
-                 result.equivalent && a < reference.arrays.size();
-                 ++a) {
-                const ArrayDecl &decl = reference.arrays[a];
-                if (decl.isRegister)
-                    continue;  // compiler temporaries, not outputs
-                ArrayId ca = findArray(candidate, decl.name);
-                std::ostringstream os;
-                if (ca < 0) {
-                    result.equivalent = false;
-                    os << "array '" << decl.name
-                       << "' missing from candidate '" << candidate.name
-                       << "'";
-                    result.detail = os.str();
-                    break;
-                }
-                const auto &rv =
-                    refInterp.arrayData(static_cast<ArrayId>(a));
-                const auto &cv = candInterp.arrayData(ca);
-                if (rv.size() != cv.size()) {
-                    result.equivalent = false;
-                    os << "array '" << decl.name << "' has "
-                       << rv.size() << " elements in the reference, "
-                       << cv.size() << " in the candidate";
-                    result.detail = os.str();
-                    break;
-                }
-                if (rv.empty() ||
-                    std::memcmp(rv.data(), cv.data(),
-                                rv.size() * sizeof(double)) == 0)
-                    continue;
-                for (size_t i = 0; i < rv.size(); ++i) {
-                    if (std::memcmp(&rv[i], &cv[i], sizeof(double)) ==
-                        0)
-                        continue;
-                    result.equivalent = false;
-                    os << "array '" << decl.name << "' diverges at "
-                       << "element " << i << " (size=" << size
-                       << ", seed=" << seed << "): " << rv[i]
-                       << " != " << cv[i];
-                    result.detail = os.str();
-                    break;
-                }
-            }
-            if (!result.equivalent)
-                break;
         }
         if (!result.equivalent)
             break;

@@ -56,6 +56,17 @@ struct EquivOptions
      * fallback only when shrinking was inconclusive.
      */
     bool stopAfterConclusiveSize = false;
+
+    /**
+     * Worker threads for the (seed) rounds of each trial size. Every
+     * round is independent — its own pair of interpreters over its own
+     * seeded data — so rounds run concurrently and the outcomes are
+     * folded in seed order, making the result (and the executed round
+     * set, hence all obs counters) identical for every jobs value.
+     * Workers inherit the caller's budget token, so deadlines and
+     * iteration budgets still cancel cooperatively.
+     */
+    int jobs = 1;
 };
 
 /** Outcome of a differential check. */

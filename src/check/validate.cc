@@ -3,6 +3,8 @@
 #include <set>
 #include <sstream>
 #include <string>
+#include <string_view>
+#include <unordered_set>
 
 #include "harness/budget.hh"
 #include "harness/fault.hh"
@@ -57,7 +59,10 @@ class Validator
     void
     checkSymbols()
     {
-        std::set<std::string> names;
+        // Views into the (stable) symbol tables; corpus programs carry
+        // hundreds of declarations, so no per-name string copies here.
+        std::unordered_set<std::string_view> names;
+        names.reserve(prog_.vars.size() + prog_.arrays.size());
         for (const auto &v : prog_.vars) {
             if (v.name.empty())
                 report("validate.var_name", "variable with empty name");
@@ -77,23 +82,29 @@ class Validator
                        "array '" + a.name + "' has element size " +
                            std::to_string(a.elemSize));
             for (const auto &e : a.extents)
-                checkParamOnly(e, "extent of array '" + a.name + "'");
+                checkParamOnly(e, [&] {
+                    return "extent of array '" + a.name + "'";
+                });
         }
     }
 
     /** Extents must be affine over parameters only: they are evaluated
-     *  once at allocation, before any loop variable has a value. */
+     *  once at allocation, before any loop variable has a value.
+     *  `what` is a callable producing the message context — built only
+     *  when a diagnostic actually fires, because this runs for every
+     *  declaration of every validated program. */
+    template <class F>
     void
-    checkParamOnly(const AffineExpr &e, const std::string &what)
+    checkParamOnly(const AffineExpr &e, F &&what)
     {
-        for (VarId v : e.vars()) {
+        for (const auto &[v, c] : e.terms()) {
             if (!varInRange(v)) {
                 report("validate.var_range",
-                       what + " references out-of-range variable id " +
+                       what() + " references out-of-range variable id " +
                            std::to_string(v));
             } else if (prog_.vars[v].kind != VarKind::Param) {
                 report("validate.extent",
-                       what + " references loop variable '" +
+                       what() + " references loop variable '" +
                            prog_.vars[v].name + "'");
             }
         }
@@ -102,18 +113,20 @@ class Validator
     // ---- scoped affine expressions -----------------------------
 
     /** Every variable of `e` must be a parameter or an active
-     *  (enclosing) loop variable. */
+     *  (enclosing) loop variable. `what` is a lazy message builder,
+     *  like checkParamOnly's. */
+    template <class F>
     void
-    checkScoped(const AffineExpr &e, const std::string &what)
+    checkScoped(const AffineExpr &e, F &&what)
     {
-        for (VarId v : e.vars()) {
+        for (const auto &[v, c] : e.terms()) {
             if (!varInRange(v)) {
                 report("validate.var_range",
-                       what + " references out-of-range variable id " +
+                       what() + " references out-of-range variable id " +
                            std::to_string(v));
             } else if (!activeVars_[v]) {
                 report("validate.scope",
-                       what + " references variable '" +
+                       what() + " references variable '" +
                            prog_.vars[v].name +
                            "' outside its defining loop");
             }
@@ -164,8 +177,12 @@ class Validator
                    "loop variable '" + info.name +
                        "' rebound inside its own loop");
         // Bounds are evaluated before the variable is live.
-        checkScoped(n.lb, "lower bound of loop '" + info.name + "'");
-        checkScoped(n.ub, "upper bound of loop '" + info.name + "'");
+        checkScoped(n.lb, [&] {
+            return "lower bound of loop '" + info.name + "'";
+        });
+        checkScoped(n.ub, [&] {
+            return "upper bound of loop '" + info.name + "'";
+        });
 
         bool wasActive = activeVars_[n.var];
         activeVars_[n.var] = true;
@@ -212,8 +229,9 @@ class Validator
         }
         for (const auto &sub : ref.subs) {
             if (sub.isAffine())
-                checkScoped(sub.affine,
-                            what + " subscript of '" + decl.name + "'");
+                checkScoped(sub.affine, [&] {
+                    return what + " subscript of '" + decl.name + "'";
+                });
             else
                 checkValue(sub.opaque,
                            what + " opaque subscript of '" + decl.name +
@@ -249,7 +267,8 @@ class Validator
             break;
           case ValOp::Index:
             arity = 0;
-            checkScoped(v->index, what + " index expression");
+            checkScoped(v->index,
+                        [&] { return what + " index expression"; });
             break;
           case ValOp::Neg:
           case ValOp::Sqrt:

@@ -1,8 +1,14 @@
 #include "driver/fuzzcheck.hh"
 
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
 #include <sstream>
+#include <thread>
 
 #include "check/equiv.hh"
+#include "harness/budget.hh"
 #include "check/validate.hh"
 #include "frontend/parser.hh"
 #include "interp/interp.hh"
@@ -155,18 +161,79 @@ fuzzFailurePredicate(const std::string &kind)
 }
 
 FuzzReport
-runFuzzCampaign(uint64_t seed, int count, const FuzzOptions &opts)
+runFuzzCampaign(uint64_t seed, int count, const FuzzOptions &opts,
+                int jobs)
 {
     obs::TraceScope span("fuzz", "campaign");
     span.arg("seed", static_cast<int64_t>(seed));
     span.arg("count", count);
+    span.arg("jobs", jobs);
     obs::ScopedTimer timer(
         obs::statsRegistry().histogram("fuzz.campaign_time_us"));
 
+    // One padded slot per round: workers never write to a shared
+    // cache line, and the fold below reads the slots in seed order so
+    // the merged report is independent of scheduling.
+    struct alignas(64) RoundSlot
+    {
+        FuzzReport rep;
+    };
+    std::vector<RoundSlot> slots(std::max(count, 0));
+
+    auto runRange = [&](size_t k) {
+        ++slots[k].rep.programs;
+        fuzzOne(seed + static_cast<uint64_t>(k), opts, slots[k].rep);
+    };
+
+    jobs = std::max(1, std::min(jobs, count));
+    if (jobs <= 1) {
+        for (int k = 0; k < count; ++k)
+            runRange(static_cast<size_t>(k));
+    } else {
+        std::atomic<size_t> next{0};
+        std::exception_ptr firstError;
+        std::mutex errorMu;
+        harness::CancelToken *parent = harness::currentToken();
+        auto work = [&]() {
+            harness::BudgetScope scope(parent);
+            for (;;) {
+                size_t k = next.fetch_add(1, std::memory_order_relaxed);
+                if (k >= slots.size())
+                    break;
+                try {
+                    runRange(k);
+                } catch (...) {
+                    std::lock_guard<std::mutex> lock(errorMu);
+                    if (!firstError)
+                        firstError = std::current_exception();
+                    break;
+                }
+            }
+        };
+        std::vector<std::thread> pool;
+        for (int j = 1; j < jobs; ++j)
+            pool.emplace_back(work);
+        work();
+        for (std::thread &t : pool)
+            t.join();
+        if (firstError)
+            std::rethrow_exception(firstError);
+    }
+
     FuzzReport rep;
-    for (int k = 0; k < count; ++k) {
-        ++rep.programs;
-        fuzzOne(seed + static_cast<uint64_t>(k), opts, rep);
+    for (const RoundSlot &slot : slots) {
+        const FuzzReport &r = slot.rep;
+        rep.programs += r.programs;
+        rep.validateFailures += r.validateFailures;
+        rep.roundTripFailures += r.roundTripFailures;
+        rep.equivFailures += r.equivFailures;
+        rep.rollbacks += r.rollbacks;
+        for (const std::string &m : r.messages)
+            if (rep.messages.size() < kMaxMessages)
+                rep.messages.push_back(m);
+        for (const FuzzReport::Failure &f : r.failures)
+            if (rep.failures.size() < kMaxMessages)
+                rep.failures.push_back(f);
     }
 
     if (span.active()) {

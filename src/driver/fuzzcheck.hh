@@ -66,9 +66,19 @@ struct FuzzReport
     }
 };
 
-/** Run `count` rounds starting at `seed` (round k uses seed + k). */
+/**
+ * Run `count` rounds starting at `seed` (round k uses seed + k).
+ *
+ * `jobs` > 1 spreads the rounds over worker threads. Every round is a
+ * pure function of its seed and runs against round-local state (its
+ * own generated program, interpreters and transform pipeline), so the
+ * workers only share the round queue; each round's outcome lands in
+ * its own cache-line-padded slot and the slots are folded in seed
+ * order afterwards. The report — counters, failure records, message
+ * order — is therefore bitwise-identical for every jobs value.
+ */
 FuzzReport runFuzzCampaign(uint64_t seed, int count,
-                           const FuzzOptions &opts = {});
+                           const FuzzOptions &opts = {}, int jobs = 1);
 
 /**
  * A predicate accepting programs that still break the named property

@@ -1,10 +1,14 @@
 #include "interp/interp.hh"
 
+#include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <cstdlib>
 #include <cstring>
 
 #include "harness/budget.hh"
 #include "harness/fault.hh"
+#include "interp/tape.hh"
 #include "support/logging.hh"
 #include "support/stats.hh"
 #include "support/trace.hh"
@@ -15,9 +19,12 @@ namespace {
 
 harness::FaultSite gInterpFault("interp.run", /*supportsDiag=*/true);
 
-/** Poll the budget token every this many loop iterations; a power of
- *  two so the hot-loop check is one AND plus a branch. */
-constexpr uint64_t kPollStride = 4096;
+/** Poll the budget token every this many loop iterations (shared with
+ *  the tape path via kInterpPollStride in interp/tape.hh). */
+constexpr uint64_t kPollStride = kInterpPollStride;
+
+/** Process-wide default engine; -1 until first resolved. */
+std::atomic<int> gDefaultMode{-1};
 
 /** Deterministic small integer-valued initial data. Using integers in a
  *  narrow range keeps floating-point arithmetic exact, so reordered
@@ -36,21 +43,139 @@ initialValue(ArrayId a, uint64_t index, uint64_t seed)
 
 constexpr uint64_t kBaseAddress = 0x100000;
 
-/** Internal unwind for program-dependent faults; never escapes run(). */
-struct Fault
-{
-    Diag diag;
-};
+/** Internal unwind for program-dependent faults; never escapes run().
+ *  Shared with the tape engine (interp/tape.hh). */
+using Fault = interp_detail::Fault;
 
 } // namespace
 
-Interpreter::Interpreter(const Program &prog) : prog_(prog)
+InterpMode
+defaultInterpMode()
+{
+    int m = gDefaultMode.load(std::memory_order_relaxed);
+    if (m >= 0)
+        return static_cast<InterpMode>(m);
+    InterpMode resolved = InterpMode::Tape;
+    if (const char *env = std::getenv("MEMORIA_INTERP"))
+        if (std::optional<InterpMode> parsed = parseInterpMode(env))
+            resolved = *parsed;
+    gDefaultMode.store(static_cast<int>(resolved),
+                       std::memory_order_relaxed);
+    return resolved;
+}
+
+void
+setDefaultInterpMode(InterpMode mode)
+{
+    gDefaultMode.store(static_cast<int>(mode), std::memory_order_relaxed);
+}
+
+std::optional<InterpMode>
+parseInterpMode(const std::string &name)
+{
+    if (name == "tree")
+        return InterpMode::Tree;
+    if (name == "tape")
+        return InterpMode::Tape;
+    return std::nullopt;
+}
+
+const char *
+interpModeName(InterpMode mode)
+{
+    return mode == InterpMode::Tree ? "tree" : "tape";
+}
+
+namespace {
+
+/** Mark every array id a statement tree references (writes, loads,
+ *  and loads inside opaque subscripts). Shared Value spines may be
+ *  visited more than once; the walk is idempotent and the IR is small
+ *  next to the data it would otherwise force us to initialize. */
+void
+markRefArrays(const ArrayRef &ref, std::vector<uint8_t> &mark);
+
+void
+markValueArrays(const ValuePtr &v, std::vector<uint8_t> &mark)
+{
+    if (!v)
+        return;
+    if (v->op == ValOp::Load)
+        markRefArrays(v->load, mark);
+    for (const ValuePtr &kid : v->kids)
+        markValueArrays(kid, mark);
+}
+
+void
+markRefArrays(const ArrayRef &ref, std::vector<uint8_t> &mark)
+{
+    if (ref.array >= 0 && static_cast<size_t>(ref.array) < mark.size())
+        mark[ref.array] = 1;
+    for (const Subscript &s : ref.subs)
+        if (!s.isAffine())
+            markValueArrays(s.opaque, mark);
+}
+
+void
+markNodeArrays(const Node &n, std::vector<uint8_t> &mark)
+{
+    if (n.isStmt()) {
+        markRefArrays(n.stmt.write, mark);
+        markValueArrays(n.stmt.rhs, mark);
+        return;
+    }
+    for (const NodePtr &kid : n.body)
+        markNodeArrays(*kid, mark);
+}
+
+} // namespace
+
+Interpreter::Interpreter(const Program &prog)
+    : prog_(prog), mode_(defaultInterpMode())
 {
     env_.assign(prog_.vars.size(), 0);
     for (size_t v = 0; v < prog_.vars.size(); ++v)
         if (prog_.vars[v].kind == VarKind::Param)
             env_[v] = prog_.vars[v].paramValue;
+
+    const size_t n = prog_.arrays.size();
+    data_.resize(n);
+    filled_.assign(n, 0);
+    bases_.assign(n, 0);
+    extentOff_.resize(n + 1);
+    uint32_t off = 0;
+    for (size_t a = 0; a < n; ++a) {
+        extentOff_[a] = off;
+        off += static_cast<uint32_t>(prog_.arrays[a].extents.size());
+    }
+    extentOff_[n] = off;
+    extentPool_.assign(off, 0);
+
+    referenced_.assign(n, 0);
+    for (const NodePtr &node : prog_.body)
+        markNodeArrays(*node, referenced_);
+
     allocate();
+}
+
+Interpreter::~Interpreter() = default;
+
+void
+Interpreter::setMode(InterpMode mode)
+{
+    MEMORIA_ASSERT(!ran_, "setMode after run");
+    mode_ = mode;
+}
+
+const Tape &
+Interpreter::compiledTape()
+{
+    MEMORIA_ASSERT(!allocError_, "compiledTape with allocation error");
+    if (!tape_) {
+        ensureReferenced();  // the tape binds raw data pointers
+        tape_ = std::make_unique<Tape>(prog_, *this);
+    }
+    return *tape_;
 }
 
 Status
@@ -76,42 +201,84 @@ Interpreter::setInitSeed(uint64_t seed)
 {
     MEMORIA_ASSERT(!ran_, "setInitSeed after run");
     initSeed_ = seed;
+    std::fill(filled_.begin(), filled_.end(), 0);
     allocate();
 }
 
+/**
+ * Recompute the binding: concrete extents, virtual base addresses and
+ * the deferred allocation error. Array contents are NOT filled here —
+ * they materialize lazily (ensureArray) so the repeated rebinding the
+ * equivalence oracle performs (construct, setParam per parameter,
+ * setInitSeed) costs extent arithmetic, not a full data refill each
+ * time. An array whose extents are unchanged keeps its filled data.
+ */
 void
 Interpreter::allocate()
 {
-    data_.clear();
-    bases_.clear();
-    extents_.clear();
     allocError_.reset();
+    tape_.reset();  // the compiled binding is stale
     uint64_t next = kBaseAddress;
     for (size_t a = 0; a < prog_.arrays.size(); ++a) {
         const ArrayDecl &decl = prog_.arrays[a];
-        std::vector<int64_t> ext;
+        int64_t *ext = extentPool_.data() + extentOff_[a];
         uint64_t elems = 1;
-        for (const auto &e : decl.extents) {
-            int64_t x = evalAffine(e);
+        bool changed = false;
+        for (size_t k = 0; k < decl.extents.size(); ++k) {
+            int64_t x = evalAffine(decl.extents[k]);
             if (x <= 0) {
                 allocError_ = Diag::error(
                     "interp.extent", "non-positive extent " +
                                          std::to_string(x) +
                                          " for array " + decl.name);
+                std::fill(filled_.begin(), filled_.end(), 0);
                 return;
             }
-            ext.push_back(x);
+            if (ext[k] != x) {
+                ext[k] = x;
+                changed = true;
+            }
             elems *= static_cast<uint64_t>(x);
         }
-        extents_.push_back(std::move(ext));
-        bases_.push_back(next);
+        if (changed)
+            filled_[a] = 0;
+        bases_[a] = next;
         next += elems * decl.elemSize;
-
-        std::vector<double> buf(elems);
-        for (uint64_t i = 0; i < elems; ++i)
-            buf[i] = initialValue(static_cast<ArrayId>(a), i, initSeed_);
-        data_.push_back(std::move(buf));
     }
+}
+
+uint64_t
+Interpreter::arrayElems(ArrayId a) const
+{
+    MEMORIA_ASSERT(a >= 0 && static_cast<size_t>(a) < data_.size(),
+                   "arrayElems out of range");
+    const int64_t *ext = extentsOf(a);
+    uint64_t elems = 1;
+    for (int k = 0; k < rankOf(a); ++k)
+        elems *= static_cast<uint64_t>(ext[k]);
+    return elems;
+}
+
+void
+Interpreter::ensureArray(ArrayId a) const
+{
+    if (filled_[a])
+        return;
+    MEMORIA_ASSERT(!allocError_, "ensureArray with allocation error");
+    uint64_t elems = arrayElems(a);
+    std::vector<double> &buf = data_[a];
+    buf.resize(elems);
+    for (uint64_t i = 0; i < elems; ++i)
+        buf[i] = initialValue(a, i, initSeed_);
+    filled_[a] = 1;
+}
+
+void
+Interpreter::ensureReferenced() const
+{
+    for (size_t a = 0; a < referenced_.size(); ++a)
+        if (referenced_[a])
+            ensureArray(static_cast<ArrayId>(a));
 }
 
 /** The enclosing-loop iteration snapshot, e.g. " in DO I=3, DO J=5". */
@@ -151,15 +318,16 @@ uint64_t
 Interpreter::elementIndex(const ArrayRef &ref, MemoryListener *listener)
 {
     if (ref.array < 0 ||
-        static_cast<size_t>(ref.array) >= extents_.size())
+        static_cast<size_t>(ref.array) >= data_.size())
         fault("interp.array",
               "reference to out-of-range array id " +
                   std::to_string(ref.array));
-    const auto &ext = extents_[ref.array];
-    if (ref.subs.size() != ext.size())
+    const int64_t *ext = extentsOf(ref.array);
+    const size_t rank = static_cast<size_t>(rankOf(ref.array));
+    if (ref.subs.size() != rank)
         fault("interp.rank",
               "rank " + std::to_string(ref.subs.size()) +
-                  " reference to rank " + std::to_string(ext.size()) +
+                  " reference to rank " + std::to_string(rank) +
                   " array " + prog_.arrayDecl(ref.array).name);
     uint64_t index = 0;
     uint64_t stride = 1;
@@ -291,6 +459,20 @@ Interpreter::execNode(const Node &n, MemoryListener *listener)
 Status
 Interpreter::run(MemoryListener *listener)
 {
+    return runInternal(listener, nullptr);
+}
+
+Status
+Interpreter::runBatched(AccessBatchSink *sink)
+{
+    if (!sink)
+        return run(nullptr);
+    return runInternal(nullptr, sink);
+}
+
+Status
+Interpreter::runInternal(MemoryListener *listener, AccessBatchSink *sink)
+{
     obs::TraceScope span("interp", "run");
     span.arg("program", prog_.name);
 
@@ -303,14 +485,48 @@ Interpreter::run(MemoryListener *listener)
         ++obs::counter("interp.faults");
         return Status::err(*allocError_);
     }
-    try {
-        for (const auto &n : prog_.body)
-            execNode(*n, listener);
-    } catch (const Fault &f) {
+
+    ensureReferenced();
+
+    Status st;
+    if (mode_ == InterpMode::Tape) {
+        if (!tape_)
+            tape_ = std::make_unique<Tape>(prog_, *this);
+        try {
+            if (sink)
+                tape_->runBatched(*this, sink);
+            else
+                tape_->run(*this, listener);
+        } catch (const Fault &f) {
+            st = Status::err(f.diag);
+        }
+    } else {
+        // Tree walker: batched sinks go through the buffering adapter
+        // (one virtual call per access). Kept verbatim as the
+        // differential reference for the tape.
+        std::optional<BatchingListener> batcher;
+        if (sink) {
+            batcher.emplace(*sink);
+            listener = &*batcher;
+        }
+        try {
+            for (const auto &n : prog_.body)
+                execNode(*n, listener);
+        } catch (const Fault &f) {
+            st = Status::err(f.diag);
+        }
+        // Flush the trailing partial batch, also after a fault; a
+        // cancellation has already propagated past us, unflushed,
+        // matching the historical behaviour.
+        if (batcher)
+            batcher->flush();
+    }
+
+    if (!st.ok()) {
         ++obs::counter("interp.faults");
         if (span.active())
-            span.arg("fault", f.diag.str());
-        return Status::err(f.diag);
+            span.arg("fault", st.diag().str());
+        return st;
     }
 
     // Publish aggregates once per run: the per-iteration path stays a
@@ -332,21 +548,13 @@ Interpreter::run(MemoryListener *listener)
     return Status{};
 }
 
-Status
-Interpreter::runBatched(AccessBatchSink *sink)
-{
-    if (!sink)
-        return run(nullptr);
-    BatchingListener listener(*sink);
-    Status st = run(&listener);
-    listener.flush();
-    return st;
-}
-
 const std::vector<double> &
 Interpreter::arrayData(ArrayId a) const
 {
-    return data_.at(a);
+    MEMORIA_ASSERT(a >= 0 && static_cast<size_t>(a) < data_.size(),
+                   "arrayData out of range");
+    ensureArray(a);
+    return data_[a];
 }
 
 uint64_t
@@ -360,6 +568,7 @@ Interpreter::checksumFirstArrays(size_t count) const
 {
     uint64_t h = 0xcbf29ce484222325ULL;
     for (size_t a = 0; a < count && a < data_.size(); ++a) {
+        ensureArray(static_cast<ArrayId>(a));
         const auto &arr = data_[a];
         for (double d : arr) {
             uint64_t bits;

@@ -18,6 +18,8 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -27,6 +29,36 @@
 #include "ir/program.hh"
 
 namespace memoria {
+
+class Tape;
+
+/**
+ * Interpreter execution engine. `Tape` (the default) compiles each
+ * program binding once into a flat bytecode tape (interp/tape.hh) and
+ * dispatches over it; `Tree` walks the pointer-based IR directly. Both
+ * produce bit-identical results — array contents, ExecStats, access
+ * streams, Diags — which the `memoria diffinterp` CI job enforces; the
+ * tree walker is retained as the differential reference.
+ */
+enum class InterpMode
+{
+    Tree,
+    Tape,
+};
+
+/** Process-wide default mode: an explicit setDefaultInterpMode() call
+ *  wins, else the MEMORIA_INTERP environment variable ("tree"/"tape"),
+ *  else Tape. */
+InterpMode defaultInterpMode();
+
+/** Override the process-wide default (the CLI's --interp flag). */
+void setDefaultInterpMode(InterpMode mode);
+
+/** Parse "tree"/"tape"; nullopt for anything else. */
+std::optional<InterpMode> parseInterpMode(const std::string &name);
+
+/** "tree" or "tape". */
+const char *interpModeName(InterpMode mode);
 
 /** Execution counters. */
 struct ExecStats
@@ -49,6 +81,12 @@ class Interpreter
 {
   public:
     explicit Interpreter(const Program &prog);
+    ~Interpreter();
+
+    /** Select the execution engine for this instance (before run());
+     *  new instances start from defaultInterpMode(). */
+    void setMode(InterpMode mode);
+    InterpMode mode() const { return mode_; }
 
     /** Override a parameter value before running (by name). Unknown
      *  names and non-positive resulting extents report a Diag. */
@@ -78,8 +116,14 @@ class Interpreter
      */
     Status runBatched(AccessBatchSink *sink);
 
-    /** Raw data of one array (valid after construction). */
+    /** Raw data of one array (valid after construction). Contents are
+     *  materialized lazily; the first read fills the buffer with the
+     *  deterministic seeded initial values. */
     const std::vector<double> &arrayData(ArrayId a) const;
+
+    /** Element count of one array under the current binding, without
+     *  materializing its contents. */
+    uint64_t arrayElems(ArrayId a) const;
 
     /** FNV-1a checksum over the bit patterns of every array. */
     uint64_t checksum() const;
@@ -97,8 +141,26 @@ class Interpreter
     /** Virtual base address of an array. */
     uint64_t arrayBase(ArrayId a) const { return bases_.at(a); }
 
+    /** The compiled tape for the current binding (tape mode only;
+     *  compiled lazily on first run). Exposed for the disassembly
+     *  golden test and the diffinterp tooling. */
+    const Tape &compiledTape();
+
   private:
+    friend class Tape;
+
     void allocate();
+    void ensureArray(ArrayId a) const;
+    void ensureReferenced() const;
+    const int64_t *extentsOf(ArrayId a) const
+    {
+        return extentPool_.data() + extentOff_[a];
+    }
+    int rankOf(ArrayId a) const
+    {
+        return static_cast<int>(extentOff_[a + 1] - extentOff_[a]);
+    }
+    Status runInternal(MemoryListener *listener, AccessBatchSink *sink);
     void execNode(const Node &n, MemoryListener *listener);
     void execStmt(const Statement &s, MemoryListener *listener);
     double evalValue(const ValuePtr &v, MemoryListener *listener);
@@ -109,15 +171,30 @@ class Interpreter
 
     const Program &prog_;
     std::vector<int64_t> env_;            ///< VarId -> current value
-    std::vector<std::vector<double>> data_;
+    /**
+     * Array contents, filled lazily (mutable: reads through the const
+     * accessors materialize on demand). A verification pass touches a
+     * handful of a program's arrays; eagerly hashing initial values
+     * into every buffer on construction, after every setParam and
+     * again after setInitSeed dominated the equivalence oracle.
+     */
+    mutable std::vector<std::vector<double>> data_;
+    mutable std::vector<uint8_t> filled_; ///< per-array fill flag
+    std::vector<uint8_t> referenced_;     ///< arrays the body touches
     std::vector<uint64_t> bases_;
-    std::vector<std::vector<int64_t>> extents_;
+    /** Concrete extents, flattened: array `a` owns
+     *  extentPool_[extentOff_[a] .. extentOff_[a+1]). Ranks are fixed
+     *  by the declaration, so offsets are computed once. */
+    std::vector<int64_t> extentPool_;
+    std::vector<uint32_t> extentOff_;
     ExecStats stats_;
     uint64_t initSeed_ = 0;
     std::optional<Diag> allocError_;      ///< deferred allocation fault
     std::vector<VarId> loopStack_;        ///< active loops, outer first
     int curStmt_ = -1;                    ///< executing statement id
     bool ran_ = false;
+    InterpMode mode_;
+    std::unique_ptr<Tape> tape_;          ///< lazily compiled binding
 };
 
 /** Result of one simulated execution against a cache. */

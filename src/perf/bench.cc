@@ -328,6 +328,10 @@ runBenchSuite(const BenchOptions &opts)
         r.wall = summarize(std::move(times));
         for (const auto &[k, v] : counters)
             r.counters.emplace_back(k, v);
+        auto acc = counters.find("accesses");
+        if (acc != counters.end() && acc->second > 0)
+            r.nsPerAccess = r.wall.medianMs * 1e6 /
+                            static_cast<double>(acc->second);
         if (opts.publishGauges) {
             obs::gauge("perf." + b.name + ".median_ms")
                 .set(r.wall.medianMs);
@@ -369,7 +373,13 @@ BenchReport::toJson() const
             cfirst = false;
             os << jstr(k) << ":" << v;
         }
-        os << "}}";
+        os << "}";
+        // Additive derived block: absent when the benchmark has no
+        // accesses counter, so older consumers keep parsing.
+        if (r.nsPerAccess > 0.0)
+            os << ",\"derived\":{\"ns_per_access\":"
+               << jnum(r.nsPerAccess) << "}";
+        os << "}";
     }
     os << "]}";
     return os.str();
@@ -387,6 +397,8 @@ BenchReport::toText() const
                 work += "  ";
             work += k + "=" + std::to_string(v);
         }
+        if (r.nsPerAccess > 0.0)
+            work += "  ns/access=" + TextTable::num(r.nsPerAccess, 2);
         t.addRow({r.name, TextTable::num(r.wall.medianMs, 3),
                   TextTable::num(r.wall.p90Ms, 3),
                   TextTable::num(r.wall.minMs, 3), work});

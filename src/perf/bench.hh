@@ -66,6 +66,14 @@ struct BenchResult
 
     /** Deterministic work counters, stable across hosts and runs. */
     std::vector<std::pair<std::string, uint64_t>> counters;
+
+    /**
+     * Derived throughput: median wall time over the `accesses` counter
+     * (median_ms * 1e6 / accesses), in nanoseconds per simulated
+     * access. Zero when the benchmark reports no accesses; like wall
+     * times it is host-dependent, so gates treat it as advisory.
+     */
+    double nsPerAccess = 0.0;
 };
 
 /** The whole suite's outcome, plus build identity. */

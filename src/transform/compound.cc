@@ -102,7 +102,7 @@ struct VerifyScratch
  * the candidate was rejected, or an empty string when it passes.
  */
 std::string
-verifyAgainst(const Program &ref, const Program &cand)
+verifyAgainst(const Program &ref, const Program &cand, int jobs)
 {
     // Verification time accrues to the request's verify stage even
     // though it runs nested inside the optimize stage; the optimize
@@ -111,7 +111,9 @@ verifyAgainst(const Program &ref, const Program &cand)
     std::vector<Diag> diags = validateProgram(cand);
     if (!diags.empty())
         return "IR validation: " + diags.front().str();
-    EquivResult eq = checkEquivalence(ref, cand, guardEquivOptions());
+    EquivOptions eo = guardEquivOptions();
+    eo.jobs = jobs;
+    EquivResult eq = checkEquivalence(ref, cand, eo);
     if (!eq.equivalent)
         return eq.detail;
     return {};
@@ -287,7 +289,7 @@ optimizeNest(const Program &prog, std::vector<NodePtr> &ownerBody,
         candP.name = prog.name + "#opt";
         for (size_t s = 0; s < slots; ++s)
             candP.body.push_back(cloneNode(*ownerBody[index + s]));
-        std::string why = verifyAgainst(refP, candP);
+        std::string why = verifyAgainst(refP, candP, opts.verifyJobs);
         if (!why.empty()) {
             auto first =
                 ownerBody.begin() + static_cast<std::ptrdiff_t>(index);
@@ -414,7 +416,8 @@ compoundTransform(Program &prog, const ModelParams &params,
             Program &refP = scratch.refP;
             refP.name = prog.name + "#prefuse";
             refP.body = std::move(snapshot);
-            std::string why = verifyAgainst(refP, prog);
+            std::string why =
+                verifyAgainst(refP, prog, opts.verifyJobs);
             if (!why.empty()) {
                 prog.body = std::move(refP.body);
                 result.fusion.failVerify += 1;

@@ -1,0 +1,303 @@
+/**
+ * Unit tests for the flat arena IR and the bytecode tape interpreter
+ * (interp/arena.hh, interp/tape.hh): lossless flattening, the golden
+ * disassembly, and tree/tape parity on faults, budgets and
+ * cancellation. The jobs-determinism tests pin down the parallel
+ * oracle and fuzz campaign contracts (identical output for every jobs
+ * value).
+ */
+
+#include <gtest/gtest.h>
+
+#include "check/equiv.hh"
+#include "check/fuzz.hh"
+#include "driver/fuzzcheck.hh"
+#include "harness/budget.hh"
+#include "interp/arena.hh"
+#include "interp/interp.hh"
+#include "interp/tape.hh"
+#include "ir/builder.hh"
+#include "ir/printer.hh"
+#include "suite/corpus.hh"
+#include "suite/kernels.hh"
+
+namespace memoria {
+namespace {
+
+/** Programs spanning the IR surface: kernels, a corpus program with a
+ *  large symbol table, and a few fuzz programs. */
+std::vector<Program>
+samplePrograms()
+{
+    std::vector<Program> progs;
+    progs.push_back(makeMatmul("JKI", 8));
+    progs.push_back(makeCholeskyKIJ(8));
+    progs.push_back(makeAdiScalarized(8));
+    progs.push_back(makeErlebacherDistributed(8));
+    progs.push_back(makeVpenta(8));
+    progs.push_back(makeJacobiBadOrder(8));
+    progs.push_back(buildCorpusProgram(corpusSpecs().front(), 8));
+    for (uint64_t seed : {7u, 19u, 23u})
+        progs.push_back(fuzzProgram(seed));
+    return progs;
+}
+
+TEST(Arena, RoundTripIsLossless)
+{
+    // toProgram() must reconstruct a program that prints identically
+    // — the flattening loses nothing the printer can observe.
+    for (const Program &p : samplePrograms()) {
+        ProgramArena arena(p);
+        Program back = arena.toProgram();
+        EXPECT_EQ(printProgram(back), printProgram(p)) << p.name;
+    }
+}
+
+TEST(Arena, RoundTripPreservesSemantics)
+{
+    for (const Program &p : samplePrograms()) {
+        ProgramArena arena(p);
+        Program back = arena.toProgram();
+        Result<uint64_t> orig = tryRunChecksum(p);
+        Result<uint64_t> rt = tryRunChecksum(back);
+        ASSERT_EQ(orig.ok(), rt.ok()) << p.name;
+        if (orig.ok())
+            EXPECT_EQ(orig.value(), rt.value()) << p.name;
+    }
+}
+
+TEST(Tape, GoldenMatmulDisassembly)
+{
+    // The Figure 2 matmul nest in memory order (JKI), N=4: three
+    // counted loops, four strength-reduced fast references (strides
+    // folded into one affine per reference), no guards — interval
+    // analysis proves every subscript in bounds. A change here means
+    // the compiler's output changed; update deliberately.
+    Program p = makeMatmul("JKI", 4);
+    Interpreter interp(p);
+    const Tape &tape = interp.compiledTape();
+    EXPECT_EQ(tape.disassemble(),
+              "tape 'matmul_JKI': 13 instrs, 3 loops, 4 fast refs, "
+              "0 guarded refs\n"
+              "  0: loop.begin J = <1> .. <N> step 1 end@11\n"
+              "  1: loop.begin K = <1> .. <N> step 1 end@10\n"
+              "  2: loop.begin I = <1> .. <N> step 1 end@9\n"
+              "  3: load.fast C[<I + 4*J - 5>]\n"
+              "  4: load.fast A[<I + 4*K - 5>]\n"
+              "  5: load.fast B[<4*J + K - 5>]\n"
+              "  6: mul\n"
+              "  7: add\n"
+              "  8: store.fast C[<I + 4*J - 5>]\n"
+              "  9: loop.end I body@3\n"
+              " 10: loop.end K body@2\n"
+              " 11: loop.end J body@1\n"
+              " 12: halt\n");
+    EXPECT_EQ(tape.fastRefs(), 4);
+    EXPECT_EQ(tape.guardedRefs(), 0);
+}
+
+/** A(I+1) over A(N): out of bounds on the last iteration. */
+Program
+makeOobProgram()
+{
+    ProgramBuilder b("oob");
+    Var n = b.param("N", 6);
+    Arr a = b.array("A", {n});
+    Var i = b.loopVar("I");
+    b.add(b.loop(i, 1, n, b.assign(a(Ix(i) + 1), Val(i))));
+    return b.finish();
+}
+
+TEST(Tape, OutOfBoundsParity)
+{
+    // The tape compiles the reference guarded (it cannot prove I+1 in
+    // bounds) and must reproduce the tree walker's fault exactly:
+    // same code, same message, same counters up to the fault.
+    Program p = makeOobProgram();
+
+    Interpreter tree(p);
+    tree.setMode(InterpMode::Tree);
+    Status ts = tree.run();
+    ASSERT_FALSE(ts.ok());
+
+    Interpreter tape(p);
+    tape.setMode(InterpMode::Tape);
+    EXPECT_GT(tape.compiledTape().guardedRefs(), 0);
+    Status as = tape.run();
+    ASSERT_FALSE(as.ok());
+
+    EXPECT_EQ(ts.diag().str(), as.diag().str());
+    EXPECT_EQ(tree.stats().stmtsExecuted, tape.stats().stmtsExecuted);
+    EXPECT_EQ(tree.stats().memRefs, tape.stats().memRefs);
+    EXPECT_EQ(tree.stats().loopIterations, tape.stats().loopIterations);
+    EXPECT_EQ(tree.checksum(), tape.checksum());
+}
+
+TEST(Tape, ModZeroParity)
+{
+    // I MOD (I - I) faults at runtime; both engines must agree on the
+    // diagnostic and on how much executed before it.
+    ProgramBuilder b("modzero");
+    Var n = b.param("N", 4);
+    Arr a = b.array("A", {n});
+    Var i = b.loopVar("I");
+    b.add(b.loop(i, 1, n,
+                 b.assign(a(i), imodv(Val(i), Val(i) - Val(i)))));
+    Program p = b.finish();
+
+    Interpreter tree(p);
+    tree.setMode(InterpMode::Tree);
+    Status ts = tree.run();
+    ASSERT_FALSE(ts.ok());
+
+    Interpreter tape(p);
+    tape.setMode(InterpMode::Tape);
+    Status as = tape.run();
+    ASSERT_FALSE(as.ok());
+
+    EXPECT_EQ(ts.diag().str(), as.diag().str());
+    EXPECT_EQ(tree.stats().stmtsExecuted, tape.stats().stmtsExecuted);
+}
+
+/** Run `p` in `mode` under an iteration budget; returns the cancel
+ *  kind (or nullopt if the run finished) and the iterations charged. */
+std::pair<std::optional<harness::CancelKind>, uint64_t>
+runUnderBudget(const Program &p, InterpMode mode, uint64_t maxIters)
+{
+    harness::Budget budget;
+    budget.maxInterpIterations = maxIters;
+    harness::CancelToken token(budget);
+    harness::BudgetScope scope(&token);
+    Interpreter interp(p);
+    interp.setMode(mode);
+    try {
+        interp.run();
+    } catch (const harness::CancelledError &e) {
+        return {e.kind, token.iterationsUsed()};
+    }
+    return {std::nullopt, token.iterationsUsed()};
+}
+
+TEST(Tape, IterationBudgetParity)
+{
+    // 32^3 = 32768 iterations against a 5000-iteration budget: both
+    // engines poll on the same 4096-iteration stride, so they cancel
+    // at the same charge point.
+    Program p = makeMatmul("JKI", 32);
+    auto [treeKind, treeIters] =
+        runUnderBudget(p, InterpMode::Tree, 5000);
+    auto [tapeKind, tapeIters] =
+        runUnderBudget(p, InterpMode::Tape, 5000);
+    ASSERT_TRUE(treeKind.has_value());
+    ASSERT_TRUE(tapeKind.has_value());
+    EXPECT_EQ(*treeKind, harness::CancelKind::IterBudget);
+    EXPECT_EQ(*tapeKind, harness::CancelKind::IterBudget);
+    EXPECT_EQ(treeIters, tapeIters);
+}
+
+TEST(Tape, ExternalCancellationParity)
+{
+    // A pre-cancelled token stops both engines at their first poll.
+    Program p = makeMatmul("JKI", 32);
+    for (InterpMode mode : {InterpMode::Tree, InterpMode::Tape}) {
+        harness::Budget budget;
+        harness::CancelToken token(budget);
+        token.cancel();
+        harness::BudgetScope scope(&token);
+        Interpreter interp(p);
+        interp.setMode(mode);
+        bool cancelled = false;
+        try {
+            interp.run();
+        } catch (const harness::CancelledError &e) {
+            cancelled = true;
+            EXPECT_EQ(e.kind, harness::CancelKind::External)
+                << interpModeName(mode);
+        }
+        EXPECT_TRUE(cancelled) << interpModeName(mode);
+    }
+}
+
+TEST(Tape, SweepParityAcrossModes)
+{
+    // End to end: the full sweep result — stats, per-config cache
+    // counters, cycles and checksum — is identical in both modes.
+    std::vector<CacheConfig> configs = {CacheConfig::rs6000(),
+                                        CacheConfig::i860()};
+    for (const Program &p : samplePrograms()) {
+        InterpMode saved = defaultInterpMode();
+        setDefaultInterpMode(InterpMode::Tree);
+        Result<SweepResult> tree = tryRunWithCaches(p, configs);
+        setDefaultInterpMode(InterpMode::Tape);
+        Result<SweepResult> tape = tryRunWithCaches(p, configs);
+        setDefaultInterpMode(saved);
+
+        ASSERT_EQ(tree.ok(), tape.ok()) << p.name;
+        if (!tree.ok()) {
+            EXPECT_EQ(tree.diag().str(), tape.diag().str()) << p.name;
+            continue;
+        }
+        EXPECT_EQ(tree.value().checksum, tape.value().checksum)
+            << p.name;
+        EXPECT_EQ(tree.value().exec.memRefs, tape.value().exec.memRefs)
+            << p.name;
+        ASSERT_EQ(tree.value().cache.size(), tape.value().cache.size());
+        for (size_t i = 0; i < configs.size(); ++i) {
+            EXPECT_EQ(tree.value().cache[i].accesses,
+                      tape.value().cache[i].accesses)
+                << p.name;
+            EXPECT_EQ(tree.value().cache[i].hits,
+                      tape.value().cache[i].hits)
+                << p.name;
+            EXPECT_EQ(tree.value().cycles[i], tape.value().cycles[i])
+                << p.name;
+        }
+    }
+}
+
+TEST(EquivJobs, ParallelRoundsAreDeterministic)
+{
+    // The oracle's verdict, counters and detail string must not
+    // depend on the worker count.
+    Program ref = makeMatmul("JKI", 8);
+    Program sameValues = makeMatmul("IKJ", 8);
+    Program broken = makeOobProgram();
+
+    for (auto [a, b] : {std::pair<const Program *, const Program *>{
+                            &ref, &sameValues},
+                        {&ref, &broken}}) {
+        EquivOptions serial;
+        serial.jobs = 1;
+        EquivResult r1 = checkEquivalence(*a, *b, serial);
+        EquivOptions parallel;
+        parallel.jobs = 4;
+        EquivResult r4 = checkEquivalence(*a, *b, parallel);
+        EXPECT_EQ(r1.equivalent, r4.equivalent);
+        EXPECT_EQ(r1.comparedRuns, r4.comparedRuns);
+        EXPECT_EQ(r1.skippedRuns, r4.skippedRuns);
+        EXPECT_EQ(r1.detail, r4.detail);
+    }
+}
+
+TEST(FuzzJobs, ParallelCampaignIsDeterministic)
+{
+    // Bitwise-identical report for every jobs value: counters,
+    // message order, failure records.
+    FuzzReport r1 = runFuzzCampaign(42, 8, {}, 1);
+    FuzzReport r4 = runFuzzCampaign(42, 8, {}, 4);
+    EXPECT_EQ(r1.programs, r4.programs);
+    EXPECT_EQ(r1.validateFailures, r4.validateFailures);
+    EXPECT_EQ(r1.roundTripFailures, r4.roundTripFailures);
+    EXPECT_EQ(r1.equivFailures, r4.equivFailures);
+    EXPECT_EQ(r1.rollbacks, r4.rollbacks);
+    EXPECT_EQ(r1.messages, r4.messages);
+    ASSERT_EQ(r1.failures.size(), r4.failures.size());
+    for (size_t i = 0; i < r1.failures.size(); ++i) {
+        EXPECT_EQ(r1.failures[i].seed, r4.failures[i].seed);
+        EXPECT_EQ(r1.failures[i].kind, r4.failures[i].kind);
+        EXPECT_EQ(r1.failures[i].detail, r4.failures[i].detail);
+    }
+}
+
+} // namespace
+} // namespace memoria

@@ -42,8 +42,11 @@ const char *kSmallProgram = "PROGRAM t\n"
                             "  ENDDO\n"
                             "END\n";
 
+// Big enough that simulate takes well over the deadline used by the
+// timeout test on the bytecode-tape interpreter (~7M iterations); the
+// run is cancelled at the deadline, so test wall time stays bounded.
 const char *kHeavyProgram = "PROGRAM heavy\n"
-                            "  PARAMETER N = 64\n"
+                            "  PARAMETER N = 192\n"
                             "  REAL*8 A(N,N)\n"
                             "  REAL*8 B(N,N)\n"
                             "  DO I = 1, N\n"
@@ -317,7 +320,7 @@ TEST(Serve, RequestDeadlineTimesOutAndIsReported)
     server.start();
 
     Collector out;
-    // 25ms: an order of magnitude under the ~100ms simulate (so the
+    // 25ms: an order of magnitude under the uncancelled simulate (so the
     // budget reliably expires mid-execution) but enough headroom that
     // scheduling delay on a loaded machine cannot expire it in the
     // admission queue first — deadline_ms=1 flaked as
